@@ -1,0 +1,13 @@
+"""Benchmark harness regenerating Fig. 4 (gains vs chip-to-chip traffic)."""
+
+from repro.experiments import fig4_disintegration
+
+
+def test_fig4_disintegration_gains(run_once, bench_fidelity):
+    """Regenerate the Fig. 4 gain bars and check the headline claims."""
+    result = run_once(fig4_disintegration.run, bench_fidelity)
+    print()
+    print(fig4_disintegration.format_report(result))
+    # The wireless system must save packet energy at every disintegration
+    # level (the paper reports 37%-65% savings).
+    assert result.energy_gains_all_positive()

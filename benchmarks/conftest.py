@@ -1,0 +1,35 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one experiment exactly once (``pedantic`` with a single
+round) — the quantity of interest is the experiment's *output tables*, which
+are printed so the run log contains the regenerated figure data, while
+pytest-benchmark records the wall-clock cost of regenerating it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Fidelity used by the benchmark harness; override with
+#: ``REPRO_BENCH_FIDELITY=default`` (or ``paper``) in the environment.
+BENCH_FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "fast")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run
+
+
+@pytest.fixture
+def bench_fidelity():
+    """Fidelity level the benchmarks run at."""
+    return BENCH_FIDELITY

@@ -1,0 +1,81 @@
+"""Reproduction of "Energy-Efficient Wireless Interconnection Framework for
+Multichip Systems with In-package Memory Stacks" (Shamim et al., SOCC 2017).
+
+The package provides a cycle-accurate wormhole/VC NoC simulator, the three
+multichip interconnection architectures compared in the paper (substrate
+serial I/O, interposer extended mesh, and the proposed mm-wave wireless
+framework), the wireless physical layer and MAC protocols, energy models,
+traffic generators (uniform random and SynFull-substitute application
+models) and experiment harnesses that regenerate every figure of the
+evaluation.
+
+Quick start::
+
+    from repro import Architecture, MultichipSimulation, SystemConfig
+
+    config = SystemConfig(architecture=Architecture.WIRELESS)
+    simulation = MultichipSimulation.from_config(config)
+    result = simulation.run_uniform(injection_rate=0.02)
+    print(result.summary())
+"""
+
+from .core import (
+    Architecture,
+    ArchitectureMetrics,
+    BuiltSystem,
+    GainReport,
+    MultichipSimulation,
+    SystemConfig,
+    build_comparison_set,
+    build_system,
+    compare,
+    paper_1c4m,
+    paper_4c4m,
+    paper_8c4m,
+    percentage_gain,
+    simulate_config,
+)
+from .noc import (
+    NetworkConfig,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    WirelessConfig,
+)
+from .traffic import (
+    APPLICATION_PROFILES,
+    SynfullApplicationTraffic,
+    TrafficModel,
+    TrafficRequest,
+    UniformRandomTraffic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATION_PROFILES",
+    "Architecture",
+    "ArchitectureMetrics",
+    "BuiltSystem",
+    "GainReport",
+    "MultichipSimulation",
+    "NetworkConfig",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "SynfullApplicationTraffic",
+    "SystemConfig",
+    "TrafficModel",
+    "TrafficRequest",
+    "UniformRandomTraffic",
+    "WirelessConfig",
+    "__version__",
+    "build_comparison_set",
+    "build_system",
+    "compare",
+    "paper_1c4m",
+    "paper_4c4m",
+    "paper_8c4m",
+    "percentage_gain",
+    "simulate_config",
+]

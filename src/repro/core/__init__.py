@@ -1,0 +1,40 @@
+"""The paper's primary contribution: the wireless multichip framework API.
+
+``SystemConfig`` describes an ``XCYM (Architecture)`` system, ``build_system``
+constructs its topology and routing, and ``MultichipSimulation`` runs the
+cycle-accurate evaluation — uniform-random sweeps for the saturation
+metrics, and application traffic for the steady-state comparison.
+"""
+
+from .architectures import BuiltSystem, build_comparison_set, build_system
+from .comparison import (
+    ArchitectureMetrics,
+    GainReport,
+    compare,
+    percentage_gain,
+)
+from .config import (
+    Architecture,
+    SystemConfig,
+    paper_1c4m,
+    paper_4c4m,
+    paper_8c4m,
+)
+from .framework import MultichipSimulation, simulate_config
+
+__all__ = [
+    "Architecture",
+    "ArchitectureMetrics",
+    "BuiltSystem",
+    "GainReport",
+    "MultichipSimulation",
+    "SystemConfig",
+    "build_comparison_set",
+    "build_system",
+    "compare",
+    "paper_1c4m",
+    "paper_4c4m",
+    "paper_8c4m",
+    "percentage_gain",
+    "simulate_config",
+]

@@ -1,0 +1,162 @@
+"""High-level simulation facade — the main entry point of the library.
+
+``MultichipSimulation`` wraps a built system (topology + router) and runs
+cycle-accurate simulations against it: single runs under any traffic model,
+uniform-random runs at a given offered load, application runs, and full load
+sweeps for saturation analysis.  This is the API the examples, experiments
+and benchmarks are written against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..metrics.saturation import (
+    LoadSweepResult,
+    default_load_points,
+    run_load_sweep,
+)
+from ..noc.config import NetworkConfig
+from ..noc.engine import SimulationConfig, Simulator
+from ..noc.stats import SimulationResult
+from ..traffic.base import TrafficModel
+from ..traffic.synfull import SynfullApplicationTraffic
+from ..traffic.uniform import UniformRandomTraffic
+from .architectures import BuiltSystem, build_system
+from .config import SystemConfig
+
+
+class MultichipSimulation:
+    """Runs the cycle-accurate simulator against one built multichip system."""
+
+    def __init__(
+        self,
+        system: BuiltSystem,
+        simulation_config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.system = system
+        self.simulation_config = simulation_config or SimulationConfig()
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_config(
+        cls,
+        config: SystemConfig,
+        simulation_config: Optional[SimulationConfig] = None,
+    ) -> "MultichipSimulation":
+        """Build the system described by ``config`` and wrap it."""
+        return cls(build_system(config), simulation_config)
+
+    # ------------------------------------------------------------------
+    # Properties.
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> SystemConfig:
+        """System configuration of the wrapped system."""
+        return self.system.config
+
+    @property
+    def network_config(self) -> NetworkConfig:
+        """NoC configuration used for every run."""
+        return self.system.config.network
+
+    # ------------------------------------------------------------------
+    # Single runs.
+    # ------------------------------------------------------------------
+
+    def run_traffic(self, traffic: TrafficModel) -> SimulationResult:
+        """Run one simulation under an arbitrary traffic model."""
+        simulator = Simulator(
+            topology=self.system.topology,
+            router=self.system.router,
+            traffic=traffic,
+            network_config=self.network_config,
+            simulation_config=self.simulation_config,
+        )
+        return simulator.run()
+
+    def run_uniform(
+        self,
+        injection_rate: float,
+        memory_access_fraction: float = 0.2,
+        seed: int = 1,
+        memory_replies: bool = False,
+    ) -> SimulationResult:
+        """Run uniform random traffic at one offered load."""
+        traffic = UniformRandomTraffic(
+            self.system.topology,
+            injection_rate=injection_rate,
+            memory_access_fraction=memory_access_fraction,
+            memory_replies=memory_replies,
+            seed=seed,
+        )
+        return self.run_traffic(traffic)
+
+    def run_application(
+        self,
+        application: str,
+        rate_scale: float = 1.0,
+        seed: int = 1,
+    ) -> SimulationResult:
+        """Run one PARSEC/SPLASH-2 application profile (SynFull substitute)."""
+        traffic = SynfullApplicationTraffic.from_name(
+            self.system.topology,
+            application,
+            rate_scale=rate_scale,
+            seed=seed,
+        )
+        return self.run_traffic(traffic)
+
+    # ------------------------------------------------------------------
+    # Sweeps.
+    # ------------------------------------------------------------------
+
+    def sweep_uniform(
+        self,
+        loads: Optional[Sequence[float]] = None,
+        memory_access_fraction: float = 0.2,
+        seed: int = 1,
+    ) -> LoadSweepResult:
+        """Run a load sweep with uniform random traffic."""
+        selected = list(loads) if loads is not None else default_load_points()
+
+        def run_at(load: float) -> SimulationResult:
+            return self.run_uniform(
+                injection_rate=load,
+                memory_access_fraction=memory_access_fraction,
+                seed=seed,
+            )
+
+        return run_load_sweep(run_at, selected)
+
+    def peak_bandwidth_gbps_per_core(
+        self,
+        loads: Optional[Sequence[float]] = None,
+        memory_access_fraction: float = 0.2,
+        seed: int = 1,
+    ) -> float:
+        """Peak achievable bandwidth per core under uniform random traffic."""
+        sweep = self.sweep_uniform(
+            loads=loads, memory_access_fraction=memory_access_fraction, seed=seed
+        )
+        return sweep.peak_bandwidth_gbps_per_core()
+
+
+def simulate_config(
+    config: SystemConfig,
+    injection_rate: float,
+    memory_access_fraction: float = 0.2,
+    simulation_config: Optional[SimulationConfig] = None,
+    seed: int = 1,
+) -> SimulationResult:
+    """One-call convenience: build the system and run uniform traffic once."""
+    simulation = MultichipSimulation.from_config(config, simulation_config)
+    return simulation.run_uniform(
+        injection_rate=injection_rate,
+        memory_access_fraction=memory_access_fraction,
+        seed=seed,
+    )

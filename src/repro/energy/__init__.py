@@ -1,0 +1,38 @@
+"""Energy and power models for the 65 nm multichip systems.
+
+The subpackage provides the technology constants of the paper's operating
+point and analytical substitutes for the Cadence/Synopsys characterisations
+the authors used, plus the accountant that turns per-flit events into the
+average-packet-energy metric reported in the evaluation.
+"""
+
+from .accounting import EnergyAccountant, EnergyBreakdown
+from .io import IoCharacteristics, SerialIoModel, WideIoModel
+from .switch_power import SwitchPowerModel, SwitchPowerProfile
+from .technology import (
+    DEFAULT_TECHNOLOGY,
+    Technology,
+    bits_per_cycle,
+    cycles_per_flit,
+)
+from .wire import WireCharacteristics, WireModel, interposer_link_characteristics
+from .wireless_energy import WirelessEnergyModel, WirelessEnergyProfile
+
+__all__ = [
+    "DEFAULT_TECHNOLOGY",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "IoCharacteristics",
+    "SerialIoModel",
+    "SwitchPowerModel",
+    "SwitchPowerProfile",
+    "Technology",
+    "WideIoModel",
+    "WireCharacteristics",
+    "WireModel",
+    "WirelessEnergyModel",
+    "WirelessEnergyProfile",
+    "bits_per_cycle",
+    "cycles_per_flit",
+    "interposer_link_characteristics",
+]

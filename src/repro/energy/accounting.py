@@ -1,0 +1,169 @@
+"""Per-packet and system-level energy accounting.
+
+The paper's headline energy metric is the *average packet energy*: "the
+energy consumed to transfer an entire packet from source to destination in
+the multichip system on an average".  The accountant accumulates
+
+* dynamic energy per flit-hop (switch traversal + link/transceiver energy),
+  attributed to the packet that moved, and
+* static energy (switch leakage, idle/sleeping transceivers), amortised over
+  the packets delivered during the measurement window,
+
+and reports both components so experiments can include or exclude the static
+share explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .technology import DEFAULT_TECHNOLOGY, Technology
+
+
+@dataclass
+class EnergyBreakdown:
+    """Aggregated energy totals for one simulation run [pJ]."""
+
+    switch_dynamic_pj: float = 0.0
+    link_pj: float = 0.0
+    wireless_pj: float = 0.0
+    mac_control_pj: float = 0.0
+    switch_static_pj: float = 0.0
+    transceiver_static_pj: float = 0.0
+
+    @property
+    def dynamic_pj(self) -> float:
+        """Total dynamic (data-dependent) energy."""
+        return (
+            self.switch_dynamic_pj
+            + self.link_pj
+            + self.wireless_pj
+            + self.mac_control_pj
+        )
+
+    @property
+    def static_pj(self) -> float:
+        """Total static (time-dependent) energy."""
+        return self.switch_static_pj + self.transceiver_static_pj
+
+    @property
+    def total_pj(self) -> float:
+        """Total energy."""
+        return self.dynamic_pj + self.static_pj
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by reports and tests."""
+        return {
+            "switch_dynamic_pj": self.switch_dynamic_pj,
+            "link_pj": self.link_pj,
+            "wireless_pj": self.wireless_pj,
+            "mac_control_pj": self.mac_control_pj,
+            "switch_static_pj": self.switch_static_pj,
+            "transceiver_static_pj": self.transceiver_static_pj,
+            "dynamic_pj": self.dynamic_pj,
+            "static_pj": self.static_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+class EnergyAccountant:
+    """Accumulates energy during a simulation run.
+
+    Parameters
+    ----------
+    technology:
+        Technology constants (cycle time, per-bit figures).
+    include_static:
+        Whether static energy is amortised into the average packet energy.
+        The paper includes "both dynamic and static power consumption".
+    """
+
+    def __init__(
+        self,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        include_static: bool = True,
+    ) -> None:
+        self._technology = technology
+        self._include_static = include_static
+        self._breakdown = EnergyBreakdown()
+
+    @property
+    def breakdown(self) -> EnergyBreakdown:
+        """The running energy totals."""
+        return self._breakdown
+
+    @property
+    def include_static(self) -> bool:
+        """Whether static energy is folded into average packet energy."""
+        return self._include_static
+
+    # ------------------------------------------------------------------
+    # Dynamic energy events (called by the simulation engine).
+    # ------------------------------------------------------------------
+
+    def record_switch_traversal(self, packet, energy_pj: float) -> None:
+        """One flit traversed one switch."""
+        self._breakdown.switch_dynamic_pj += energy_pj
+        packet.add_energy(energy_pj)
+
+    def record_link_traversal(self, packet, energy_pj: float, wireless: bool) -> None:
+        """One flit traversed one link (wired or wireless)."""
+        if wireless:
+            self._breakdown.wireless_pj += energy_pj
+        else:
+            self._breakdown.link_pj += energy_pj
+        packet.add_energy(energy_pj)
+
+    def record_mac_control(self, energy_pj: float) -> None:
+        """A MAC control packet (or token) was broadcast."""
+        self._breakdown.mac_control_pj += energy_pj
+
+    # ------------------------------------------------------------------
+    # Static energy (called once when a run finishes).
+    # ------------------------------------------------------------------
+
+    def record_static(
+        self,
+        cycles: int,
+        total_switch_static_mw: float,
+        total_transceiver_static_mw: float = 0.0,
+    ) -> None:
+        """Charge static power for ``cycles`` simulated cycles."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        seconds = cycles * self._technology.cycle_time_s
+        self._breakdown.switch_static_pj += total_switch_static_mw * 1e-3 * seconds * 1e12
+        self._breakdown.transceiver_static_pj += (
+            total_transceiver_static_mw * 1e-3 * seconds * 1e12
+        )
+
+    def add_transceiver_static_energy(self, energy_pj: float) -> None:
+        """Add pre-integrated transceiver static energy (idle/sleep residency)."""
+        if energy_pj < 0:
+            raise ValueError(f"energy_pj must be non-negative, got {energy_pj}")
+        self._breakdown.transceiver_static_pj += energy_pj
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def average_packet_energy_pj(
+        self,
+        dynamic_packet_energies_pj,
+        delivered_packets: Optional[int] = None,
+    ) -> float:
+        """Average packet energy over the measurement window [pJ].
+
+        ``dynamic_packet_energies_pj`` is the per-packet dynamic energy of the
+        delivered packets; static energy (if enabled) is spread evenly over
+        ``delivered_packets`` (defaults to the number of energies given).
+        """
+        energies = list(dynamic_packet_energies_pj)
+        if not energies:
+            return 0.0
+        dynamic_avg = sum(energies) / len(energies)
+        if not self._include_static:
+            return dynamic_avg
+        packets = delivered_packets if delivered_packets else len(energies)
+        return dynamic_avg + self._breakdown.static_pj / max(1, packets)

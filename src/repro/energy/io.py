@@ -1,0 +1,91 @@
+"""Energy and rate models of the conventional off-chip I/O channels.
+
+Two wireline off-package channel types appear in the baseline architectures
+of the paper (Section IV-A):
+
+* high speed **serial I/O** for chip-to-chip (C-C) traffic — 15 Gb/s per
+  lane at 5 pJ/bit [8];
+* 128-bit **wide I/O** for memory-to-chip (M-C) traffic — 128 Gb/s per DRAM
+  stack at 6.5 pJ/bit [19].
+
+Both are characterised here in the per-flit terms the simulator consumes:
+energy per flit, serialisation cycles per flit, and extra latency cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import (
+    DEFAULT_TECHNOLOGY,
+    SERIAL_IO_EXTRA_LATENCY_CYCLES,
+    WIDE_IO_EXTRA_LATENCY_CYCLES,
+    Technology,
+    cycles_per_flit,
+)
+
+
+@dataclass(frozen=True)
+class IoCharacteristics:
+    """Per-flit characteristics of an off-chip I/O channel."""
+
+    name: str
+    energy_pj_per_flit: float
+    cycles_per_flit: int
+    extra_latency_cycles: int
+    rate_gbps: float
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        """Per-bit energy implied by the per-flit figure."""
+        return self.energy_pj_per_flit / DEFAULT_TECHNOLOGY.flit_width_bits
+
+
+class SerialIoModel:
+    """Chip-to-chip high-speed serial I/O channel model [8]."""
+
+    def __init__(
+        self,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        lanes: int = 1,
+    ) -> None:
+        if lanes <= 0:
+            raise ValueError(f"lanes must be positive, got {lanes}")
+        self._technology = technology
+        self._lanes = lanes
+
+    @property
+    def lanes(self) -> int:
+        """Number of bonded serial lanes forming one logical link."""
+        return self._lanes
+
+    def characterize(self) -> IoCharacteristics:
+        """Characterise the (possibly multi-lane) serial link."""
+        tech = self._technology
+        rate = tech.serial_io_rate_gbps * self._lanes
+        return IoCharacteristics(
+            name="serial_io",
+            energy_pj_per_flit=tech.flit_energy_pj(tech.serial_io_energy_pj_per_bit),
+            cycles_per_flit=cycles_per_flit(rate, tech.flit_width_bits),
+            extra_latency_cycles=SERIAL_IO_EXTRA_LATENCY_CYCLES,
+            rate_gbps=rate,
+        )
+
+
+class WideIoModel:
+    """Wide (128-bit) memory I/O channel model [19]."""
+
+    def __init__(self, technology: Technology = DEFAULT_TECHNOLOGY) -> None:
+        self._technology = technology
+
+    def characterize(self) -> IoCharacteristics:
+        """Characterise one wide I/O channel between a stack and its chip."""
+        tech = self._technology
+        rate = tech.wide_io_rate_gbps()
+        return IoCharacteristics(
+            name="wide_io",
+            energy_pj_per_flit=tech.flit_energy_pj(tech.wide_io_energy_pj_per_bit),
+            cycles_per_flit=cycles_per_flit(rate, tech.flit_width_bits),
+            extra_latency_cycles=WIDE_IO_EXTRA_LATENCY_CYCLES,
+            rate_gbps=rate,
+        )

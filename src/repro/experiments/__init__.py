@@ -1,0 +1,27 @@
+"""Experiment harnesses that regenerate every figure of the paper's evaluation.
+
+Each module reproduces one figure (see DESIGN.md's experiment index) and can
+be run from the command line (``python -m repro.experiments fig4``), from the
+pytest benchmarks in ``benchmarks/``, or programmatically via its ``run``
+function.
+"""
+
+from . import (
+    fig2_uniform,
+    fig3_latency,
+    fig4_disintegration,
+    fig5_memory_traffic,
+    fig6_applications,
+)
+from .common import FIDELITIES, Fidelity, get_fidelity
+
+__all__ = [
+    "FIDELITIES",
+    "Fidelity",
+    "fig2_uniform",
+    "fig3_latency",
+    "fig4_disintegration",
+    "fig5_memory_traffic",
+    "fig6_applications",
+    "get_fidelity",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point for the figure-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments fig2 [--fidelity fast|default|paper]
+    python -m repro.experiments all  [--fidelity fast|default|paper]
+
+or, after installation, ``repro-experiments fig3 --fidelity paper``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import (
+    fig2_uniform,
+    fig3_latency,
+    fig4_disintegration,
+    fig5_memory_traffic,
+    fig6_applications,
+)
+
+#: Experiment name -> (description, runner) registry.
+EXPERIMENTS: Dict[str, Callable[[str], str]] = {
+    "fig2": fig2_uniform.main,
+    "fig3": fig3_latency.main,
+    "fig4": fig4_disintegration.main,
+    "fig5": fig5_memory_traffic.main,
+    "fig6": fig6_applications.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the experiments CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of the SOCC 2017 wireless "
+            "multichip interconnection paper."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to regenerate (or 'all')",
+    )
+    parser.add_argument(
+        "--fidelity",
+        choices=("fast", "default", "paper"),
+        default="default",
+        help="run length / sweep resolution (default: default)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the requested experiment(s) and print their reports."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        names: List[str] = sorted(EXPERIMENTS)
+    else:
+        names = [args.experiment]
+    for name in names:
+        EXPERIMENTS[name](args.fidelity)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

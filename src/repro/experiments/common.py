@@ -1,0 +1,128 @@
+"""Shared plumbing for the figure-reproduction experiments.
+
+Every experiment can run at three fidelity levels:
+
+* ``fast`` — small cycle counts and coarse load grids; used by the test
+  suite and the pytest benchmarks so the whole harness runs on a laptop in
+  minutes.
+* ``default`` — the level used for the numbers quoted in EXPERIMENTS.md.
+* ``paper`` — the paper's own scale (10 000 iterations, the first thousand
+  discarded as transients, the full load grid and application set).
+
+The level only changes run length and sweep resolution, never the system
+parameters, so results differ in noise, not in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.architectures import build_system
+from ..core.comparison import ArchitectureMetrics
+from ..core.config import Architecture, SystemConfig
+from ..core.framework import MultichipSimulation
+from ..metrics.saturation import LoadSweepResult
+from ..noc.engine import SimulationConfig
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Run-length and sweep-resolution settings of one fidelity level."""
+
+    name: str
+    cycles: int
+    warmup_cycles: int
+    load_points: Tuple[float, ...]
+    applications: Tuple[str, ...]
+    #: Global scale on the application profiles' injection rates, chosen so
+    #: the steady-state application traffic stays below network saturation
+    #: (the paper notes "the interconnection network is not saturated in the
+    #: steady-state" for Fig. 6).
+    application_rate_scale: float = 0.25
+    seed: int = 7
+
+    @property
+    def simulation_config(self) -> SimulationConfig:
+        """Simulation configuration at this fidelity."""
+        return SimulationConfig(cycles=self.cycles, warmup_cycles=self.warmup_cycles)
+
+
+_FAST = Fidelity(
+    name="fast",
+    cycles=1200,
+    warmup_cycles=200,
+    load_points=(0.0005, 0.001, 0.0015, 0.002),
+    applications=("blackscholes", "canneal", "radix"),
+)
+
+_DEFAULT = Fidelity(
+    name="default",
+    cycles=2500,
+    warmup_cycles=400,
+    load_points=(0.0002, 0.0005, 0.001, 0.0015, 0.002, 0.003, 0.004),
+    applications=(
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "fluidanimate",
+        "fft",
+        "lu",
+        "radix",
+        "water",
+    ),
+)
+
+_PAPER = Fidelity(
+    name="paper",
+    cycles=10000,
+    warmup_cycles=1000,
+    load_points=(0.0001, 0.0002, 0.0005, 0.001, 0.0015, 0.002, 0.003, 0.005, 0.01),
+    applications=(
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "fluidanimate",
+        "swaptions",
+        "fft",
+        "lu",
+        "radix",
+        "water",
+        "barnes",
+    ),
+)
+
+FIDELITIES: Dict[str, Fidelity] = {f.name: f for f in (_FAST, _DEFAULT, _PAPER)}
+
+
+def get_fidelity(name: str) -> Fidelity:
+    """Look up a fidelity level by name ("fast", "default" or "paper")."""
+    try:
+        return FIDELITIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FIDELITIES))
+        raise KeyError(f"unknown fidelity {name!r}; known: {known}") from None
+
+
+def sweep_architecture(
+    config: SystemConfig,
+    fidelity: Fidelity,
+    memory_access_fraction: float = 0.2,
+    loads: Optional[Sequence[float]] = None,
+) -> Tuple[ArchitectureMetrics, LoadSweepResult]:
+    """Load-sweep one architecture and summarise it at sustainable saturation."""
+    simulation = MultichipSimulation.from_config(config, fidelity.simulation_config)
+    sweep = simulation.sweep_uniform(
+        loads=list(loads) if loads is not None else list(fidelity.load_points),
+        memory_access_fraction=memory_access_fraction,
+        seed=fidelity.seed,
+    )
+    metrics = ArchitectureMetrics.from_sweep(config.name, sweep)
+    return metrics, sweep
+
+
+def architectures_for_comparison() -> List[Architecture]:
+    """All three architectures, in the order the paper's figures list them."""
+    return [Architecture.SUBSTRATE, Architecture.INTERPOSER, Architecture.WIRELESS]

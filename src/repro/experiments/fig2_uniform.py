@@ -1,0 +1,96 @@
+"""Fig. 2 — peak bandwidth per core and average packet energy, uniform traffic.
+
+Reproduces the bar chart of Section IV-B: the 64-core 4C4M system under
+uniform random traffic with a 20 % memory-access proportion, evaluated at
+network saturation for the substrate, interposer and wireless architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.comparison import ArchitectureMetrics
+from ..core.config import Architecture, SystemConfig
+from ..metrics.report import format_heading, format_table
+from .common import Fidelity, architectures_for_comparison, get_fidelity, sweep_architecture
+
+#: Memory-access proportion used for Fig. 2 ("considered to be 20%").
+MEMORY_ACCESS_FRACTION = 0.2
+
+
+@dataclass
+class Fig2Result:
+    """Per-architecture saturation metrics of the 4C4M system."""
+
+    fidelity: str
+    memory_access_fraction: float
+    metrics: Dict[Architecture, ArchitectureMetrics] = field(default_factory=dict)
+
+    def rows(self) -> List[List[object]]:
+        """Table rows in the order the paper's figure lists the bars."""
+        ordered = []
+        for architecture in architectures_for_comparison():
+            metric = self.metrics[architecture]
+            ordered.append(
+                [
+                    metric.name,
+                    metric.bandwidth_gbps_per_core,
+                    metric.average_packet_energy_nj,
+                ]
+            )
+        return ordered
+
+    def wireless_wins_bandwidth(self) -> bool:
+        """Whether the wireless system has the highest bandwidth per core."""
+        wireless = self.metrics[Architecture.WIRELESS].bandwidth_gbps_per_core
+        return all(
+            wireless >= m.bandwidth_gbps_per_core
+            for a, m in self.metrics.items()
+            if a != Architecture.WIRELESS
+        )
+
+    def wireless_wins_energy(self) -> bool:
+        """Whether the wireless system has the lowest average packet energy."""
+        wireless = self.metrics[Architecture.WIRELESS].average_packet_energy_nj
+        return all(
+            wireless <= m.average_packet_energy_nj
+            for a, m in self.metrics.items()
+            if a != Architecture.WIRELESS
+        )
+
+
+def run(fidelity: str = "default") -> Fig2Result:
+    """Run the Fig. 2 experiment at the requested fidelity."""
+    level = get_fidelity(fidelity)
+    result = Fig2Result(
+        fidelity=level.name, memory_access_fraction=MEMORY_ACCESS_FRACTION
+    )
+    for architecture in architectures_for_comparison():
+        config = SystemConfig(architecture=architecture)
+        metrics, _ = sweep_architecture(
+            config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+        )
+        result.metrics[architecture] = metrics
+    return result
+
+
+def format_report(result: Fig2Result) -> str:
+    """Text report with the same rows as the paper's Fig. 2."""
+    table = format_table(
+        ["Configuration", "Peak bandwidth/core (Gbps)", "Avg packet energy (nJ)"],
+        result.rows(),
+    )
+    heading = format_heading(
+        "Fig. 2 - uniform random traffic, 4C4M, "
+        f"{int(result.memory_access_fraction * 100)}% memory access "
+        f"[fidelity={result.fidelity}]"
+    )
+    return f"{heading}\n{table}"
+
+
+def main(fidelity: str = "default") -> str:
+    """Run and format the experiment (used by the CLI and benchmarks)."""
+    report = format_report(run(fidelity))
+    print(report)
+    return report

@@ -1,0 +1,95 @@
+"""Fig. 3 — average packet latency versus injection load, uniform traffic.
+
+Reproduces the latency curves of Section IV-B for the 4C4M substrate,
+interposer and wireless systems: latency rises with offered load and the
+wireless system saturates last / sits lowest because its average path is the
+shortest ("the wireless multichip has the lowest latency ... because of the
+shorter average path lengths due to WIs located inside the chips").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Architecture, SystemConfig
+from ..core.framework import MultichipSimulation
+from ..metrics.report import format_heading, format_table
+from ..metrics.saturation import LoadSweepResult
+from .common import Fidelity, architectures_for_comparison, get_fidelity
+
+#: Memory-access proportion used for Fig. 3 (same as Fig. 2).
+MEMORY_ACCESS_FRACTION = 0.2
+
+
+@dataclass
+class Fig3Result:
+    """Latency-versus-load curves for the three 4C4M architectures."""
+
+    fidelity: str
+    loads: List[float]
+    sweeps: Dict[Architecture, LoadSweepResult] = field(default_factory=dict)
+
+    def curve(self, architecture: Architecture) -> List[Tuple[float, float]]:
+        """(offered load, average latency) series for one architecture."""
+        return self.sweeps[architecture].latency_curve()
+
+    def zero_load_latency(self, architecture: Architecture) -> float:
+        """Latency of the lowest-load point for one architecture."""
+        return self.sweeps[architecture].zero_load_latency_cycles()
+
+    def rows(self) -> List[List[object]]:
+        """One row per load with the three architectures' latencies."""
+        rows = []
+        ordered = architectures_for_comparison()
+        curves = {a: dict(self.curve(a)) for a in ordered}
+        for load in self.loads:
+            rows.append([load] + [curves[a].get(load, float("nan")) for a in ordered])
+        return rows
+
+    def wireless_has_lowest_zero_load_latency(self) -> bool:
+        """Whether the wireless system has the lowest low-load latency."""
+        wireless = self.zero_load_latency(Architecture.WIRELESS)
+        return all(
+            wireless <= self.zero_load_latency(a)
+            for a in self.sweeps
+            if a != Architecture.WIRELESS
+        )
+
+
+def run(
+    fidelity: str = "default", loads: Optional[Sequence[float]] = None
+) -> Fig3Result:
+    """Run the Fig. 3 experiment at the requested fidelity."""
+    level = get_fidelity(fidelity)
+    selected = list(loads) if loads is not None else list(level.load_points)
+    result = Fig3Result(fidelity=level.name, loads=selected)
+    for architecture in architectures_for_comparison():
+        config = SystemConfig(architecture=architecture)
+        simulation = MultichipSimulation.from_config(config, level.simulation_config)
+        result.sweeps[architecture] = simulation.sweep_uniform(
+            loads=selected,
+            memory_access_fraction=MEMORY_ACCESS_FRACTION,
+            seed=level.seed,
+        )
+    return result
+
+
+def format_report(result: Fig3Result) -> str:
+    """Text report with the latency-vs-load series of Fig. 3."""
+    headers = ["Injection load (pkt/core/cycle)"] + [
+        SystemConfig(architecture=a).name for a in architectures_for_comparison()
+    ]
+    table = format_table(headers, result.rows())
+    heading = format_heading(
+        "Fig. 3 - average packet latency (cycles) vs injection load, 4C4M "
+        f"[fidelity={result.fidelity}]"
+    )
+    return f"{heading}\n{table}"
+
+
+def main(fidelity: str = "default") -> str:
+    """Run and format the experiment (used by the CLI and benchmarks)."""
+    report = format_report(run(fidelity))
+    print(report)
+    return report

@@ -1,0 +1,105 @@
+"""Fig. 4 — gains versus chip-to-chip traffic (disintegration study).
+
+Reproduces Section IV-C's first experiment: the 64-core system is kept at a
+constant total core count, memory capacity and combined processing area
+while being disintegrated into 1, 4 or 8 chips (1C4M, 4C4M, 8C4M).  The
+off-chip traffic proportion rises accordingly (20 %, 80 %, 90 % at a 20 %
+memory-access ratio) and the percentage gain in saturation bandwidth and
+packet energy of the wireless system over the interposer baseline is
+reported for each configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.comparison import ArchitectureMetrics, GainReport, compare
+from ..core.config import Architecture, SystemConfig, paper_1c4m, paper_4c4m, paper_8c4m
+from ..metrics.report import format_heading, format_percentage, format_table
+from ..traffic.base import offchip_fraction
+from .common import Fidelity, get_fidelity, sweep_architecture
+
+#: Memory-access proportion of the disintegration study.
+MEMORY_ACCESS_FRACTION = 0.2
+
+#: The configurations of the study with the off-chip traffic share the paper
+#: quotes for them.
+CONFIGURATIONS: Tuple[Tuple[str, int], ...] = (
+    ("1C4M", 20),
+    ("4C4M", 80),
+    ("8C4M", 90),
+)
+
+
+def _config_for(label: str, architecture: Architecture) -> SystemConfig:
+    factories = {"1C4M": paper_1c4m, "4C4M": paper_4c4m, "8C4M": paper_8c4m}
+    return factories[label](architecture)
+
+
+@dataclass
+class Fig4Result:
+    """Wireless-versus-interposer gains for each disintegration level."""
+
+    fidelity: str
+    gains: Dict[str, GainReport] = field(default_factory=dict)
+    metrics: Dict[str, Dict[Architecture, ArchitectureMetrics]] = field(
+        default_factory=dict
+    )
+
+    def rows(self) -> List[List[object]]:
+        """Table rows matching the paper's bar groups."""
+        rows = []
+        for label, offchip_pct in CONFIGURATIONS:
+            gain = self.gains[label]
+            rows.append(
+                [
+                    f"{offchip_pct}% ({label})",
+                    format_percentage(gain.bandwidth_gain_pct),
+                    format_percentage(gain.energy_gain_pct),
+                ]
+            )
+        return rows
+
+    def energy_gains_all_positive(self) -> bool:
+        """Whether the wireless system saves energy at every level."""
+        return all(g.energy_gain_pct > 0 for g in self.gains.values())
+
+
+def run(fidelity: str = "default") -> Fig4Result:
+    """Run the Fig. 4 experiment at the requested fidelity."""
+    level = get_fidelity(fidelity)
+    result = Fig4Result(fidelity=level.name)
+    for label, _ in CONFIGURATIONS:
+        per_arch: Dict[Architecture, ArchitectureMetrics] = {}
+        for architecture in (Architecture.INTERPOSER, Architecture.WIRELESS):
+            config = _config_for(label, architecture)
+            metrics, _ = sweep_architecture(
+                config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+            )
+            per_arch[architecture] = metrics
+        result.metrics[label] = per_arch
+        result.gains[label] = compare(
+            per_arch[Architecture.WIRELESS], per_arch[Architecture.INTERPOSER]
+        )
+    return result
+
+
+def format_report(result: Fig4Result) -> str:
+    """Text report with the Fig. 4 gain bars."""
+    table = format_table(
+        ["% Chip-to-chip traffic (config)", "% gain in bandwidth", "% gain in packet energy"],
+        result.rows(),
+    )
+    heading = format_heading(
+        "Fig. 4 - wireless vs interposer gains under disintegration "
+        f"[fidelity={result.fidelity}]"
+    )
+    return f"{heading}\n{table}"
+
+
+def main(fidelity: str = "default") -> str:
+    """Run and format the experiment (used by the CLI and benchmarks)."""
+    report = format_report(run(fidelity))
+    print(report)
+    return report

@@ -1,0 +1,15 @@
+"""In-package stacked DRAM memory: stacks, vaults, TSVs and the logic-die interface."""
+
+from .controller import MemoryInterface
+from .dram_stack import DramStack, DramStackConfig
+from .tsv import TsvBus
+from .vault import VaultConfig, VaultController
+
+__all__ = [
+    "DramStack",
+    "DramStackConfig",
+    "MemoryInterface",
+    "TsvBus",
+    "VaultConfig",
+    "VaultController",
+]

@@ -1,0 +1,84 @@
+"""Memory-side request handling on the base logic die.
+
+The base logic die "works as an interface between the memory stacks and
+multicore chips" (Section IV).  ``MemoryInterface`` maps vault endpoints to
+their stack's vault controllers and computes the service delay of read and
+write requests; the application traffic model uses it to delay memory
+replies by a realistic access time instead of answering instantly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..topology.graph import EndpointKind, TopologyGraph
+from .dram_stack import DramStack, DramStackConfig
+
+
+class MemoryInterface:
+    """All memory stacks of a multichip system, addressable by endpoint id."""
+
+    def __init__(
+        self,
+        topology: TopologyGraph,
+        config: Optional[DramStackConfig] = None,
+    ) -> None:
+        self._config = config or DramStackConfig()
+        self._stacks: Dict[int, DramStack] = {}
+        self._vault_of_endpoint: Dict[int, tuple] = {}
+        stacks_seen: List[int] = []
+        for endpoint in topology.memory_vaults:
+            region = endpoint.region_id
+            if region not in self._stacks:
+                self._stacks[region] = DramStack(
+                    stack_id=len(stacks_seen), config=self._config
+                )
+                stacks_seen.append(region)
+            stack = self._stacks[region]
+            vault_index = len(
+                [e for e in self._vault_of_endpoint.values() if e[0] == region]
+            )
+            self._vault_of_endpoint[endpoint.endpoint_id] = (
+                region,
+                vault_index % stack.num_vaults,
+            )
+
+    @property
+    def num_stacks(self) -> int:
+        """Number of memory stacks in the system."""
+        return len(self._stacks)
+
+    def stack_for_region(self, region_id: int) -> DramStack:
+        """The stack model backing one memory region."""
+        try:
+            return self._stacks[region_id]
+        except KeyError:
+            raise KeyError(f"region {region_id} is not a memory stack") from None
+
+    def total_capacity_mib(self) -> int:
+        """Total in-package memory capacity [MiB]."""
+        return sum(s.config.total_capacity_mib for s in self._stacks.values())
+
+    def service_request(
+        self,
+        vault_endpoint: int,
+        bytes_transferred: int,
+        cycle: int,
+        is_write: bool = False,
+    ) -> int:
+        """Cycle at which the vault finishes serving a request."""
+        try:
+            region, vault_index = self._vault_of_endpoint[vault_endpoint]
+        except KeyError:
+            raise KeyError(
+                f"endpoint {vault_endpoint} is not a memory vault"
+            ) from None
+        stack = self._stacks[region]
+        if is_write:
+            return stack.service_write(vault_index, bytes_transferred, cycle)
+        return stack.service_read(vault_index, bytes_transferred, cycle)
+
+    def reset(self) -> None:
+        """Clear all vault timing state."""
+        for stack in self._stacks.values():
+            stack.reset()

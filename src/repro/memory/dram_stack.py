@@ -1,0 +1,107 @@
+"""In-package stacked DRAM model.
+
+The paper considers each memory module to be "a stacked DRAM mounted on-top
+of a base logic die" with four layers and four channels; the layers are
+interconnected by TSVs and the base logic die carries the interface to the
+rest of the package (wide I/O channel or wireless interface).  The
+intra-stack transfer energy is ignored by the paper because it is identical
+in all configurations; the reproduction still models the stack structure so
+memory service time (used by the application traffic's request/reply flow)
+and capacity book-keeping are explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .tsv import TsvBus
+from .vault import VaultConfig, VaultController
+
+
+@dataclass(frozen=True)
+class DramStackConfig:
+    """Organisation of one in-package DRAM stack."""
+
+    #: Number of stacked DRAM dies ("vertically stacked 4-layered DRAM").
+    layers: int = 4
+    #: Independent channels/vaults per stack ("four channels").
+    channels: int = 4
+    #: Capacity per DRAM die [MiB].
+    capacity_per_layer_mib: int = 1024
+    #: Vault (channel) timing/organisation.
+    vault: VaultConfig = field(default_factory=VaultConfig)
+    #: TSV bus width between adjacent layers [bits].
+    tsv_width_bits: int = 128
+
+    def __post_init__(self) -> None:
+        if self.layers <= 0:
+            raise ValueError("layers must be positive")
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+        if self.capacity_per_layer_mib <= 0:
+            raise ValueError("capacity_per_layer_mib must be positive")
+        if self.tsv_width_bits <= 0:
+            raise ValueError("tsv_width_bits must be positive")
+
+    @property
+    def total_capacity_mib(self) -> int:
+        """Total capacity of the stack [MiB]."""
+        return self.layers * self.capacity_per_layer_mib
+
+
+class DramStack:
+    """One memory stack: base logic die, TSV buses and vault controllers."""
+
+    def __init__(self, stack_id: int, config: DramStackConfig = DramStackConfig()) -> None:
+        if stack_id < 0:
+            raise ValueError("stack_id must be non-negative")
+        self.stack_id = stack_id
+        self.config = config
+        self.vaults: List[VaultController] = [
+            VaultController(vault_id=i, config=config.vault)
+            for i in range(config.channels)
+        ]
+        self.tsv_bus = TsvBus(
+            layers=config.layers,
+            width_bits=config.tsv_width_bits,
+        )
+
+    @property
+    def num_vaults(self) -> int:
+        """Number of independent channels/vaults."""
+        return len(self.vaults)
+
+    def vault(self, index: int) -> VaultController:
+        """Vault controller ``index``."""
+        try:
+            return self.vaults[index]
+        except IndexError:
+            raise IndexError(
+                f"stack {self.stack_id} has {len(self.vaults)} vaults, "
+                f"requested {index}"
+            ) from None
+
+    def service_read(self, vault_index: int, bytes_requested: int, cycle: int) -> int:
+        """Cycle at which a read of ``bytes_requested`` completes."""
+        vault = self.vault(vault_index)
+        ready = vault.access(cycle, bytes_requested, is_write=False)
+        transfer = self.tsv_bus.transfer_cycles(bytes_requested * 8)
+        return ready + transfer
+
+    def service_write(self, vault_index: int, bytes_written: int, cycle: int) -> int:
+        """Cycle at which a write of ``bytes_written`` completes."""
+        vault = self.vault(vault_index)
+        ready = vault.access(cycle, bytes_written, is_write=True)
+        transfer = self.tsv_bus.transfer_cycles(bytes_written * 8)
+        return ready + transfer
+
+    def peak_bandwidth_gbps(self, clock_hz: float = 1.0e9) -> float:
+        """Aggregate peak bandwidth of the stack's channels [Gb/s]."""
+        per_channel = self.config.vault.bus_width_bits * clock_hz / 1e9
+        return per_channel * self.num_vaults
+
+    def reset(self) -> None:
+        """Clear all vault timing state."""
+        for vault in self.vaults:
+            vault.reset()

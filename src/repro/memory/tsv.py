@@ -1,0 +1,55 @@
+"""Through-silicon-via (TSV) bus between the layers of a memory stack.
+
+"The layers of the memory stacks are interconnected using TSVs"
+(Section III-A).  The TSV bus contributes a small, architecture-independent
+transfer delay and energy; the paper ignores the energy ("the energy
+consumption of data transfer inside a memory stack is ignored as it is same
+in all the configurations") and the reproduction keeps it available but
+out of the packet-energy accounting by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.technology import TSV_ENERGY_PJ_PER_BIT
+
+
+@dataclass(frozen=True)
+class TsvBus:
+    """A vertical bus spanning the layers of one stack."""
+
+    layers: int = 4
+    width_bits: int = 128
+    #: Per-bit, per-layer-crossing energy [pJ].
+    energy_pj_per_bit: float = TSV_ENERGY_PJ_PER_BIT
+    #: Cycles to move one bus-width beat between adjacent layers.
+    cycles_per_beat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.layers <= 0:
+            raise ValueError("layers must be positive")
+        if self.width_bits <= 0:
+            raise ValueError("width_bits must be positive")
+        if self.energy_pj_per_bit < 0:
+            raise ValueError("energy_pj_per_bit must be non-negative")
+        if self.cycles_per_beat <= 0:
+            raise ValueError("cycles_per_beat must be positive")
+
+    def transfer_cycles(self, bits: int) -> int:
+        """Cycles to move ``bits`` from the farthest layer to the logic die."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits == 0:
+            return 0
+        beats = -(-bits // self.width_bits)  # ceiling division
+        return beats * self.cycles_per_beat * (self.layers - 1) if self.layers > 1 else 0
+
+    def transfer_energy_pj(self, bits: int, layers_crossed: int = None) -> float:
+        """Energy of moving ``bits`` across ``layers_crossed`` TSV hops [pJ]."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        crossings = self.layers - 1 if layers_crossed is None else layers_crossed
+        if crossings < 0:
+            raise ValueError("layers_crossed must be non-negative")
+        return bits * self.energy_pj_per_bit * crossings

@@ -1,0 +1,94 @@
+"""Vault (memory channel) controller with simple closed-page timing.
+
+Each stack exposes four independent channels; a vault controller serialises
+accesses to its channel and models a closed-page DRAM access as a fixed
+activate + column access + precharge latency plus the burst transfer time.
+Only the *service latency* matters to the interconnect study — the stack's
+internal energy is identical in every architecture and is ignored, following
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VaultConfig:
+    """Timing and organisation of one vault (channel)."""
+
+    #: Data bus width of the channel [bits].
+    bus_width_bits: int = 128
+    #: Channel clock [Hz].
+    clock_hz: float = 1.0e9
+    #: Row activate latency [channel cycles].
+    t_rcd_cycles: int = 14
+    #: Column access latency [channel cycles].
+    t_cl_cycles: int = 14
+    #: Precharge latency [channel cycles].
+    t_rp_cycles: int = 14
+    #: Network clock the service time is reported in [Hz].
+    network_clock_hz: float = 2.5e9
+
+    def __post_init__(self) -> None:
+        if self.bus_width_bits <= 0:
+            raise ValueError("bus_width_bits must be positive")
+        if self.clock_hz <= 0 or self.network_clock_hz <= 0:
+            raise ValueError("clocks must be positive")
+        for name in ("t_rcd_cycles", "t_cl_cycles", "t_rp_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def access_latency_network_cycles(self, bytes_transferred: int) -> int:
+        """Closed-page access latency expressed in network clock cycles."""
+        if bytes_transferred < 0:
+            raise ValueError("bytes_transferred must be non-negative")
+        burst_channel_cycles = (bytes_transferred * 8) / self.bus_width_bits
+        channel_cycles = (
+            self.t_rcd_cycles + self.t_cl_cycles + self.t_rp_cycles + burst_channel_cycles
+        )
+        seconds = channel_cycles / self.clock_hz
+        return max(1, int(round(seconds * self.network_clock_hz)))
+
+
+class VaultController:
+    """Serialises accesses to one vault and tracks its busy time."""
+
+    def __init__(self, vault_id: int, config: VaultConfig = VaultConfig()) -> None:
+        if vault_id < 0:
+            raise ValueError("vault_id must be non-negative")
+        self.vault_id = vault_id
+        self.config = config
+        self._busy_until = 0
+        self.reads_serviced = 0
+        self.writes_serviced = 0
+
+    @property
+    def busy_until(self) -> int:
+        """Network cycle until which the vault is occupied."""
+        return self._busy_until
+
+    def access(self, cycle: int, bytes_transferred: int, is_write: bool) -> int:
+        """Queue one access; return the network cycle at which it completes."""
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        start = max(cycle, self._busy_until)
+        latency = self.config.access_latency_network_cycles(bytes_transferred)
+        self._busy_until = start + latency
+        if is_write:
+            self.writes_serviced += 1
+        else:
+            self.reads_serviced += 1
+        return self._busy_until
+
+    def utilisation(self, elapsed_cycles: int) -> float:
+        """Fraction of elapsed network cycles the vault was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self._busy_until / elapsed_cycles)
+
+    def reset(self) -> None:
+        """Clear timing state and counters."""
+        self._busy_until = 0
+        self.reads_serviced = 0
+        self.writes_serviced = 0

@@ -1,0 +1,19 @@
+"""Measurement utilities: load sweeps, saturation metrics and text reports."""
+
+from .report import format_heading, format_percentage, format_table
+from .saturation import (
+    LoadPoint,
+    LoadSweepResult,
+    default_load_points,
+    run_load_sweep,
+)
+
+__all__ = [
+    "LoadPoint",
+    "LoadSweepResult",
+    "default_load_points",
+    "format_heading",
+    "format_percentage",
+    "format_table",
+    "run_load_sweep",
+]

@@ -1,0 +1,49 @@
+"""Plain-text report formatting.
+
+The benchmark harnesses print the rows/series of every figure they
+regenerate; this module keeps that formatting in one place so the output of
+``python -m repro.experiments`` and of the pytest benchmarks is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a fixed-width text table."""
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialised:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_heading(title: str) -> str:
+    """Format a section heading used above each experiment's table."""
+    bar = "=" * len(title)
+    return f"{title}\n{bar}"
+
+
+def format_percentage(value: float) -> str:
+    """Format a percentage with one decimal place."""
+    return f"{value:+.1f}%"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

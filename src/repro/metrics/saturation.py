@@ -1,0 +1,174 @@
+"""Load sweeps and saturation metrics.
+
+The paper's bandwidth metric is the *peak achievable bandwidth per core*:
+"the maximum sustainable data rate in number of bits successfully routed per
+core per second at saturation with maximum load".  A load sweep runs the
+same system at increasing offered loads and takes the maximum accepted
+throughput as the peak; the latency-versus-load curve of the same sweep is
+what Fig. 3 plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..noc.stats import SimulationResult
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a load sweep."""
+
+    offered_load: float
+    result: SimulationResult
+
+    @property
+    def bandwidth_gbps_per_core(self) -> float:
+        """Accepted bandwidth per core at this offered load."""
+        return self.result.bandwidth_gbps_per_core()
+
+    @property
+    def average_latency_cycles(self) -> float:
+        """Average packet latency at this offered load."""
+        return self.result.average_packet_latency_cycles()
+
+
+@dataclass
+class LoadSweepResult:
+    """All points of one load sweep, in increasing offered-load order."""
+
+    points: List[LoadPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.points.sort(key=lambda p: p.offered_load)
+
+    @property
+    def loads(self) -> List[float]:
+        """Offered loads of the sweep."""
+        return [p.offered_load for p in self.points]
+
+    def peak_bandwidth_gbps_per_core(self) -> float:
+        """Peak accepted bandwidth per core over the sweep [Gb/s]."""
+        if not self.points:
+            return 0.0
+        return max(p.bandwidth_gbps_per_core for p in self.points)
+
+    def peak_accepted_flits_per_core_per_cycle(self) -> float:
+        """Peak accepted throughput in flits per core per cycle."""
+        if not self.points:
+            return 0.0
+        return max(
+            p.result.accepted_flits_per_core_per_cycle() for p in self.points
+        )
+
+    def acceptance_ratio(self, point: LoadPoint) -> float:
+        """Accepted / offered flit rate at one load point.
+
+        The offered flit rate is the offered packet load times the nominal
+        packet length; a ratio near one means the network sustains the full
+        offered traffic mix at that load.
+        """
+        offered_flits = (
+            point.offered_load * point.result.nominal_packet_length_flits
+        )
+        if offered_flits <= 0:
+            return 1.0
+        return point.result.accepted_flits_per_core_per_cycle() / offered_flits
+
+    def sustainable_points(self, acceptance: float = 0.9) -> List[LoadPoint]:
+        """Load points whose offered traffic mix is (almost) fully delivered."""
+        if not 0.0 < acceptance <= 1.0:
+            raise ValueError("acceptance must be in (0, 1]")
+        return [p for p in self.points if self.acceptance_ratio(p) >= acceptance]
+
+    def sustainable_bandwidth_gbps_per_core(self, acceptance: float = 0.9) -> float:
+        """Peak *sustainable* bandwidth per core [Gb/s].
+
+        This is the paper's "maximum sustainable data rate ... successfully
+        routed per core per second at saturation": the highest accepted
+        bandwidth among load points where the network still delivers (at
+        least ``acceptance`` of) the full offered traffic mix.  Beyond that
+        point the accepted traffic is no longer representative of the
+        offered pattern (long-path packets are squeezed out first), so those
+        points are excluded; if no point qualifies the lowest-load point is
+        used.
+        """
+        candidates = self.sustainable_points(acceptance)
+        if not candidates:
+            candidates = self.points[:1]
+        if not candidates:
+            return 0.0
+        return max(p.bandwidth_gbps_per_core for p in candidates)
+
+    def result_at_sustainable_peak(self, acceptance: float = 0.9) -> SimulationResult:
+        """Simulation result at the sustainable-peak load point."""
+        candidates = self.sustainable_points(acceptance)
+        if not candidates:
+            candidates = self.points[:1]
+        if not candidates:
+            raise ValueError("load sweep has no points")
+        return max(candidates, key=lambda p: p.bandwidth_gbps_per_core).result
+
+    def result_at_peak(self) -> SimulationResult:
+        """The simulation result of the highest-throughput point."""
+        if not self.points:
+            raise ValueError("load sweep has no points")
+        return max(
+            self.points, key=lambda p: p.bandwidth_gbps_per_core
+        ).result
+
+    def latency_curve(self) -> List[Tuple[float, float]]:
+        """(offered load, average packet latency) pairs, the Fig. 3 series."""
+        return [(p.offered_load, p.average_latency_cycles) for p in self.points]
+
+    def zero_load_latency_cycles(self) -> float:
+        """Latency of the lowest-load point (the zero-load estimate)."""
+        if not self.points:
+            return 0.0
+        return self.points[0].average_latency_cycles
+
+    def saturation_load(self, latency_factor: float = 3.0) -> Optional[float]:
+        """First offered load whose latency exceeds ``latency_factor`` x zero-load.
+
+        Returns ``None`` if the network never saturates within the sweep.
+        """
+        if latency_factor <= 1.0:
+            raise ValueError("latency_factor must exceed 1")
+        baseline = self.zero_load_latency_cycles()
+        if baseline <= 0:
+            return None
+        for point in self.points:
+            if point.average_latency_cycles > latency_factor * baseline:
+                return point.offered_load
+        return None
+
+    def average_packet_energy_nj_at_peak(self) -> float:
+        """Average packet energy at the peak-throughput point [nJ]."""
+        if not self.points:
+            return 0.0
+        return self.result_at_peak().average_packet_energy_nj()
+
+
+def default_load_points(
+    low: float = 0.0005, high: float = 0.05, count: int = 7
+) -> List[float]:
+    """Logarithmically spaced offered loads, mirroring the Fig. 3 axis."""
+    if low <= 0 or high <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    ratio = math.log(high / low)
+    return [low * math.exp(ratio * i / (count - 1)) for i in range(count)]
+
+
+def run_load_sweep(
+    run_at_load: Callable[[float], SimulationResult],
+    loads: Sequence[float],
+) -> LoadSweepResult:
+    """Run ``run_at_load`` at every offered load and collect the results."""
+    if not loads:
+        raise ValueError("loads must not be empty")
+    points = [LoadPoint(offered_load=load, result=run_at_load(load)) for load in loads]
+    return LoadSweepResult(points=points)

@@ -1,0 +1,44 @@
+"""Cycle-accurate wormhole / virtual-channel NoC simulator.
+
+This is the simulation substrate every experiment in the reproduction runs
+on: flit-level progress per cycle, 8 VCs x 16-flit buffers per port,
+three-stage pipelined switches, per-link serialisation rates and energies,
+and an optional wireless fabric with MAC-arbitrated shared channels.
+"""
+
+from .config import NetworkConfig, WirelessConfig
+from .engine import SimulationConfig, SimulationStallError, Simulator
+from .flit import Flit, FlitType, flit_type_for
+from .link import LinkCharacteristics, WirelessLinkSettings, characterize_link
+from .network import Network, NetworkBuildError, WirelessFabric
+from .packet import Packet
+from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
+from .stats import SimulationResult
+from .switch import Switch, SwitchConfigError
+from .virtual_channel import VirtualChannel
+
+__all__ = [
+    "Flit",
+    "FlitType",
+    "InputPort",
+    "LOCAL_PORT",
+    "LinkCharacteristics",
+    "Network",
+    "NetworkBuildError",
+    "NetworkConfig",
+    "OutputPort",
+    "Packet",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationStallError",
+    "Simulator",
+    "Switch",
+    "SwitchConfigError",
+    "VirtualChannel",
+    "WIRELESS_PORT",
+    "WirelessConfig",
+    "WirelessFabric",
+    "WirelessLinkSettings",
+    "characterize_link",
+    "flit_type_for",
+]

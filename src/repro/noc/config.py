@@ -1,0 +1,115 @@
+"""Simulator-level configuration.
+
+Groups every knob of the cycle-accurate model with the defaults used in the
+paper's evaluation (Section IV): 8 VCs x 16-flit buffers on every port,
+64-flit packets of 32-bit flits, three-stage switches clocked at 2.5 GHz.
+The wireless-specific entries are the calibration knobs discussed in
+DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..energy.technology import (
+    DEFAULT_PACKET_LENGTH_FLITS,
+    DEFAULT_TECHNOLOGY,
+    DEFAULT_VC_BUFFER_DEPTH_FLITS,
+    DEFAULT_VIRTUAL_CHANNELS,
+    MAC_CONTROL_PACKET_BITS,
+    SWITCH_PIPELINE_STAGES,
+    TOKEN_PASS_LATENCY_CYCLES,
+    Technology,
+)
+
+
+@dataclass(frozen=True)
+class WirelessConfig:
+    """Configuration of the wireless channel, transceivers and MAC."""
+
+    #: MAC protocol: ``"control_packet"`` (the paper's proposal) or
+    #: ``"token"`` (the baseline token-passing MAC of [7]).
+    mac: str = "control_packet"
+    #: Number of orthogonal frequency channels the WIs are divided over.
+    #: One 16 GHz-wide channel is the paper's literal physical layer; the
+    #: multichip experiments use several channels so the aggregate wireless
+    #: bisection is comparable to the interposer baseline (DESIGN.md §4).
+    num_channels: int = 6
+    #: Channel occupancy per transferred flit (1 = flit-clock granularity).
+    cycles_per_flit: int = 1
+    #: Extra latency of a wireless hop beyond the switch pipeline.
+    extra_latency_cycles: int = 1
+    #: Cycles needed to broadcast one MAC control packet.
+    control_packet_cycles: int = 3
+    #: Bits of one MAC control packet (energy accounting).
+    control_packet_bits: int = MAC_CONTROL_PACKET_BITS
+    #: Maximum (DestWI, PktID, NumFlits) tuples per control packet; bounded
+    #: by the number of output VCs of the transmitting WI.
+    max_control_tuples: int = DEFAULT_VIRTUAL_CHANNELS
+    #: Token hand-off latency of the baseline token MAC.
+    token_pass_latency_cycles: int = TOKEN_PASS_LATENCY_CYCLES
+    #: Whether receivers not addressed by the current control packet are
+    #: power-gated ("sleepy transceivers" [17]).
+    sleepy_receivers: bool = True
+    #: WI input-buffer depth override.  ``None`` keeps the normal per-VC
+    #: depth; the token MAC needs whole-packet buffering and therefore
+    #: defaults to the packet length when left unset.
+    wi_buffer_depth_flits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mac not in ("control_packet", "token"):
+            raise ValueError(f"unknown MAC protocol {self.mac!r}")
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if self.cycles_per_flit <= 0:
+            raise ValueError("cycles_per_flit must be positive")
+        if self.control_packet_cycles <= 0:
+            raise ValueError("control_packet_cycles must be positive")
+        if self.max_control_tuples <= 0:
+            raise ValueError("max_control_tuples must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Configuration of switches, buffers, packets and the wireless layer."""
+
+    virtual_channels: int = DEFAULT_VIRTUAL_CHANNELS
+    buffer_depth_flits: int = DEFAULT_VC_BUFFER_DEPTH_FLITS
+    packet_length_flits: int = DEFAULT_PACKET_LENGTH_FLITS
+    switch_pipeline_stages: int = SWITCH_PIPELINE_STAGES
+    #: Flits a core switch can inject per cycle from its local endpoints.
+    injection_width_flits: int = 1
+    #: Flits a switch can eject per cycle per attached endpoint.
+    ejection_width_per_endpoint: int = 1
+    wireless: WirelessConfig = field(default_factory=WirelessConfig)
+    technology: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+    #: Whether static energy is included in average packet energy.
+    include_static_energy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.virtual_channels <= 0:
+            raise ValueError("virtual_channels must be positive")
+        if self.buffer_depth_flits <= 0:
+            raise ValueError("buffer_depth_flits must be positive")
+        if self.packet_length_flits <= 0:
+            raise ValueError("packet_length_flits must be positive")
+        if self.injection_width_flits <= 0:
+            raise ValueError("injection_width_flits must be positive")
+        if self.ejection_width_per_endpoint <= 0:
+            raise ValueError("ejection_width_per_endpoint must be positive")
+
+    @property
+    def wi_buffer_depth(self) -> int:
+        """Effective per-VC buffer depth at switches carrying a WI.
+
+        The token MAC only transmits whole packets, so its WIs must buffer an
+        entire packet (Section III-D); the control-packet MAC needs far less
+        — two normal buffer windows are enough to keep the channel streaming
+        between consecutive partial-packet bursts.
+        """
+        if self.wireless.wi_buffer_depth_flits is not None:
+            return self.wireless.wi_buffer_depth_flits
+        if self.wireless.mac == "token":
+            return max(self.buffer_depth_flits, self.packet_length_flits)
+        return 2 * self.buffer_depth_flits

@@ -1,0 +1,71 @@
+"""Flow-control units (flits).
+
+Wormhole switching breaks every packet into flits [16]: a head flit that
+carries the routing information and reserves resources hop by hop, body
+flits that follow the reserved path, and a tail flit that releases it.  The
+simulator moves individual flits between virtual-channel buffers every
+cycle, so the flit object is deliberately tiny (``__slots__``) — at a
+64-flit packet size the simulator creates hundreds of thousands of them per
+run.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .packet import Packet
+
+
+class FlitType(IntEnum):
+    """Position of a flit within its packet."""
+
+    HEAD = 0
+    BODY = 1
+    TAIL = 2
+    HEAD_TAIL = 3  # single-flit packets
+
+
+class Flit:
+    """One flow-control unit of a packet."""
+
+    __slots__ = ("packet", "index", "flit_type")
+
+    def __init__(self, packet: "Packet", index: int, flit_type: FlitType) -> None:
+        self.packet = packet
+        self.index = index
+        self.flit_type = flit_type
+
+    @property
+    def is_head(self) -> bool:
+        """Whether this flit opens the packet (reserves the path)."""
+        return self.flit_type in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        """Whether this flit closes the packet (releases the path)."""
+        return self.flit_type in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Flit(packet={self.packet.packet_id}, index={self.index}, "
+            f"type={self.flit_type.name})"
+        )
+
+
+def flit_type_for(index: int, packet_length: int) -> FlitType:
+    """Flit type for position ``index`` of a packet of ``packet_length`` flits."""
+    if packet_length <= 0:
+        raise ValueError(f"packet_length must be positive, got {packet_length}")
+    if index < 0 or index >= packet_length:
+        raise ValueError(
+            f"index {index} outside packet of length {packet_length}"
+        )
+    if packet_length == 1:
+        return FlitType.HEAD_TAIL
+    if index == 0:
+        return FlitType.HEAD
+    if index == packet_length - 1:
+        return FlitType.TAIL
+    return FlitType.BODY

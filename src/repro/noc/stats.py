@@ -1,0 +1,178 @@
+"""Simulation results and derived metrics.
+
+The paper evaluates three quantities (Section IV): peak achievable bandwidth
+per core, average packet energy and average packet latency.  A
+:class:`SimulationResult` captures one run's raw counters and provides those
+metrics as methods, so experiments and tests compute them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..energy.accounting import EnergyBreakdown
+from ..energy.technology import CLOCK_FREQUENCY_HZ, FLIT_WIDTH_BITS
+
+
+@dataclass
+class SimulationResult:
+    """Raw counters and per-packet samples from one simulation run."""
+
+    cycles: int
+    warmup_cycles: int
+    num_cores: int
+    flit_width_bits: int = FLIT_WIDTH_BITS
+    clock_frequency_hz: float = CLOCK_FREQUENCY_HZ
+    nominal_packet_length_flits: int = 64
+
+    packets_offered: int = 0
+    packets_generated: int = 0
+    packets_delivered: int = 0
+    packets_delivered_measured: int = 0
+    flits_injected: int = 0
+    flits_ejected_measured: int = 0
+    flit_hops: int = 0
+    wireless_flit_hops: int = 0
+
+    latencies_cycles: List[int] = field(default_factory=list)
+    network_latencies_cycles: List[int] = field(default_factory=list)
+    packet_energies_pj: List[float] = field(default_factory=list)
+    packet_hops: List[int] = field(default_factory=list)
+
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    include_static_energy: bool = True
+    mac_statistics: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    transceiver_sleep_fraction: float = 0.0
+    stalled: bool = False
+    offered_load_packets_per_core_per_cycle: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived metrics.
+    # ------------------------------------------------------------------
+
+    @property
+    def measurement_cycles(self) -> int:
+        """Cycles in the measurement window (after warm-up)."""
+        return max(0, self.cycles - self.warmup_cycles)
+
+    def average_packet_latency_cycles(self) -> float:
+        """Mean source-to-ejection latency of measured packets [cycles]."""
+        if not self.latencies_cycles:
+            return 0.0
+        return sum(self.latencies_cycles) / len(self.latencies_cycles)
+
+    def average_network_latency_cycles(self) -> float:
+        """Mean injection-to-ejection latency of measured packets [cycles]."""
+        if not self.network_latencies_cycles:
+            return 0.0
+        return sum(self.network_latencies_cycles) / len(self.network_latencies_cycles)
+
+    def latency_percentile_cycles(self, percentile: float) -> float:
+        """Latency percentile (0-100) over measured packets [cycles]."""
+        if not self.latencies_cycles:
+            return 0.0
+        if not 0 <= percentile <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+        ordered = sorted(self.latencies_cycles)
+        index = int(round((percentile / 100.0) * (len(ordered) - 1)))
+        return float(ordered[index])
+
+    def average_hop_count(self) -> float:
+        """Mean number of link traversals of measured packets."""
+        if not self.packet_hops:
+            return 0.0
+        return sum(self.packet_hops) / len(self.packet_hops)
+
+    def average_packet_energy_pj(self) -> float:
+        """Average packet energy [pJ], including amortised static energy.
+
+        Dynamic energy is attributed per packet; static energy (if enabled)
+        is spread evenly over the packets delivered inside the measurement
+        window, mirroring the paper's inclusion of "both dynamic and static
+        power consumption".
+        """
+        if not self.packet_energies_pj:
+            return 0.0
+        dynamic = sum(self.packet_energies_pj) / len(self.packet_energies_pj)
+        if not self.include_static_energy:
+            return dynamic
+        packets = max(1, self.packets_delivered_measured)
+        measured_fraction = (
+            self.measurement_cycles / self.cycles if self.cycles else 1.0
+        )
+        return dynamic + self.energy.static_pj * measured_fraction / packets
+
+    def average_packet_energy_nj(self) -> float:
+        """Average packet energy [nJ]."""
+        return self.average_packet_energy_pj() / 1e3
+
+    def system_packet_energy_pj(self) -> float:
+        """Total-energy-based average packet energy [pJ].
+
+        Divides the system's total energy (dynamic plus, optionally, static)
+        by the number of packet-equivalents delivered inside the measurement
+        window.  Unlike :meth:`average_packet_energy_pj` this is not biased
+        towards the (shorter-path) packets that happen to complete when the
+        network is saturated, so architecture comparisons at saturation use
+        it.
+        """
+        if self.flits_ejected_measured == 0:
+            return 0.0
+        packets_equivalent = self.flits_ejected_measured / max(
+            1, self.nominal_packet_length_flits
+        )
+        measured_fraction = (
+            self.measurement_cycles / self.cycles if self.cycles else 1.0
+        )
+        energy = self.energy.dynamic_pj * measured_fraction
+        if self.include_static_energy:
+            energy += self.energy.static_pj * measured_fraction
+        return energy / packets_equivalent
+
+    def system_packet_energy_nj(self) -> float:
+        """Total-energy-based average packet energy [nJ]."""
+        return self.system_packet_energy_pj() / 1e3
+
+    def accepted_flits_per_core_per_cycle(self) -> float:
+        """Accepted traffic: flits ejected per core per measurement cycle."""
+        if self.measurement_cycles == 0 or self.num_cores == 0:
+            return 0.0
+        return self.flits_ejected_measured / (
+            self.measurement_cycles * self.num_cores
+        )
+
+    def bandwidth_gbps_per_core(self) -> float:
+        """Accepted bandwidth per core [Gb/s]."""
+        flits_per_cycle = self.accepted_flits_per_core_per_cycle()
+        return (
+            flits_per_cycle * self.flit_width_bits * self.clock_frequency_hz / 1e9
+        )
+
+    def accepted_packets_per_core_per_cycle(self) -> float:
+        """Accepted packet rate per core per cycle (measured window)."""
+        if self.measurement_cycles == 0 or self.num_cores == 0:
+            return 0.0
+        return self.packets_delivered_measured / (
+            self.measurement_cycles * self.num_cores
+        )
+
+    def delivery_ratio(self) -> float:
+        """Delivered packets / generated packets over the whole run."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_generated
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary of the headline metrics (for reports/tests)."""
+        return {
+            "offered_load": self.offered_load_packets_per_core_per_cycle,
+            "bandwidth_gbps_per_core": self.bandwidth_gbps_per_core(),
+            "accepted_flits_per_core_per_cycle": self.accepted_flits_per_core_per_cycle(),
+            "avg_packet_latency_cycles": self.average_packet_latency_cycles(),
+            "avg_packet_energy_nj": self.average_packet_energy_nj(),
+            "avg_hops": self.average_hop_count(),
+            "packets_delivered": float(self.packets_delivered),
+            "delivery_ratio": self.delivery_ratio(),
+            "sleep_fraction": self.transceiver_sleep_fraction,
+        }

@@ -1,0 +1,212 @@
+"""The wormhole/VC switch model.
+
+Each switch is a three-stage pipelined wormhole router [18] with 8 VCs of
+16 flits on every input port.  The pipeline latency is folded into the link
+characterisation (see :mod:`repro.noc.link`); the switch object holds the
+structural state — ports, VC buffers, arbitration pointers — and the small
+amount of per-cycle logic that does not need a global view (route lookup for
+a VC's current packet, round-robin winner selection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.graph import SwitchSpec
+from .link import LinkCharacteristics
+from .packet import Packet
+from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
+from .virtual_channel import VirtualChannel
+
+
+class SwitchConfigError(ValueError):
+    """Raised when a switch is built or used inconsistently."""
+
+
+class Switch:
+    """One NoC switch instance in the simulator."""
+
+    def __init__(
+        self,
+        spec: SwitchSpec,
+        num_vcs: int,
+        buffer_depth: int,
+        injection_width: int = 1,
+        ejection_width: int = 1,
+    ) -> None:
+        self.spec = spec
+        self.switch_id = spec.switch_id
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.injection_width = max(1, injection_width)
+        self.input_ports: Dict[object, InputPort] = {}
+        self.output_ports: Dict[object, OutputPort] = {}
+        self._ordinal_base = 0
+
+        self.local_input = self._add_input_port(LOCAL_PORT, buffer_depth)
+        self.ejection_port = OutputPort(
+            self,
+            LOCAL_PORT,
+            link=None,
+            is_ejection=True,
+            width=max(1, ejection_width),
+        )
+        self.output_ports[LOCAL_PORT] = self.ejection_port
+        self.wireless_input: Optional[InputPort] = None
+        self.wireless_output: Optional[OutputPort] = None
+        #: Endpoint ids attached to this switch (filled by the network builder).
+        self.endpoints: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction (called by the network builder).
+    # ------------------------------------------------------------------
+
+    def _add_input_port(self, key, buffer_depth: Optional[int] = None) -> InputPort:
+        if key in self.input_ports:
+            raise SwitchConfigError(
+                f"switch {self.switch_id} already has input port {key!r}"
+            )
+        depth = buffer_depth if buffer_depth is not None else self.buffer_depth
+        port = InputPort(self, key, self.num_vcs, depth, self._ordinal_base)
+        self._ordinal_base += self.num_vcs
+        self.input_ports[key] = port
+        return port
+
+    def add_wired_port(
+        self,
+        neighbor_switch_id: int,
+        link: LinkCharacteristics,
+    ) -> Tuple[InputPort, OutputPort]:
+        """Add the input/output port pair facing a wired neighbour.
+
+        The output port's downstream input port is wired up by the network
+        builder once the neighbour's ports exist.
+        """
+        input_port = self._add_input_port(neighbor_switch_id)
+        output_port = OutputPort(
+            self,
+            neighbor_switch_id,
+            link=link,
+            downstream_switch=neighbor_switch_id,
+        )
+        self.output_ports[neighbor_switch_id] = output_port
+        return input_port, output_port
+
+    def add_wireless_port(
+        self,
+        link: LinkCharacteristics,
+        buffer_depth: Optional[int] = None,
+    ) -> Tuple[InputPort, OutputPort]:
+        """Add the WI port pair (shared by all wireless destinations)."""
+        if self.wireless_input is not None:
+            raise SwitchConfigError(
+                f"switch {self.switch_id} already has a wireless port"
+            )
+        self.wireless_input = self._add_input_port(WIRELESS_PORT, buffer_depth)
+        self.wireless_output = OutputPort(
+            self,
+            WIRELESS_PORT,
+            link=link,
+            is_wireless=True,
+        )
+        self.output_ports[WIRELESS_PORT] = self.wireless_output
+        return self.wireless_input, self.wireless_output
+
+    # ------------------------------------------------------------------
+    # Per-cycle helpers used by the engine.
+    # ------------------------------------------------------------------
+
+    @property
+    def has_wireless(self) -> bool:
+        """Whether this switch carries a wireless interface."""
+        return self.wireless_output is not None
+
+    def all_vcs(self) -> List[VirtualChannel]:
+        """All VC buffers of the switch (every input port)."""
+        vcs: List[VirtualChannel] = []
+        for port in self.input_ports.values():
+            vcs.extend(port.vcs)
+        return vcs
+
+    def output_towards(self, next_switch_id: int) -> OutputPort:
+        """The output port a packet must take to reach ``next_switch_id``.
+
+        A wired port keyed by the neighbour id wins over the wireless port;
+        if no wired port exists the hop must be a wireless one.
+        """
+        port = self.output_ports.get(next_switch_id)
+        if port is not None:
+            return port
+        if self.wireless_output is not None:
+            return self.wireless_output
+        raise SwitchConfigError(
+            f"switch {self.switch_id} has no port towards switch {next_switch_id}"
+        )
+
+    def buffered_flits(self) -> int:
+        """Total flits buffered anywhere in this switch."""
+        return sum(port.buffered_flits for port in self.input_ports.values())
+
+    def wireless_pending(self) -> List[Tuple[VirtualChannel, int, int, int, int]]:
+        """Traffic currently waiting for the wireless port.
+
+        Returns ``(vc, destination_switch, packet_id, buffered_flits,
+        remaining_flits)`` for every VC whose current packet leaves this
+        switch over the WI port; ``remaining_flits`` counts the buffered
+        flits plus those of the same packet still streaming towards this
+        switch.  Used by the MAC protocols to build their transmission plans.
+        """
+        if self.wireless_output is None:
+            return []
+        pending = []
+        for port in self.input_ports.values():
+            for vc in port.vcs:
+                if not vc.buffer:
+                    continue
+                front = vc.buffer[0]
+                packet = front.packet
+                remaining = packet.length_flits - front.index
+                if vc.current_output is None:
+                    # Head flit not yet processed: peek at the route.
+                    if self.switch_id == packet.dst_switch:
+                        continue
+                    next_switch = packet.route[packet.head_hop + 1]
+                    if self.output_ports.get(next_switch) is not None:
+                        continue  # wired hop
+                    pending.append(
+                        (vc, next_switch, packet.packet_id, len(vc.buffer), remaining)
+                    )
+                elif vc.current_output is self.wireless_output:
+                    pending.append(
+                        (
+                            vc,
+                            vc.downstream_switch,
+                            packet.packet_id,
+                            len(vc.buffer),
+                            remaining,
+                        )
+                    )
+        return pending
+
+    def select_round_robin(
+        self, output: OutputPort, candidates: List[VirtualChannel]
+    ) -> VirtualChannel:
+        """Pick the next winner for an output port among eligible VCs."""
+        if not candidates:
+            raise SwitchConfigError("select_round_robin called with no candidates")
+        total = self._ordinal_base
+        best = None
+        best_rank = None
+        for vc in candidates:
+            rank = (vc.ordinal - output.rr_pointer) % max(1, total)
+            if best_rank is None or rank < best_rank:
+                best = vc
+                best_rank = rank
+        output.rr_pointer = (best.ordinal + 1) % max(1, total)
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Switch(id={self.switch_id}, region={self.spec.region_id}, "
+            f"ports={list(self.output_ports)!r})"
+        )

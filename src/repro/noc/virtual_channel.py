@@ -1,0 +1,140 @@
+"""Virtual-channel buffers.
+
+Every switch port carries 8 virtual channels with a 16-flit buffer each
+(Section IV).  A VC is owned by at most one packet at a time: the upstream
+switch allocates it when it forwards the packet's head flit and the
+ownership is released when the tail flit leaves the buffer, exactly as in
+credit-based wormhole flow control.  Instead of mirroring credit counters at
+the upstream switch, the simulator tracks ``in_flight`` reservations on the
+downstream VC itself, which is equivalent and keeps the bookkeeping in one
+place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from .flit import Flit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .packet import Packet
+    from .port import InputPort, OutputPort
+
+
+class VirtualChannel:
+    """One VC buffer of an input port."""
+
+    __slots__ = (
+        "port",
+        "index",
+        "ordinal",
+        "capacity",
+        "buffer",
+        "in_flight",
+        "allocated_packet_id",
+        "current_output",
+        "downstream_port",
+        "downstream_switch",
+        "source_packet",
+        "source_flits_emitted",
+    )
+
+    def __init__(self, port: "InputPort", index: int, ordinal: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.port = port
+        self.index = index
+        #: Switch-wide unique ordinal used for round-robin arbitration.
+        self.ordinal = ordinal
+        self.capacity = capacity
+        self.buffer: Deque[Flit] = deque()
+        #: Flits sent towards this VC but not yet arrived (reserve buffer space).
+        self.in_flight = 0
+        #: Packet currently owning this VC (set at head allocation).
+        self.allocated_packet_id: Optional[int] = None
+        #: Output port the current packet takes out of this switch.
+        self.current_output: Optional["OutputPort"] = None
+        #: Input port at the next switch the current packet is heading to.
+        self.downstream_port: Optional["InputPort"] = None
+        #: Switch id of the next hop (needed for wireless ports whose
+        #: destination differs per packet).
+        self.downstream_switch: Optional[int] = None
+        #: Injection state (local/source VCs only): packet being serialised
+        #: into this VC and how many of its flits have been emitted.
+        self.source_packet: Optional["Packet"] = None
+        self.source_flits_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy / flow control.
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Buffered plus in-flight flits (the space already spoken for)."""
+        return len(self.buffer) + self.in_flight
+
+    def has_space(self) -> bool:
+        """Whether one more flit may be sent towards this VC."""
+        return self.occupancy < self.capacity
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the VC can be allocated to a new packet."""
+        return self.allocated_packet_id is None and self.occupancy == 0
+
+    def reserve(self, packet_id: int, is_head: bool) -> None:
+        """Reserve space for a flit that has just been sent towards this VC."""
+        if not self.has_space():
+            raise RuntimeError("reserve() called on a full virtual channel")
+        if is_head:
+            if self.allocated_packet_id is not None and self.allocated_packet_id != packet_id:
+                raise RuntimeError(
+                    f"VC already allocated to packet {self.allocated_packet_id}, "
+                    f"cannot accept head of packet {packet_id}"
+                )
+            self.allocated_packet_id = packet_id
+        elif self.allocated_packet_id != packet_id:
+            raise RuntimeError(
+                f"body flit of packet {packet_id} sent to VC owned by "
+                f"{self.allocated_packet_id}"
+            )
+        self.in_flight += 1
+
+    def deliver(self, flit: Flit) -> None:
+        """A previously reserved flit arrives into the buffer."""
+        if self.in_flight <= 0:
+            raise RuntimeError("deliver() without a matching reserve()")
+        self.in_flight -= 1
+        self.buffer.append(flit)
+
+    def front(self) -> Optional[Flit]:
+        """The flit at the head of the buffer, or ``None`` if empty."""
+        return self.buffer[0] if self.buffer else None
+
+    def pop(self) -> Flit:
+        """Remove and return the front flit, releasing state on a tail."""
+        flit = self.buffer.popleft()
+        if flit.is_tail:
+            self.release()
+        return flit
+
+    def release(self) -> None:
+        """Release ownership and per-packet routing state."""
+        self.allocated_packet_id = None
+        self.current_output = None
+        self.downstream_port = None
+        self.downstream_switch = None
+
+    def reset_routing(self) -> None:
+        """Clear cached routing decisions (used when reconfiguring)."""
+        self.current_output = None
+        self.downstream_port = None
+        self.downstream_switch = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"VC(port={self.port.key!r}, index={self.index}, "
+            f"occ={self.occupancy}/{self.capacity}, "
+            f"packet={self.allocated_packet_id})"
+        )

@@ -1,0 +1,35 @@
+"""Routing algorithms for the multichip interconnection framework.
+
+Provides the default Dijkstra shortest-path router with XY-canonicalised
+intra-chip segments, the literal shortest-path-tree router described in the
+paper, destination-based table routing, and forwarding-table materialisation
+with consistency checks.
+"""
+
+from .base import DEFAULT_LINK_WEIGHTS, BaseRouter, RoutingError
+from .dijkstra import ShortestPathForest, all_pairs_distance
+from .forwarding_table import ForwardingTable, TableRouter
+from .router import MinimalHopRouter, ShortestPathRouter
+from .tree import SpanningTreeRouter
+from .validation import link_kinds_on_route, validate_route, wireless_hop_count
+from .xy import RegionGridIndex, is_xy_ordered, manhattan_distance, xy_path
+
+__all__ = [
+    "DEFAULT_LINK_WEIGHTS",
+    "BaseRouter",
+    "ForwardingTable",
+    "MinimalHopRouter",
+    "RegionGridIndex",
+    "RoutingError",
+    "ShortestPathForest",
+    "ShortestPathRouter",
+    "SpanningTreeRouter",
+    "TableRouter",
+    "all_pairs_distance",
+    "is_xy_ordered",
+    "link_kinds_on_route",
+    "manhattan_distance",
+    "validate_route",
+    "wireless_hop_count",
+    "xy_path",
+]

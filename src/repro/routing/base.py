@@ -1,0 +1,118 @@
+"""Router interface and link cost model.
+
+Routing in the paper is "a forwarding-table based routing algorithm over
+pre-computed shortest paths determined by Dijkstra's algorithm for both
+inter-chip and intra-chip data" (Section III-C).  All routers in this
+subpackage pre-compute switch-level routes on the topology graph; the
+simulator then source-routes each packet along the returned switch sequence.
+
+The cost of a hop depends on the physical link implementing it, so paths
+naturally avoid slow serial I/O when a faster alternative exists and only
+take the wireless shortcut when it actually reduces the end-to-end latency —
+"even intra-chip traffic uses the wireless links if it reduces the path
+length according to the shortest path routing" (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Tuple
+
+from ..topology.graph import LinkKind, LinkSpec, TopologyGraph
+
+
+#: Per-hop cost (roughly: cycles a head flit needs to cross the link plus the
+#: downstream switch) used as Dijkstra edge weights.
+DEFAULT_LINK_WEIGHTS: Dict[LinkKind, float] = {
+    LinkKind.MESH: 1.0,
+    LinkKind.INTERPOSER: 2.0,
+    LinkKind.WIDE_IO: 2.0,
+    LinkKind.SERIAL_IO: 6.0,
+    # A wireless hop is cheap in latency but occupies the shared channel, so
+    # its routing cost is set above the raw hop latency: intra-chip traffic
+    # only takes the wireless shortcut when it saves several mesh hops.
+    LinkKind.WIRELESS: 4.0,
+    LinkKind.TSV: 1.0,
+}
+
+
+class RoutingError(ValueError):
+    """Raised when a route cannot be computed or is invalid."""
+
+
+class BaseRouter(abc.ABC):
+    """Common behaviour of all routers: caching and route metrics."""
+
+    def __init__(
+        self,
+        graph: TopologyGraph,
+        link_weights: Dict[LinkKind, float] = None,
+    ) -> None:
+        self._graph = graph
+        self._link_weights = dict(DEFAULT_LINK_WEIGHTS)
+        if link_weights:
+            self._link_weights.update(link_weights)
+        self._cache: Dict[Tuple[int, int], List[int]] = {}
+
+    @property
+    def graph(self) -> TopologyGraph:
+        """Topology this router routes on."""
+        return self._graph
+
+    @property
+    def link_weights(self) -> Dict[LinkKind, float]:
+        """Per-link-kind hop costs used by this router."""
+        return dict(self._link_weights)
+
+    def link_weight(self, link: LinkSpec) -> float:
+        """Cost of one hop over ``link``."""
+        return self._link_weights[link.kind]
+
+    def route(self, src_switch: int, dst_switch: int) -> List[int]:
+        """Switch sequence from ``src_switch`` to ``dst_switch`` inclusive."""
+        key = (src_switch, dst_switch)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._compute_route(src_switch, dst_switch)
+            self._cache[key] = cached
+        return list(cached)
+
+    def route_weight(self, src_switch: int, dst_switch: int) -> float:
+        """Total weighted cost of the route between two switches."""
+        path = self.route(src_switch, dst_switch)
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            link = self._graph.find_link(a, b)
+            if link is None:
+                raise RoutingError(f"route uses missing link ({a}, {b})")
+            total += self.link_weight(link)
+        return total
+
+    def hop_count(self, src_switch: int, dst_switch: int) -> int:
+        """Number of link traversals on the route."""
+        return len(self.route(src_switch, dst_switch)) - 1
+
+    def average_distance(self) -> float:
+        """Average hop count over all ordered switch pairs.
+
+        This is the *minimum average distance* metric the WI placement
+        strategy optimises [15]; exposed for analysis and tests.
+        """
+        switches = [s.switch_id for s in self._graph.switches]
+        total = 0
+        pairs = 0
+        for src in switches:
+            for dst in switches:
+                if src == dst:
+                    continue
+                total += self.hop_count(src, dst)
+                pairs += 1
+        return total / pairs if pairs else 0.0
+
+    def clear_cache(self) -> None:
+        """Drop all cached routes (used after topology mutation)."""
+        self._cache.clear()
+
+    @abc.abstractmethod
+    def _compute_route(self, src_switch: int, dst_switch: int) -> List[int]:
+        """Compute the switch sequence for one source/destination pair."""

@@ -1,0 +1,168 @@
+"""Forwarding tables derived from pre-computed routes.
+
+The paper stresses that "the route computation overheads are greatly reduced
+as the routing decisions are made locally based on the forwarding table only
+for determining the next hop and is done only for the header flit".  This
+module materialises that view: given any router, it builds a per-switch
+table mapping destination switch to next hop, verifies that the tables are
+*consistent* (following them hop by hop reproduces a loop-free path for
+every pair), and reports their size so the hardware overhead of table-based
+routing can be quoted.
+
+Note that per-switch tables can only represent destination-based routing: if
+the underlying router gives two sources different next hops at a shared
+intermediate switch, the table keeps the first one and `consistent` routing
+may deviate (while staying valid).  ``ForwardingTable.build`` therefore also
+reports how many entries were overwritten, and the :class:`TableRouter` is
+the strictly table-driven router the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.graph import TopologyGraph
+from .base import BaseRouter, RoutingError
+
+
+@dataclass
+class ForwardingTable:
+    """Per-switch next-hop tables for every destination switch."""
+
+    graph: TopologyGraph
+    next_hop: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    conflicts: int = 0
+
+    @classmethod
+    def build(cls, router: BaseRouter) -> "ForwardingTable":
+        """Populate tables by replaying every (source, destination) route."""
+        graph = router.graph
+        table = cls(graph=graph)
+        switch_ids = [s.switch_id for s in graph.switches]
+        for switch_id in switch_ids:
+            table.next_hop[switch_id] = {}
+        for src in switch_ids:
+            for dst in switch_ids:
+                if src == dst:
+                    continue
+                path = router.route(src, dst)
+                for here, nxt in zip(path, path[1:]):
+                    if here == dst:
+                        break
+                    existing = table.next_hop[here].get(dst)
+                    if existing is None:
+                        table.next_hop[here][dst] = nxt
+                    elif existing != nxt:
+                        table.conflicts += 1
+        return table
+
+    def lookup(self, switch_id: int, destination: int) -> int:
+        """Next hop at ``switch_id`` for a packet heading to ``destination``."""
+        if switch_id == destination:
+            raise RoutingError("packet is already at its destination")
+        try:
+            return self.next_hop[switch_id][destination]
+        except KeyError:
+            raise RoutingError(
+                f"switch {switch_id} has no table entry for destination {destination}"
+            ) from None
+
+    def walk(self, src: int, dst: int, max_hops: Optional[int] = None) -> List[int]:
+        """Follow the tables hop by hop from ``src`` to ``dst``."""
+        limit = max_hops if max_hops is not None else self.graph.num_switches + 1
+        path = [src]
+        here = src
+        while here != dst:
+            here = self.lookup(here, dst)
+            path.append(here)
+            if len(path) > limit:
+                raise RoutingError(
+                    f"forwarding tables loop between {src} and {dst}: {path[:8]}..."
+                )
+        return path
+
+    def entries_per_switch(self) -> Dict[int, int]:
+        """Number of table entries stored at each switch."""
+        return {sid: len(rows) for sid, rows in self.next_hop.items()}
+
+    def total_entries(self) -> int:
+        """Total number of (destination -> next hop) entries in the system."""
+        return sum(len(rows) for rows in self.next_hop.values())
+
+    def validate(self) -> None:
+        """Check that every pair can be routed by table walking without loops."""
+        switch_ids = [s.switch_id for s in self.graph.switches]
+        for src in switch_ids:
+            for dst in switch_ids:
+                if src == dst:
+                    continue
+                path = self.walk(src, dst)
+                for a, b in zip(path, path[1:]):
+                    if self.graph.find_link(a, b) is None:
+                        raise RoutingError(
+                            f"table route {src}->{dst} uses missing link ({a}, {b})"
+                        )
+
+
+class TableRouter(BaseRouter):
+    """Strictly destination-based router driven by a forwarding table.
+
+    Routes are destination-rooted shortest-path trees: for every destination
+    a single tree is pre-computed (Dijkstra from the destination over the
+    undirected topology), so all sources agree on the next hop at any shared
+    switch — exactly the property a per-switch forwarding table needs.
+    """
+
+    def __init__(self, graph: TopologyGraph, link_weights=None) -> None:
+        super().__init__(graph, link_weights)
+        self._trees: Dict[int, "._DestinationTree"] = {}
+
+    def _tree_for(self, destination: int):
+        tree = self._trees.get(destination)
+        if tree is None:
+            from .dijkstra import ShortestPathForest
+
+            forest = ShortestPathForest(self._graph, destination, self.link_weight)
+            parent: Dict[int, Optional[int]] = {}
+            for switch in self._graph.switches:
+                sid = switch.switch_id
+                if sid == destination:
+                    parent[sid] = None
+                    continue
+                path = forest.path_to(sid, selector=destination)
+                # path goes destination -> ... -> sid; the next hop of sid
+                # towards the destination is the second-to-last element.
+                parent[sid] = path[-2]
+            tree = parent
+            self._trees[destination] = tree
+        return tree
+
+    def next_hop(self, switch_id: int, destination: int) -> int:
+        """Next hop towards ``destination`` from ``switch_id``."""
+        if switch_id == destination:
+            raise RoutingError("packet is already at its destination")
+        tree = self._tree_for(destination)
+        nxt = tree.get(switch_id)
+        if nxt is None:
+            raise RoutingError(
+                f"switch {switch_id} cannot reach destination {destination}"
+            )
+        return nxt
+
+    def _compute_route(self, src_switch: int, dst_switch: int) -> List[int]:
+        if src_switch == dst_switch:
+            return [src_switch]
+        path = [src_switch]
+        here = src_switch
+        while here != dst_switch:
+            here = self.next_hop(here, dst_switch)
+            path.append(here)
+            if len(path) > self._graph.num_switches + 1:
+                raise RoutingError("destination tree contains a cycle")
+        return path
+
+    def to_forwarding_table(self) -> ForwardingTable:
+        """Materialise the (conflict-free) forwarding table."""
+        table = ForwardingTable.build(self)
+        return table

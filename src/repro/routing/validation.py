@@ -1,0 +1,54 @@
+"""Route validation helpers shared by tests and the simulator."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..topology.graph import LinkKind, TopologyGraph
+from .base import RoutingError
+
+
+def validate_route(graph: TopologyGraph, route: Sequence[int]) -> None:
+    """Check that a switch sequence is a usable route.
+
+    A valid route visits existing switches, uses an existing link for every
+    consecutive pair, and never visits the same switch twice (wormhole
+    source routing cannot express revisits).
+
+    Raises
+    ------
+    RoutingError
+        If any property is violated.
+    """
+    if not route:
+        raise RoutingError("route is empty")
+    seen = set()
+    for switch_id in route:
+        graph.switch(switch_id)  # raises TopologyError for unknown switches
+        if switch_id in seen:
+            raise RoutingError(f"route visits switch {switch_id} twice: {list(route)}")
+        seen.add(switch_id)
+    for a, b in zip(route, route[1:]):
+        if graph.find_link(a, b) is None:
+            raise RoutingError(f"route uses missing link ({a}, {b})")
+
+
+def wireless_hop_count(graph: TopologyGraph, route: Sequence[int]) -> int:
+    """Number of wireless hops on a route."""
+    count = 0
+    for a, b in zip(route, route[1:]):
+        link = graph.find_link(a, b)
+        if link is not None and link.kind == LinkKind.WIRELESS:
+            count += 1
+    return count
+
+
+def link_kinds_on_route(graph: TopologyGraph, route: Sequence[int]) -> List[LinkKind]:
+    """Ordered list of link kinds traversed by a route."""
+    kinds = []
+    for a, b in zip(route, route[1:]):
+        link = graph.find_link(a, b)
+        if link is None:
+            raise RoutingError(f"route uses missing link ({a}, {b})")
+        kinds.append(link.kind)
+    return kinds

@@ -1,0 +1,199 @@
+"""Composition of processing chips and memory stacks into one package.
+
+``build_multichip_base`` produces the architecture-independent part of the
+topology: the chip array (each an intra-chip mesh with one core per switch)
+and the memory stacks (each a base logic die switch with its DRAM vaults).
+The three architecture overlays (substrate, interposer, wireless) then add
+their inter-die connectivity on top of this base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .geometry import PackageLayout, plan_package
+from .graph import (
+    EndpointKind,
+    LinkKind,
+    RegionKind,
+    SwitchKind,
+    TopologyGraph,
+)
+from .mesh import boundary_switches, build_processor_chip
+
+
+@dataclass
+class MultichipSystem:
+    """A package topology plus bookkeeping used by the architecture overlays."""
+
+    graph: TopologyGraph
+    layout: PackageLayout
+    chip_region_ids: List[int] = field(default_factory=list)
+    memory_region_ids: List[int] = field(default_factory=list)
+    memory_switch_ids: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_chips(self) -> int:
+        """Number of processing chips."""
+        return len(self.chip_region_ids)
+
+    @property
+    def num_memory_stacks(self) -> int:
+        """Number of in-package memory stacks."""
+        return len(self.memory_region_ids)
+
+    @property
+    def num_cores(self) -> int:
+        """Total number of processing cores across all chips."""
+        return len(self.graph.cores)
+
+    def chip_boundary(self, chip_index: int, side: str) -> List[int]:
+        """Boundary switch ids of a chip, ordered by row/column."""
+        region_id = self.chip_region_ids[chip_index]
+        return boundary_switches(self.graph, region_id, side)
+
+    def memory_switch(self, memory_index: int) -> int:
+        """Switch id of the base logic die of a memory stack."""
+        region_id = self.memory_region_ids[memory_index]
+        return self.memory_switch_ids[region_id]
+
+    def adjacent_chip_pairs(self) -> List[Tuple[int, int]]:
+        """Indices of physically adjacent chip pairs in the array."""
+        return [(i, i + 1) for i in range(self.num_chips - 1)]
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by reports and examples)."""
+        return (
+            f"{self.num_chips} chip(s) x {self.num_cores // max(1, self.num_chips)} "
+            f"cores + {self.num_memory_stacks} memory stack(s); "
+            f"{self.graph.num_switches} switches, {len(self.graph.links)} links"
+        )
+
+
+def build_memory_stack_die(
+    graph: TopologyGraph,
+    placement,
+    vaults: int,
+    name: Optional[str] = None,
+) -> Tuple[int, int]:
+    """Add one memory stack's base logic die to the graph.
+
+    The stack is "a stacked DRAM mounted on top of a base logic die"; the
+    logic die carries a single NoC switch which terminates either the wide
+    I/O channel (wired architectures) or the wireless interface (wireless
+    architecture).  The DRAM channels/vaults appear as memory endpoints
+    attached to that switch; intra-stack TSV transfers are modelled by the
+    :mod:`repro.memory` subpackage and their energy is ignored by the paper.
+
+    Returns ``(region_id, switch_id)``.
+    """
+    if vaults <= 0:
+        raise ValueError(f"vaults must be positive, got {vaults}")
+    region = graph.add_region(
+        kind=RegionKind.MEMORY_STACK,
+        name=name or f"memory{placement.index}",
+        mesh_cols=1,
+        mesh_rows=1,
+        origin_mm=placement.origin_mm,
+        edge_mm=placement.edge_mm,
+    )
+    centre = (
+        placement.origin_mm[0] + placement.edge_mm / 2,
+        placement.origin_mm[1] + placement.edge_mm / 2,
+    )
+    switch = graph.add_switch(
+        kind=SwitchKind.MEMORY,
+        region_id=region.region_id,
+        grid_x=placement.grid_x,
+        grid_y=placement.grid_y,
+        position_mm=centre,
+    )
+    for _ in range(vaults):
+        graph.add_endpoint(EndpointKind.MEMORY_VAULT, switch.switch_id)
+    return region.region_id, switch.switch_id
+
+
+def build_multichip_base(
+    num_chips: int,
+    cores_per_chip: int,
+    num_memory_stacks: int,
+    vaults_per_stack: int = 4,
+    chip_edge_mm: Optional[float] = None,
+    total_processing_area_mm2: Optional[float] = None,
+    gap_mm: Optional[float] = None,
+) -> MultichipSystem:
+    """Build the architecture-independent multichip topology.
+
+    Parameters mirror the ``XCYM`` naming of the paper: ``num_chips`` is X,
+    ``num_memory_stacks`` is Y.  ``total_processing_area_mm2`` keeps the
+    combined active processing area constant across disintegration levels
+    (Section IV-C); when omitted, every chip uses ``chip_edge_mm``
+    (default 10 mm).
+    """
+    layout = plan_package(
+        num_chips=num_chips,
+        cores_per_chip=cores_per_chip,
+        num_memory_stacks=num_memory_stacks,
+        chip_edge_mm=chip_edge_mm,
+        gap_mm=gap_mm,
+        total_processing_area_mm2=total_processing_area_mm2,
+    )
+    graph = TopologyGraph()
+    system = MultichipSystem(graph=graph, layout=layout)
+
+    for chip in layout.chips:
+        region = build_processor_chip(graph, chip)
+        system.chip_region_ids.append(region.region_id)
+
+    # Keep grid coordinates unique even when several stacks share a side and
+    # a row would collide (small meshes): nudge the row of later stacks.
+    used_grid = {(s.grid_x, s.grid_y) for s in graph.switches}
+    for memory in layout.memories:
+        grid_y = memory.grid_y
+        while (memory.grid_x, grid_y) in used_grid:
+            grid_y += 1
+        placement = memory if grid_y == memory.grid_y else _with_row(memory, grid_y)
+        region_id, switch_id = build_memory_stack_die(
+            graph, placement, vaults=vaults_per_stack
+        )
+        used_grid.add((placement.grid_x, placement.grid_y))
+        system.memory_region_ids.append(region_id)
+        system.memory_switch_ids[region_id] = switch_id
+
+    return system
+
+
+def _with_row(memory, grid_y: int):
+    """Copy of a memory placement with a different grid row."""
+    from .geometry import MemoryPlacement
+
+    return MemoryPlacement(
+        index=memory.index,
+        side=memory.side,
+        origin_mm=memory.origin_mm,
+        edge_mm=memory.edge_mm,
+        grid_x=memory.grid_x,
+        grid_y=grid_y,
+        adjacent_chip_index=memory.adjacent_chip_index,
+        adjacent_chip_column=memory.adjacent_chip_column,
+    )
+
+
+def memory_anchor_switch(system: MultichipSystem, memory_index: int) -> int:
+    """The processing-chip switch a memory stack's wide I/O attaches to.
+
+    The stack attaches to its *neighbouring* chip at the boundary switch of
+    the chip edge it sits next to (top or bottom of the array), in the
+    column the stack is placed over, so every stack is one wide-I/O hop from
+    its chip in the wired architectures.
+    """
+    placement = system.layout.memories[memory_index]
+    chip_index = placement.adjacent_chip_index
+    boundary = system.chip_boundary(chip_index, placement.side)
+    if not boundary:
+        raise ValueError(
+            f"chip {chip_index} has no {placement.side} boundary switches"
+        )
+    column = min(placement.adjacent_chip_column, len(boundary) - 1)
+    return boundary[column]

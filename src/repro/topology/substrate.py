@@ -1,0 +1,103 @@
+"""Substrate-based wireline architecture overlay — ``XCYM (Substrate)``.
+
+In this baseline the chips and memory modules sit on an organic substrate.
+Chip-to-chip traffic uses high speed serial I/O with "only a single
+inter-chip link between switches at the center of the adjacent boundaries to
+eliminate signal crosstalk between parallel high-speed I/Os"; memory-to-chip
+traffic uses the 128-bit wide I/O channel of the neighbouring chip
+(Section IV-A, architecture 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .graph import LinkKind, LinkSpec
+from .multichip import MultichipSystem, memory_anchor_switch
+
+
+@dataclass(frozen=True)
+class SubstrateOverlayConfig:
+    """Parameters of the substrate inter-chip connectivity."""
+
+    #: Serial I/O links between each pair of adjacent chips (paper: 1).
+    serial_links_per_boundary: int = 1
+    #: Wide I/O channels per memory stack (paper: 1 x 128-bit channel).
+    wide_io_links_per_stack: int = 1
+
+
+def apply_substrate_overlay(
+    system: MultichipSystem,
+    config: SubstrateOverlayConfig = SubstrateOverlayConfig(),
+) -> List[LinkSpec]:
+    """Add substrate C-C and M-C links; return the created links."""
+    if config.serial_links_per_boundary <= 0:
+        raise ValueError("serial_links_per_boundary must be positive")
+    if config.wide_io_links_per_stack <= 0:
+        raise ValueError("wide_io_links_per_stack must be positive")
+
+    graph = system.graph
+    created: List[LinkSpec] = []
+
+    for left_index, right_index in system.adjacent_chip_pairs():
+        right_boundary = system.chip_boundary(left_index, "right")
+        left_boundary = system.chip_boundary(right_index, "left")
+        count = min(
+            config.serial_links_per_boundary, len(right_boundary), len(left_boundary)
+        )
+        rows = _central_rows(len(right_boundary), count)
+        for row in rows:
+            src = right_boundary[row]
+            dst = left_boundary[min(row, len(left_boundary) - 1)]
+            length = _link_length(graph, src, dst)
+            created.append(
+                graph.add_link(src, dst, LinkKind.SERIAL_IO, length_mm=length)
+            )
+
+    for memory_index in range(system.num_memory_stacks):
+        memory_switch = system.memory_switch(memory_index)
+        anchor = memory_anchor_switch(system, memory_index)
+        length = _link_length(graph, memory_switch, anchor)
+        created.append(
+            graph.add_link(memory_switch, anchor, LinkKind.WIDE_IO, length_mm=length)
+        )
+        # Additional wide I/O channels (non-default) attach to further
+        # boundary switches of the same chip side.
+        extra = config.wide_io_links_per_stack - 1
+        if extra > 0:
+            placement = system.layout.memories[memory_index]
+            boundary = system.chip_boundary(placement.adjacent_chip_index, placement.side)
+            candidates = [s for s in boundary if s != anchor]
+            for target in candidates[:extra]:
+                length = _link_length(graph, memory_switch, target)
+                created.append(
+                    graph.add_link(
+                        memory_switch, target, LinkKind.WIDE_IO, length_mm=length
+                    )
+                )
+    return created
+
+
+def _central_rows(total_rows: int, count: int) -> List[int]:
+    """Pick ``count`` rows centred on the middle of the boundary."""
+    if total_rows <= 0:
+        return []
+    count = min(count, total_rows)
+    centre = (total_rows - 1) // 2
+    rows = [centre]
+    offset = 1
+    while len(rows) < count:
+        if centre + offset < total_rows:
+            rows.append(centre + offset)
+        if len(rows) < count and centre - offset >= 0:
+            rows.append(centre - offset)
+        offset += 1
+    return sorted(rows[:count])
+
+
+def _link_length(graph, src: int, dst: int) -> float:
+    """Euclidean distance between two switches [mm]."""
+    from .geometry import euclidean_mm
+
+    return euclidean_mm(graph.switch(src).position_mm, graph.switch(dst).position_mm)

@@ -1,0 +1,49 @@
+"""Traffic generation: synthetic patterns and application models.
+
+Provides the uniform random workload of the paper's synthetic evaluation,
+classic skewed patterns (hotspot, transpose, bit-complement, neighbour) for
+ablations, and the SynFull-substitute application traffic used for the
+Fig. 6 reproduction.
+"""
+
+from .applications import (
+    APPLICATION_PROFILES,
+    ApplicationPhase,
+    ApplicationProfile,
+    default_application_set,
+    get_profile,
+    profiles_for_suite,
+)
+from .base import TrafficModel, TrafficRequest, endpoint_region, offchip_fraction
+from .rng import bernoulli, choose_other, make_rng, weighted_choice
+from .synfull import SynfullApplicationTraffic
+from .synthetic import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    NeighbourTraffic,
+    TransposeTraffic,
+)
+from .uniform import UniformRandomTraffic
+
+__all__ = [
+    "APPLICATION_PROFILES",
+    "ApplicationPhase",
+    "ApplicationProfile",
+    "BitComplementTraffic",
+    "HotspotTraffic",
+    "NeighbourTraffic",
+    "SynfullApplicationTraffic",
+    "TrafficModel",
+    "TrafficRequest",
+    "TransposeTraffic",
+    "UniformRandomTraffic",
+    "bernoulli",
+    "choose_other",
+    "default_application_set",
+    "endpoint_region",
+    "get_profile",
+    "make_rng",
+    "offchip_fraction",
+    "profiles_for_suite",
+    "weighted_choice",
+]

@@ -1,0 +1,56 @@
+"""Deterministic random-number helpers for traffic generation.
+
+Every traffic model takes an explicit seed so simulations are reproducible;
+this module centralises the creation of the underlying generators and a few
+distributions the models share.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def make_rng(seed: Optional[int]) -> random.Random:
+    """A private ``random.Random`` instance for one traffic model."""
+    return random.Random(seed if seed is not None else 0xC0FFEE)
+
+
+def bernoulli(rng: random.Random, probability: float) -> bool:
+    """One biased coin flip."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if probability == 0.0:
+        return False
+    if probability == 1.0:
+        return True
+    return rng.random() < probability
+
+def choose_other(rng: random.Random, options: Sequence[T], excluded: T) -> T:
+    """Uniformly choose an element different from ``excluded``."""
+    if not options:
+        raise ValueError("options must not be empty")
+    candidates = [o for o in options if o != excluded]
+    if not candidates:
+        raise ValueError("no candidate other than the excluded element")
+    return rng.choice(candidates)
+
+
+def weighted_choice(rng: random.Random, options: Sequence[T], weights: Sequence[float]) -> T:
+    """Choose one option with the given (non-negative) weights."""
+    if len(options) != len(weights):
+        raise ValueError("options and weights must have the same length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    pick = rng.random() * total
+    cumulative = 0.0
+    for option, weight in zip(options, weights):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        cumulative += weight
+        if pick <= cumulative:
+            return option
+    return options[-1]

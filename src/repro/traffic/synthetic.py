@@ -1,0 +1,136 @@
+"""Additional synthetic traffic patterns.
+
+The paper's synthetic evaluation uses uniform random traffic; these classic
+NoC patterns (hotspot, transpose, bit-complement, neighbour) are provided so
+the framework can be exercised with spatially skewed workloads as well —
+they back the extra ablation benchmarks and several property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..topology.graph import TopologyGraph
+from .base import TrafficModel, TrafficRequest
+from .rng import bernoulli, choose_other, make_rng
+
+
+class HotspotTraffic(TrafficModel):
+    """Uniform traffic with a fraction of packets aimed at hotspot endpoints."""
+
+    def __init__(
+        self,
+        topology: TopologyGraph,
+        injection_rate: float,
+        hotspot_endpoints: Sequence[int],
+        hotspot_fraction: float = 0.3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology)
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be non-negative")
+        if not hotspot_endpoints:
+            raise ValueError("hotspot_endpoints must not be empty")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        known = {e.endpoint_id for e in topology.endpoints}
+        for endpoint in hotspot_endpoints:
+            if endpoint not in known:
+                raise ValueError(f"unknown hotspot endpoint {endpoint}")
+        self._injection_rate = injection_rate
+        self._hotspots = list(hotspot_endpoints)
+        self._fraction = hotspot_fraction
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+
+    def generate(self, cycle: int) -> Iterator[TrafficRequest]:
+        probability = min(1.0, self._injection_rate)
+        if probability <= 0:
+            return
+        for core in self._cores:
+            if not bernoulli(self._rng, probability):
+                continue
+            if bernoulli(self._rng, self._fraction):
+                candidates = [h for h in self._hotspots if h != core]
+                if not candidates:
+                    continue
+                destination = self._rng.choice(candidates)
+                yield TrafficRequest(core, destination, traffic_class="hotspot")
+            else:
+                destination = choose_other(self._rng, self._cores, core)
+                yield TrafficRequest(core, destination)
+
+
+class _PermutationTraffic(TrafficModel):
+    """Base for deterministic-destination (permutation) patterns."""
+
+    def __init__(
+        self,
+        topology: TopologyGraph,
+        injection_rate: float,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology)
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be non-negative")
+        self._injection_rate = injection_rate
+        self._seed = seed
+        self._rng = make_rng(seed)
+        self._destinations = self._build_permutation()
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+
+    def _build_permutation(self) -> List[int]:
+        raise NotImplementedError
+
+    def destination_of(self, core_index: int) -> int:
+        """Destination endpoint of the core at position ``core_index``."""
+        return self._destinations[core_index]
+
+    def generate(self, cycle: int) -> Iterator[TrafficRequest]:
+        probability = min(1.0, self._injection_rate)
+        if probability <= 0:
+            return
+        for index, core in enumerate(self._cores):
+            if not bernoulli(self._rng, probability):
+                continue
+            destination = self._destinations[index]
+            if destination == core:
+                continue
+            yield TrafficRequest(core, destination)
+
+
+class TransposeTraffic(_PermutationTraffic):
+    """Core (i, j) of the logical core grid sends to core (j, i)."""
+
+    def _build_permutation(self) -> List[int]:
+        count = len(self._cores)
+        side = int(round(count ** 0.5))
+        if side * side != count:
+            # Non-square core counts fall back to an index-reversal pattern.
+            return [self._cores[count - 1 - i] for i in range(count)]
+        destinations = []
+        for index in range(count):
+            row, col = divmod(index, side)
+            destinations.append(self._cores[col * side + row])
+        return destinations
+
+
+class BitComplementTraffic(_PermutationTraffic):
+    """Core ``i`` sends to core ``~i`` (index reversal within the core list)."""
+
+    def _build_permutation(self) -> List[int]:
+        count = len(self._cores)
+        return [self._cores[count - 1 - i] for i in range(count)]
+
+
+class NeighbourTraffic(_PermutationTraffic):
+    """Core ``i`` sends to core ``i + 1`` (wrapping), a best-case local pattern."""
+
+    def _build_permutation(self) -> List[int]:
+        count = len(self._cores)
+        return [self._cores[(i + 1) % count] for i in range(count)]

@@ -1,0 +1,109 @@
+"""Uniform random traffic with a configurable memory-access proportion.
+
+This is the synthetic workload of Sections IV-B and IV-C: "traffic
+originating from each core has a certain preset probability of being a
+memory access while the rest of the traffic is addressed to all other cores
+in the entire system with equal probability".  The memory-access proportion
+is 20 % by default (Fig. 2/3) and is swept from 20 % to 80 % for Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..topology.graph import TopologyGraph
+from .base import TrafficModel, TrafficRequest
+from .rng import bernoulli, choose_other, make_rng
+
+
+class UniformRandomTraffic(TrafficModel):
+    """Bernoulli injection per core per cycle, uniform destinations."""
+
+    def __init__(
+        self,
+        topology: TopologyGraph,
+        injection_rate: float,
+        memory_access_fraction: float = 0.2,
+        request_length_flits: Optional[int] = None,
+        memory_replies: bool = False,
+        reply_length_flits: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology)
+        if injection_rate < 0:
+            raise ValueError(f"injection_rate must be non-negative, got {injection_rate}")
+        if not 0.0 <= memory_access_fraction <= 1.0:
+            raise ValueError(
+                "memory_access_fraction must be in [0, 1], got "
+                f"{memory_access_fraction}"
+            )
+        if memory_access_fraction > 0 and not self.memory_vaults:
+            raise ValueError(
+                "memory_access_fraction > 0 requires memory vault endpoints"
+            )
+        self._injection_rate = injection_rate
+        self._memory_fraction = memory_access_fraction
+        self._request_length = request_length_flits
+        self._memory_replies = memory_replies
+        self._reply_length = reply_length_flits
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    @property
+    def injection_rate(self) -> float:
+        """Offered load in packets per core per cycle."""
+        return self._injection_rate
+
+    @property
+    def memory_access_fraction(self) -> float:
+        """Probability that a generated packet targets a memory vault."""
+        return self._memory_fraction
+
+    def reset(self) -> None:
+        """Restore the generator to its initial (seeded) state."""
+        self._rng = make_rng(self._seed)
+
+    def generate(self, cycle: int) -> Iterator[TrafficRequest]:
+        """Bernoulli trial per core; memory or core destination per the mix."""
+        rate = self._injection_rate
+        if rate <= 0:
+            return
+        # Offered loads above one packet per cycle are clamped to one
+        # generation opportunity per cycle (the paper's load axis tops out
+        # at 1 packet/core/cycle).
+        probability = min(1.0, rate)
+        for core in self._cores:
+            if not bernoulli(self._rng, probability):
+                continue
+            if self._memory_fraction > 0 and bernoulli(self._rng, self._memory_fraction):
+                destination = self._rng.choice(self._memory_vaults)
+                yield TrafficRequest(
+                    src_endpoint=core,
+                    dst_endpoint=destination,
+                    length_flits=self._request_length,
+                    is_memory_access=True,
+                )
+            else:
+                destination = choose_other(self._rng, self._cores, core)
+                yield TrafficRequest(
+                    src_endpoint=core,
+                    dst_endpoint=destination,
+                    length_flits=self._request_length,
+                )
+
+    def on_packet_delivered(self, packet, cycle: int) -> Iterable[TrafficRequest]:
+        """Optionally answer memory requests with a reply packet."""
+        if not self._memory_replies:
+            return ()
+        if not packet.is_memory_access or packet.is_reply:
+            return ()
+        return (
+            TrafficRequest(
+                src_endpoint=packet.dst_endpoint,
+                dst_endpoint=packet.src_endpoint,
+                length_flits=self._reply_length or self._request_length,
+                is_memory_access=True,
+                is_reply=True,
+                traffic_class="memory_reply",
+            ),
+        )

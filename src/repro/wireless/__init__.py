@@ -1,0 +1,40 @@
+"""mm-wave wireless interconnect: physical layer and MAC protocols.
+
+Models the 60 GHz zig-zag antennas, the OOK transceivers (including the
+power-gated "sleepy" mode), the analytic link budget showing that the
+in-package link closes at the target BER, the channel organisation, and the
+two MAC protocols compared in the paper (baseline token passing and the
+proposed control-packet MAC with partial-packet transmission).
+"""
+
+from .antenna import SPEED_OF_LIGHT_M_PER_S, ZigZagAntenna
+from .channel import ChannelPlan, assign_channels
+from .link_budget import LinkBudget
+from .mac import (
+    ControlPacketMac,
+    MacAdapter,
+    MacProtocol,
+    MacStatistics,
+    PendingTransmission,
+    TokenMac,
+    TransmissionPlan,
+)
+from .transceiver import Transceiver, TransceiverSpec, TransceiverState
+
+__all__ = [
+    "ChannelPlan",
+    "ControlPacketMac",
+    "LinkBudget",
+    "MacAdapter",
+    "MacProtocol",
+    "MacStatistics",
+    "PendingTransmission",
+    "SPEED_OF_LIGHT_M_PER_S",
+    "TokenMac",
+    "Transceiver",
+    "TransceiverSpec",
+    "TransceiverState",
+    "TransmissionPlan",
+    "ZigZagAntenna",
+    "assign_channels",
+]

@@ -1,0 +1,74 @@
+"""Wireless channel organisation.
+
+A single 60 GHz carrier with the 16 GHz antenna bandwidth forms one shared
+channel; systems that need more aggregate wireless bandwidth divide their
+WIs over several orthogonal (frequency-division) channels, each arbitrated
+by its own MAC instance.  This module holds the channel-assignment policy
+and a small record describing each channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..energy.technology import (
+    WIRELESS_ANTENNA_BANDWIDTH_HZ,
+    WIRELESS_CARRIER_FREQUENCY_HZ,
+    WIRELESS_DATA_RATE_GBPS,
+)
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """One frequency channel and the WIs assigned to it."""
+
+    channel_id: int
+    centre_frequency_hz: float
+    bandwidth_hz: float
+    data_rate_gbps: float
+    wi_switch_ids: Tuple[int, ...]
+
+
+def assign_channels(
+    wi_switch_ids: Sequence[int],
+    num_channels: int,
+    carrier_hz: float = WIRELESS_CARRIER_FREQUENCY_HZ,
+    bandwidth_hz: float = WIRELESS_ANTENNA_BANDWIDTH_HZ,
+    data_rate_gbps: float = WIRELESS_DATA_RATE_GBPS,
+) -> List[ChannelPlan]:
+    """Divide the WIs over ``num_channels`` orthogonal channels.
+
+    WIs are assigned round-robin in id order, which interleaves the WIs of
+    different chips over different channels so that chip pairs communicating
+    heavily do not all contend on one channel.  Channels that end up with a
+    single WI (or none) are still returned — their MAC simply has nothing to
+    arbitrate.
+
+    Note that two WIs can only exchange flits when they share a channel, so
+    the routing layer must be aware of the assignment when ``num_channels``
+    exceeds 1.  The simulator sidesteps this by treating the channel
+    assignment as a *time/frequency slicing of the shared medium*: every WI
+    can reach every other WI, but at most ``num_channels`` transmissions are
+    in the air simultaneously.  This models a multi-band transceiver front
+    end and is the calibration point discussed in DESIGN.md section 4.
+    """
+    if num_channels <= 0:
+        raise ValueError(f"num_channels must be positive, got {num_channels}")
+    ordered = sorted(wi_switch_ids)
+    buckets: Dict[int, List[int]] = {i: [] for i in range(num_channels)}
+    for index, wi in enumerate(ordered):
+        buckets[index % num_channels].append(wi)
+    plans = []
+    for channel_id in range(num_channels):
+        centre = carrier_hz + channel_id * bandwidth_hz
+        plans.append(
+            ChannelPlan(
+                channel_id=channel_id,
+                centre_frequency_hz=centre,
+                bandwidth_hz=bandwidth_hz,
+                data_rate_gbps=data_rate_gbps,
+                wi_switch_ids=tuple(buckets[channel_id]),
+            )
+        )
+    return plans

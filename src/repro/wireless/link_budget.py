@@ -1,0 +1,102 @@
+"""Link-budget check for the in-package 60 GHz channel.
+
+The system-level simulator takes the transceiver's published data rate and
+energy as given; this module provides the supporting analysis showing that a
+60 GHz OOK link between any two WIs in the package closes with margin at the
+target BER, mirroring the feasibility argument the paper makes by citation
+(wireless links of up to 10 m have been demonstrated [5], package distances
+are a few centimetres).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .antenna import SPEED_OF_LIGHT_M_PER_S, ZigZagAntenna
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Analytic 60 GHz link budget between two WIs."""
+
+    transmit_power_dbm: float = 5.0
+    antenna: ZigZagAntenna = ZigZagAntenna()
+    noise_figure_db: float = 5.5
+    implementation_loss_db: float = 2.5
+    dielectric_loss_db_per_cm: float = 0.5
+    temperature_k: float = 300.0
+
+    def path_loss_db(self, distance_mm: float) -> float:
+        """Friis free-space path loss plus dielectric packaging loss [dB]."""
+        if distance_mm <= 0:
+            raise ValueError(f"distance_mm must be positive, got {distance_mm}")
+        distance_m = distance_mm * 1e-3
+        wavelength_m = SPEED_OF_LIGHT_M_PER_S / self.antenna.carrier_frequency_hz
+        friis = 20 * math.log10(4 * math.pi * distance_m / wavelength_m)
+        dielectric = self.dielectric_loss_db_per_cm * (distance_mm / 10.0)
+        return friis + dielectric
+
+    def received_power_dbm(self, distance_mm: float) -> float:
+        """Received signal power at the far WI [dBm]."""
+        return (
+            self.transmit_power_dbm
+            + 2 * self.antenna.gain_dbi
+            - self.path_loss_db(distance_mm)
+            - self.implementation_loss_db
+        )
+
+    def noise_power_dbm(self, bandwidth_hz: float) -> float:
+        """Integrated thermal noise power over the receiver bandwidth [dBm]."""
+        if bandwidth_hz <= 0:
+            raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz}")
+        noise_w = BOLTZMANN_J_PER_K * self.temperature_k * bandwidth_hz
+        return 10 * math.log10(noise_w * 1e3) + self.noise_figure_db
+
+    def snr_db(self, distance_mm: float, data_rate_gbps: float) -> float:
+        """Signal-to-noise ratio of the link [dB]."""
+        bandwidth = data_rate_gbps * 1e9  # OOK: ~1 Hz per bit/s
+        return self.received_power_dbm(distance_mm) - self.noise_power_dbm(bandwidth)
+
+    def bit_error_rate(self, distance_mm: float, data_rate_gbps: float) -> float:
+        """BER of non-coherent OOK at the link SNR.
+
+        Uses the standard non-coherent OOK approximation
+        ``BER = 0.5 * exp(-SNR/4)`` (SNR as a linear ratio).
+        """
+        snr_linear = 10 ** (self.snr_db(distance_mm, data_rate_gbps) / 10.0)
+        return 0.5 * math.exp(-snr_linear / 4.0)
+
+    def closes(
+        self,
+        distance_mm: float,
+        data_rate_gbps: float,
+        target_ber: float = 1e-15,
+    ) -> bool:
+        """Whether the link meets the target BER at the given distance/rate."""
+        if target_ber <= 0:
+            raise ValueError("target_ber must be positive")
+        return self.bit_error_rate(distance_mm, data_rate_gbps) <= target_ber
+
+    def max_distance_mm(
+        self,
+        data_rate_gbps: float,
+        target_ber: float = 1e-15,
+        limit_mm: float = 1000.0,
+    ) -> float:
+        """Largest distance at which the link still closes (bisection search)."""
+        low, high = 0.1, limit_mm
+        if not self.closes(low, data_rate_gbps, target_ber):
+            return 0.0
+        if self.closes(high, data_rate_gbps, target_ber):
+            return high
+        for _ in range(60):
+            mid = (low + high) / 2
+            if self.closes(mid, data_rate_gbps, target_ber):
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,15 @@
+"""Medium access control protocols for the shared wireless channel."""
+
+from .base import MacAdapter, MacProtocol, MacStatistics, PendingTransmission
+from .control_packet import ControlPacketMac, TransmissionPlan
+from .token import TokenMac
+
+__all__ = [
+    "ControlPacketMac",
+    "MacAdapter",
+    "MacProtocol",
+    "MacStatistics",
+    "PendingTransmission",
+    "TokenMac",
+    "TransmissionPlan",
+]

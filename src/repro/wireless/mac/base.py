@@ -1,0 +1,162 @@
+"""Medium access control (MAC) protocol interface.
+
+Multiple WIs share each wireless channel; the MAC serialises their access so
+communication stays contention-free (Section III-D).  The simulator asks the
+MAC two questions every cycle: *may this WI put a flit for that destination
+on the air right now?* (``may_send``) and *who is transmitting / listening?*
+(for the sleepy-transceiver power model).  The MAC in turn observes the
+traffic waiting at each WI through a small adapter interface so the protocol
+logic stays independent of the simulator's internals.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+@dataclass(frozen=True)
+class PendingTransmission:
+    """One VC's worth of traffic waiting at a WI for the wireless channel."""
+
+    dst_switch: int
+    packet_id: int
+    buffered_flits: int
+    packet_length_flits: int
+    front_is_head: bool
+    #: Flits of the packet that still have to cross this wireless hop
+    #: (buffered ones plus those still streaming into the WI switch).  The
+    #: transmitting WI knows this from the packet header, so the control
+    #: packet can announce the full remainder rather than only the flits
+    #: buffered at planning time.
+    remaining_flits: int = 0
+
+
+class MacAdapter(abc.ABC):
+    """What a MAC protocol can see and do in the surrounding system."""
+
+    @abc.abstractmethod
+    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
+        """Traffic currently waiting at a WI for the wireless channel."""
+
+    @abc.abstractmethod
+    def record_control_energy(self, energy_pj: float) -> None:
+        """Charge the energy of a MAC control packet / token broadcast."""
+
+    @abc.abstractmethod
+    def acceptable_flits(
+        self, dst_switch: int, packet_id: int, is_head: bool
+    ) -> int:
+        """How many flits of a packet the destination WI can buffer right now.
+
+        The control packet of the previous transmission towards the same
+        destination carries enough information for the transmitting WI to
+        know the destination VC occupancy, so MAC protocols plan only bursts
+        the receiver can actually accept.
+        """
+
+
+class MacStatistics:
+    """Counters every MAC implementation maintains."""
+
+    def __init__(self) -> None:
+        self.grants = 0
+        self.control_packets = 0
+        self.token_passes = 0
+        self.flits_transmitted = 0
+        self.idle_grant_cycles = 0
+        self.forced_releases = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reports and tests."""
+        return {
+            "grants": self.grants,
+            "control_packets": self.control_packets,
+            "token_passes": self.token_passes,
+            "flits_transmitted": self.flits_transmitted,
+            "idle_grant_cycles": self.idle_grant_cycles,
+            "forced_releases": self.forced_releases,
+        }
+
+
+class MacProtocol(abc.ABC):
+    """Base class of the channel-access protocols.
+
+    Parameters
+    ----------
+    channel_id:
+        Index of the wireless channel this protocol instance arbitrates.
+    wi_switch_ids:
+        The WIs sharing the channel, in their fixed sequence order ("the WIs
+        are numbered in a sequence", Section III-D).
+    adapter:
+        View into the simulator (pending traffic, energy accounting).
+    """
+
+    def __init__(
+        self,
+        channel_id: int,
+        wi_switch_ids: Sequence[int],
+        adapter: MacAdapter,
+    ) -> None:
+        if not wi_switch_ids:
+            raise ValueError("a wireless channel needs at least one WI")
+        self.channel_id = channel_id
+        self.wi_switch_ids = list(wi_switch_ids)
+        self.adapter = adapter
+        self.stats = MacStatistics()
+
+    # ------------------------------------------------------------------
+    # Protocol interface used by the simulator.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def update(self, cycle: int) -> None:
+        """Advance protocol state at the beginning of a cycle."""
+
+    @abc.abstractmethod
+    def may_send(
+        self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
+    ) -> bool:
+        """Whether the WI may put this flit on the channel this cycle."""
+
+    def on_flit_sent(
+        self,
+        wi_switch_id: int,
+        packet_id: int,
+        dst_switch: int,
+        is_tail: bool,
+        cycle: int,
+    ) -> None:
+        """Notification that a flit was transmitted (default: count it)."""
+        self.stats.flits_transmitted += 1
+
+    @abc.abstractmethod
+    def current_transmitter(self) -> Optional[int]:
+        """WI currently holding the channel, if any."""
+
+    def intended_receivers(self) -> Set[int]:
+        """Destination WIs of the current transmission (for sleep control).
+
+        The default says "everyone listens", which models a MAC without
+        receiver power gating.
+        """
+        return set(self.wi_switch_ids)
+
+    # ------------------------------------------------------------------
+    # Shared helpers.
+    # ------------------------------------------------------------------
+
+    def next_wi_index(self, index: int) -> int:
+        """Index of the WI after ``index`` in the fixed sequence."""
+        return (index + 1) % len(self.wi_switch_ids)
+
+    def member_index(self, wi_switch_id: int) -> int:
+        """Position of a WI in the channel's sequence."""
+        try:
+            return self.wi_switch_ids.index(wi_switch_id)
+        except ValueError:
+            raise ValueError(
+                f"WI {wi_switch_id} is not a member of channel {self.channel_id}"
+            ) from None

@@ -1,0 +1,196 @@
+"""The proposed control-packet MAC with partial-packet transmission.
+
+Section III-D: instead of circulating a token after every transmission, each
+WI broadcasts a *control packet* at the beginning of its transmission slot.
+The control packet carries up to ``max_tuples`` 3-tuples
+``(DestWI, PktID, NumFlits)`` — one per output VC — describing exactly which
+flits the WI is about to transmit.  Because the destination can map ``PktID``
+onto a VC, the WI may transmit *partial* packets (only the flits it has
+buffered right now) without breaking wormhole switching, which removes the
+whole-packet buffering requirement of the token MAC.  All other WIs learn
+the duration of the transmission from the control packet, so the next WI in
+the fixed sequence starts its own control packet exactly when the current
+transmission ends — no contention, no token.  Receivers that are not listed
+as a destination power-gate themselves for the duration of the burst
+("sleepy transceivers" [17]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ...energy.technology import WIRELESS_ENERGY_PJ_PER_BIT
+from .base import MacAdapter, MacProtocol
+
+
+@dataclass
+class TransmissionPlan:
+    """The burst a WI announced in its control packet."""
+
+    wi_switch_id: int
+    #: Remaining flits per (destination switch, packet id).
+    remaining: Dict[Tuple[int, int], int]
+    announced_flits: int
+    started_cycle: int
+    deadline_cycle: int
+
+    @property
+    def destinations(self) -> Set[int]:
+        """Destination WIs addressed by this burst."""
+        return {dst for (dst, _), count in self.remaining.items() if count > 0}
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every announced flit has been transmitted."""
+        return all(count <= 0 for count in self.remaining.values())
+
+
+class ControlPacketMac(MacProtocol):
+    """Control-packet based, partial-packet, sleepy-receiver MAC."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        wi_switch_ids: Sequence[int],
+        adapter: MacAdapter,
+        control_packet_cycles: int = 3,
+        control_packet_bits: int = 96,
+        max_tuples: int = 8,
+        cycles_per_flit: int = 1,
+        hold_slack_cycles: int = 32,
+    ) -> None:
+        super().__init__(channel_id, wi_switch_ids, adapter)
+        if control_packet_cycles <= 0:
+            raise ValueError("control_packet_cycles must be positive")
+        if max_tuples <= 0:
+            raise ValueError("max_tuples must be positive")
+        if cycles_per_flit <= 0:
+            raise ValueError("cycles_per_flit must be positive")
+        self._control_cycles = control_packet_cycles
+        self._control_bits = control_packet_bits
+        self._max_tuples = max_tuples
+        self._cycles_per_flit = cycles_per_flit
+        self._hold_slack = hold_slack_cycles
+        self._holder_index = 0
+        self._plan: Optional[TransmissionPlan] = None
+        #: Cycles of control-packet broadcast still to elapse before data
+        #: flits of the current burst may be transmitted.
+        self._control_remaining = 0
+
+    # ------------------------------------------------------------------
+    # MacProtocol interface.
+    # ------------------------------------------------------------------
+
+    def current_transmitter(self) -> Optional[int]:
+        """WI currently holding the channel (control or data phase)."""
+        if self._plan is None:
+            return None
+        return self._plan.wi_switch_id
+
+    def intended_receivers(self) -> Set[int]:
+        """Destinations of the announced burst; everyone else may sleep."""
+        if self._plan is None:
+            return set()
+        return self._plan.destinations
+
+    @property
+    def in_control_phase(self) -> bool:
+        """Whether the channel is currently carrying a control packet."""
+        return self._plan is not None and self._control_remaining > 0
+
+    def update(self, cycle: int) -> None:
+        """Advance the burst schedule at the beginning of a cycle."""
+        if self._plan is not None:
+            if self._control_remaining > 0:
+                self._control_remaining -= 1
+                return
+            expired = cycle >= self._plan.deadline_cycle
+            if self._plan.exhausted or expired:
+                if expired and not self._plan.exhausted:
+                    self.stats.forced_releases += 1
+                self._plan = None
+            else:
+                return
+        # The channel is free: let WIs announce in sequence.  At most one
+        # full rotation is examined per cycle so an all-idle channel costs
+        # O(#WIs) work but never loops forever.
+        for _ in range(len(self.wi_switch_ids)):
+            wi = self.wi_switch_ids[self._holder_index]
+            plan = self._build_plan(wi, cycle)
+            self._holder_index = self.next_wi_index(self._holder_index)
+            if plan is not None:
+                self._plan = plan
+                self._control_remaining = self._control_cycles
+                self.stats.control_packets += 1
+                self.stats.grants += 1
+                self.adapter.record_control_energy(
+                    self._control_bits * WIRELESS_ENERGY_PJ_PER_BIT
+                )
+                return
+        self.stats.idle_grant_cycles += 1
+
+    def may_send(
+        self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
+    ) -> bool:
+        """Only the announcing WI, only announced flits, only after the control phase."""
+        plan = self._plan
+        if plan is None or plan.wi_switch_id != wi_switch_id:
+            return False
+        if self._control_remaining > 0:
+            # Data flits may not overlap the control packet broadcast.
+            return False
+        return plan.remaining.get((dst_switch, packet_id), 0) > 0
+
+    def on_flit_sent(
+        self,
+        wi_switch_id: int,
+        packet_id: int,
+        dst_switch: int,
+        is_tail: bool,
+        cycle: int,
+    ) -> None:
+        """Consume one announced flit."""
+        super().on_flit_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
+        plan = self._plan
+        if plan is None or plan.wi_switch_id != wi_switch_id:
+            return
+        key = (dst_switch, packet_id)
+        if key in plan.remaining:
+            plan.remaining[key] -= 1
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _build_plan(self, wi_switch_id: int, cycle: int) -> Optional[TransmissionPlan]:
+        pending = self.adapter.pending(wi_switch_id)
+        if not pending:
+            return None
+        remaining: Dict[Tuple[int, int], int] = {}
+        announced = 0
+        for entry in pending:
+            if len(remaining) >= self._max_tuples:
+                break
+            if entry.buffered_flits <= 0:
+                continue
+            acceptable = self.adapter.acceptable_flits(
+                entry.dst_switch, entry.packet_id, entry.front_is_head
+            )
+            announced_flits = max(entry.buffered_flits, entry.remaining_flits)
+            flits = min(announced_flits, acceptable)
+            if flits <= 0:
+                continue
+            key = (entry.dst_switch, entry.packet_id)
+            remaining[key] = remaining.get(key, 0) + flits
+            announced += flits
+        if not remaining:
+            return None
+        duration = self._control_cycles + announced * self._cycles_per_flit
+        return TransmissionPlan(
+            wi_switch_id=wi_switch_id,
+            remaining=remaining,
+            announced_flits=announced,
+            started_cycle=cycle,
+            deadline_cycle=cycle + duration + self._hold_slack,
+        )

@@ -1,0 +1,143 @@
+"""Baseline token-passing MAC [7].
+
+A token circulates over the WIs of a channel in a fixed sequence; only the
+token holder may transmit, and "only whole packets are transmitted to other
+WIs, to maintain the integrity of the wormhole switching" [11].  The holder
+therefore waits until an entire packet is buffered at its WI before starting
+a transmission, and releases the token after the tail flit (or immediately,
+after a token-pass latency, when it has nothing eligible to send).
+
+The whole-packet rule is what drives the WI buffer requirement (and hence
+static power) up — the motivation for the control-packet MAC the paper
+proposes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from ...energy.technology import WIRELESS_ENERGY_PJ_PER_BIT
+from .base import MacAdapter, MacProtocol
+
+#: Size of the circulating token [bits]; only used for energy accounting.
+TOKEN_BITS = 8
+
+
+class TokenMac(MacProtocol):
+    """Token-passing channel arbitration with whole-packet transmissions."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        wi_switch_ids: Sequence[int],
+        adapter: MacAdapter,
+        token_pass_latency_cycles: int = 2,
+        max_hold_cycles: int = 4096,
+    ) -> None:
+        super().__init__(channel_id, wi_switch_ids, adapter)
+        if token_pass_latency_cycles < 0:
+            raise ValueError("token_pass_latency_cycles must be non-negative")
+        if max_hold_cycles <= 0:
+            raise ValueError("max_hold_cycles must be positive")
+        self._token_pass_latency = token_pass_latency_cycles
+        self._max_hold_cycles = max_hold_cycles
+        self._holder_index = 0
+        self._passing_until = 0
+        self._active_packet: Optional[int] = None
+        self._active_destination: Optional[int] = None
+        self._hold_since = 0
+
+    # ------------------------------------------------------------------
+    # MacProtocol interface.
+    # ------------------------------------------------------------------
+
+    def current_transmitter(self) -> Optional[int]:
+        """The token holder (even while idle — the token is with it)."""
+        if self._passing_until > 0:
+            return None
+        return self.wi_switch_ids[self._holder_index]
+
+    def intended_receivers(self) -> Set[int]:
+        """Token MAC receivers are always awake; mid-packet the destination listens."""
+        return set(self.wi_switch_ids)
+
+    def update(self, cycle: int) -> None:
+        """Pass the token when the holder has nothing eligible to transmit."""
+        if self._passing_until > 0:
+            if cycle < self._passing_until:
+                return
+            self._passing_until = 0
+            self._hold_since = cycle
+        if self._active_packet is not None:
+            if cycle - self._hold_since > self._max_hold_cycles:
+                # Safety valve: a stalled destination cannot capture the
+                # channel forever.
+                self.stats.forced_releases += 1
+                self._active_packet = None
+                self._active_destination = None
+                self._pass_token(cycle)
+            return
+        holder = self.wi_switch_ids[self._holder_index]
+        if self._eligible_packet(holder) is None:
+            self.stats.idle_grant_cycles += 1
+            self._pass_token(cycle)
+
+    def may_send(
+        self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
+    ) -> bool:
+        """Only the holder transmits, and only whole buffered packets."""
+        if self._passing_until > 0:
+            return False
+        if wi_switch_id != self.wi_switch_ids[self._holder_index]:
+            return False
+        if self._active_packet is not None:
+            return packet_id == self._active_packet
+        if not is_head:
+            return False
+        eligible = self._eligible_packet(wi_switch_id)
+        return eligible == packet_id
+
+    def on_flit_sent(
+        self,
+        wi_switch_id: int,
+        packet_id: int,
+        dst_switch: int,
+        is_tail: bool,
+        cycle: int,
+    ) -> None:
+        """Track the in-flight packet; release the token after the tail."""
+        super().on_flit_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
+        if self._active_packet is None:
+            self._active_packet = packet_id
+            self._active_destination = dst_switch
+            self._hold_since = cycle
+            self.stats.grants += 1
+        if is_tail:
+            self._active_packet = None
+            self._active_destination = None
+            self._pass_token(cycle)
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _eligible_packet(self, wi_switch_id: int) -> Optional[int]:
+        """Packet id of a fully-buffered packet the destination can accept."""
+        for entry in self.adapter.pending(wi_switch_id):
+            if not entry.front_is_head:
+                continue
+            if entry.buffered_flits < entry.packet_length_flits:
+                continue
+            acceptable = self.adapter.acceptable_flits(
+                entry.dst_switch, entry.packet_id, entry.front_is_head
+            )
+            if acceptable <= 0:
+                continue
+            return entry.packet_id
+        return None
+
+    def _pass_token(self, cycle: int) -> None:
+        self._holder_index = self.next_wi_index(self._holder_index)
+        self._passing_until = cycle + max(1, self._token_pass_latency)
+        self.stats.token_passes += 1
+        self.adapter.record_control_energy(TOKEN_BITS * WIRELESS_ENERGY_PJ_PER_BIT)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build deliberately small systems (a few cores per chip, short
+packets, short runs) so the whole suite exercises every code path of the
+cycle-accurate simulator in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architectures import build_system
+from repro.core.config import Architecture, SystemConfig
+from repro.noc.config import NetworkConfig, WirelessConfig
+from repro.noc.engine import SimulationConfig
+
+
+def small_network_config(mac: str = "control_packet", packet_length: int = 8) -> NetworkConfig:
+    """A small-but-complete NoC configuration for fast tests."""
+    return NetworkConfig(
+        virtual_channels=4,
+        buffer_depth_flits=4,
+        packet_length_flits=packet_length,
+        wireless=WirelessConfig(mac=mac, num_channels=2),
+    )
+
+
+def small_system_config(
+    architecture: Architecture = Architecture.WIRELESS,
+    num_chips: int = 2,
+    cores_per_chip: int = 4,
+    num_memory_stacks: int = 2,
+    mac: str = "control_packet",
+    packet_length: int = 8,
+) -> SystemConfig:
+    """A 2-chip, 2-stack system that still exercises every architecture."""
+    return SystemConfig(
+        architecture=architecture,
+        num_chips=num_chips,
+        cores_per_chip=cores_per_chip,
+        num_memory_stacks=num_memory_stacks,
+        vaults_per_stack=2,
+        cores_per_wi=4,
+        total_processing_area_mm2=100.0,
+        network=small_network_config(mac=mac, packet_length=packet_length),
+    )
+
+
+@pytest.fixture
+def small_wireless_system():
+    """A built small wireless system."""
+    return build_system(small_system_config(Architecture.WIRELESS))
+
+
+@pytest.fixture
+def small_interposer_system():
+    """A built small interposer system."""
+    return build_system(small_system_config(Architecture.INTERPOSER))
+
+
+@pytest.fixture
+def small_substrate_system():
+    """A built small substrate system."""
+    return build_system(small_system_config(Architecture.SUBSTRATE))
+
+
+@pytest.fixture
+def short_simulation_config():
+    """A short simulation long enough for packets to traverse the system."""
+    return SimulationConfig(cycles=400, warmup_cycles=100)

@@ -1,0 +1,171 @@
+"""Tests of the wire / switch / I/O / wireless energy models and accounting."""
+
+import pytest
+
+from repro.energy import (
+    EnergyAccountant,
+    SerialIoModel,
+    SwitchPowerModel,
+    WideIoModel,
+    WireModel,
+    WirelessEnergyModel,
+    interposer_link_characteristics,
+)
+from repro.energy.technology import DEFAULT_TECHNOLOGY
+from repro.noc.packet import Packet
+
+
+def _packet():
+    return Packet(
+        packet_id=0,
+        src_endpoint=0,
+        dst_endpoint=1,
+        src_switch=0,
+        dst_switch=1,
+        length_flits=4,
+        generation_cycle=0,
+        route=[0, 1],
+    )
+
+
+class TestWireModel:
+    def test_energy_proportional_to_length(self):
+        model = WireModel()
+        short = model.characterize(1.0)
+        long = model.characterize(4.0)
+        assert long.energy_pj_per_flit == pytest.approx(4 * short.energy_pj_per_flit)
+
+    def test_mesh_link_length(self):
+        model = WireModel()
+        assert model.mesh_link_length_mm(10.0, 4) == pytest.approx(2.5)
+
+    def test_default_mesh_links_are_single_cycle(self):
+        """The paper assumes single-cycle intra-chip links; a 2.5 mm hop is."""
+        model = WireModel()
+        assert model.is_single_cycle(2.5)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            WireModel().characterize(-1.0)
+
+    def test_interposer_link_energy_above_mesh_hop(self):
+        mesh = WireModel().characterize(2.5)
+        interposer = interposer_link_characteristics(3.0)
+        assert interposer.energy_pj_per_flit > mesh.energy_pj_per_flit
+
+
+class TestSwitchPowerModel:
+    def test_reference_profile(self):
+        profile = SwitchPowerModel().profile(5, 8, 16)
+        assert profile.dynamic_energy_pj_per_flit == pytest.approx(
+            DEFAULT_TECHNOLOGY.switch_dynamic_energy_pj_per_flit
+        )
+        assert profile.static_power_mw == pytest.approx(
+            DEFAULT_TECHNOLOGY.switch_static_power_mw, rel=0.01
+        )
+
+    def test_bigger_buffers_cost_more_static_power(self):
+        model = SwitchPowerModel()
+        small = model.profile(5, 8, 16)
+        big = model.profile(5, 8, 64)
+        assert big.static_power_mw > small.static_power_mw
+
+    def test_static_energy_scales_with_cycles(self):
+        profile = SwitchPowerModel().profile(5, 8, 16)
+        one = profile.static_energy_pj(1000, 0.4e-9)
+        two = profile.static_energy_pj(2000, 0.4e-9)
+        assert two == pytest.approx(2 * one)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SwitchPowerModel().profile(0, 8, 16)
+        with pytest.raises(ValueError):
+            SwitchPowerModel().traversal_energy_pj(-1)
+
+
+class TestIoModels:
+    def test_serial_io_figures(self):
+        io = SerialIoModel().characterize()
+        assert io.energy_pj_per_flit == pytest.approx(5.0 * 32)
+        assert io.cycles_per_flit == 6
+        assert io.rate_gbps == pytest.approx(15.0)
+
+    def test_serial_io_lane_bonding(self):
+        bonded = SerialIoModel(lanes=4).characterize()
+        assert bonded.rate_gbps == pytest.approx(60.0)
+        assert bonded.cycles_per_flit < SerialIoModel().characterize().cycles_per_flit
+
+    def test_wide_io_figures(self):
+        io = WideIoModel().characterize()
+        assert io.energy_pj_per_flit == pytest.approx(6.5 * 32)
+        assert io.cycles_per_flit == 1
+        assert io.rate_gbps == pytest.approx(128.0)
+
+    def test_rejects_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            SerialIoModel(lanes=0)
+
+
+class TestWirelessEnergyModel:
+    def test_per_flit_energy(self):
+        model = WirelessEnergyModel()
+        assert model.profile().energy_pj_per_flit == pytest.approx(2.3 * 32)
+        assert model.hop_energy_pj(10) == pytest.approx(10 * 2.3 * 32)
+
+    def test_sleep_saves_idle_energy(self):
+        model = WirelessEnergyModel()
+        awake = model.idle_energy_pj(1000, asleep=False)
+        asleep = model.idle_energy_pj(1000, asleep=True)
+        assert asleep < awake
+
+    def test_control_packet_energy(self):
+        model = WirelessEnergyModel()
+        assert model.control_packet_energy_pj(96) == pytest.approx(96 * 2.3)
+
+    def test_rejects_negative_inputs(self):
+        model = WirelessEnergyModel()
+        with pytest.raises(ValueError):
+            model.hop_energy_pj(-1)
+        with pytest.raises(ValueError):
+            model.idle_energy_pj(-5, asleep=True)
+
+
+class TestEnergyAccountant:
+    def test_dynamic_attribution(self):
+        accountant = EnergyAccountant()
+        packet = _packet()
+        accountant.record_switch_traversal(packet, 1.0)
+        accountant.record_link_traversal(packet, 16.0, wireless=False)
+        accountant.record_link_traversal(packet, 73.6, wireless=True)
+        assert packet.energy_pj == pytest.approx(90.6)
+        assert accountant.breakdown.switch_dynamic_pj == pytest.approx(1.0)
+        assert accountant.breakdown.link_pj == pytest.approx(16.0)
+        assert accountant.breakdown.wireless_pj == pytest.approx(73.6)
+        assert accountant.breakdown.dynamic_pj == pytest.approx(90.6)
+
+    def test_static_energy_recording(self):
+        accountant = EnergyAccountant()
+        accountant.record_static(1000, total_switch_static_mw=10.0)
+        assert accountant.breakdown.switch_static_pj > 0
+        accountant.add_transceiver_static_energy(500.0)
+        assert accountant.breakdown.transceiver_static_pj == pytest.approx(500.0)
+
+    def test_average_packet_energy_with_and_without_static(self):
+        with_static = EnergyAccountant(include_static=True)
+        with_static.record_static(100, total_switch_static_mw=10.0)
+        base = [100.0, 200.0]
+        assert with_static.average_packet_energy_pj(base) > 150.0
+        without = EnergyAccountant(include_static=False)
+        without.record_static(100, total_switch_static_mw=10.0)
+        assert without.average_packet_energy_pj(base) == pytest.approx(150.0)
+
+    def test_mac_control_energy_not_attributed_to_packets(self):
+        accountant = EnergyAccountant()
+        accountant.record_mac_control(50.0)
+        assert accountant.breakdown.mac_control_pj == pytest.approx(50.0)
+        assert accountant.breakdown.dynamic_pj == pytest.approx(50.0)
+
+    def test_breakdown_as_dict(self):
+        accountant = EnergyAccountant()
+        d = accountant.breakdown.as_dict()
+        assert set(d) >= {"dynamic_pj", "static_pj", "total_pj"}

@@ -1,0 +1,186 @@
+"""Unit tests of the wireless MAC protocols against a scripted adapter."""
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.wireless.mac import (
+    ControlPacketMac,
+    MacAdapter,
+    PendingTransmission,
+    TokenMac,
+)
+
+
+class ScriptedAdapter(MacAdapter):
+    """A MAC adapter whose pending traffic is set directly by the test."""
+
+    def __init__(self) -> None:
+        self.pending_by_wi: Dict[int, List[PendingTransmission]] = {}
+        self.space: Dict[Tuple[int, int], int] = {}
+        self.control_energy_pj = 0.0
+
+    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
+        return list(self.pending_by_wi.get(wi_switch_id, []))
+
+    def record_control_energy(self, energy_pj: float) -> None:
+        self.control_energy_pj += energy_pj
+
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
+        return self.space.get((dst_switch, packet_id), 64)
+
+    # Helpers -----------------------------------------------------------
+
+    def set_pending(self, wi: int, dst: int, packet_id: int, buffered: int,
+                    length: int, is_head: bool = True, remaining: int = None) -> None:
+        entry = PendingTransmission(
+            dst_switch=dst,
+            packet_id=packet_id,
+            buffered_flits=buffered,
+            packet_length_flits=length,
+            front_is_head=is_head,
+            remaining_flits=remaining if remaining is not None else length,
+        )
+        self.pending_by_wi.setdefault(wi, []).append(entry)
+
+    def clear(self, wi: int) -> None:
+        self.pending_by_wi.pop(wi, None)
+
+
+class TestControlPacketMac:
+    def _mac(self, adapter, wis=(10, 20, 30)):
+        return ControlPacketMac(0, list(wis), adapter, control_packet_cycles=2)
+
+    def test_idle_channel_grants_nobody(self):
+        adapter = ScriptedAdapter()
+        mac = self._mac(adapter)
+        mac.update(0)
+        assert mac.current_transmitter() is None
+        assert not mac.may_send(10, 1, 20, True)
+
+    def test_grant_follows_pending_traffic(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(20, dst=30, packet_id=5, buffered=4, length=8)
+        mac = self._mac(adapter)
+        mac.update(0)
+        assert mac.current_transmitter() == 20
+        # During the control-packet broadcast no data may be sent.
+        assert not mac.may_send(20, 5, 30, True)
+        mac.update(1)
+        mac.update(2)
+        assert mac.may_send(20, 5, 30, True)
+        # Other WIs are excluded while 20 holds the channel.
+        assert not mac.may_send(10, 5, 30, True)
+
+    def test_control_packet_energy_charged(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(10, dst=20, packet_id=1, buffered=2, length=4)
+        mac = self._mac(adapter)
+        mac.update(0)
+        assert adapter.control_energy_pj > 0
+        assert mac.stats.control_packets == 1
+
+    def test_burst_consumption_and_rotation(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(10, dst=20, packet_id=1, buffered=2, length=2)
+        mac = self._mac(adapter)
+        mac.update(0)
+        mac.update(1)
+        mac.update(2)
+        assert mac.may_send(10, 1, 20, True)
+        mac.on_flit_sent(10, 1, 20, is_tail=False, cycle=3)
+        mac.on_flit_sent(10, 1, 20, is_tail=True, cycle=4)
+        adapter.clear(10)
+        adapter.set_pending(30, dst=10, packet_id=2, buffered=1, length=1)
+        mac.update(5)
+        assert mac.current_transmitter() == 30
+
+    def test_partial_packet_transmission_allowed(self):
+        """Only the buffered/acceptable part of a packet is announced."""
+        adapter = ScriptedAdapter()
+        adapter.space[(20, 1)] = 3
+        adapter.set_pending(10, dst=20, packet_id=1, buffered=6, length=64, remaining=64)
+        mac = self._mac(adapter)
+        mac.update(0)
+        plan = mac._plan  # internal, but the partial-packet rule is the point
+        assert plan is not None
+        assert plan.remaining[(20, 1)] == 3
+
+    def test_sleepy_receiver_set(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(10, dst=30, packet_id=1, buffered=2, length=4)
+        mac = self._mac(adapter)
+        mac.update(0)
+        receivers = mac.intended_receivers()
+        assert receivers == {30}
+
+    def test_deadline_forces_release(self):
+        adapter = ScriptedAdapter()
+        adapter.space[(20, 1)] = 64
+        adapter.set_pending(10, dst=20, packet_id=1, buffered=4, length=4)
+        mac = ControlPacketMac(0, [10, 20], adapter, control_packet_cycles=1,
+                               hold_slack_cycles=2)
+        mac.update(0)
+        # Never send anything; after the deadline the channel must be freed.
+        for cycle in range(1, 40):
+            mac.update(cycle)
+        assert mac.stats.forced_releases >= 1
+
+    def test_invalid_parameters(self):
+        adapter = ScriptedAdapter()
+        with pytest.raises(ValueError):
+            ControlPacketMac(0, [], adapter)
+        with pytest.raises(ValueError):
+            ControlPacketMac(0, [1], adapter, control_packet_cycles=0)
+
+
+class TestTokenMac:
+    def _mac(self, adapter, wis=(10, 20)):
+        return TokenMac(0, list(wis), adapter, token_pass_latency_cycles=1)
+
+    def test_only_holder_with_whole_packet_may_send(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(10, dst=20, packet_id=1, buffered=2, length=4)
+        mac = self._mac(adapter)
+        mac.update(0)
+        # Packet only partially buffered: the token MAC must refuse it.
+        assert not mac.may_send(10, 1, 20, True)
+
+    def test_whole_packet_transmission_and_token_release(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(10, dst=20, packet_id=1, buffered=4, length=4)
+        mac = self._mac(adapter)
+        mac.update(0)
+        assert mac.may_send(10, 1, 20, True)
+        mac.on_flit_sent(10, 1, 20, is_tail=False, cycle=0)
+        assert mac.may_send(10, 1, 20, False)
+        mac.on_flit_sent(10, 1, 20, is_tail=True, cycle=3)
+        # Tail sent: the token moves on.
+        assert mac.stats.token_passes >= 1
+        assert not mac.may_send(10, 1, 20, True)
+
+    def test_token_rotates_when_holder_idle(self):
+        adapter = ScriptedAdapter()
+        mac = self._mac(adapter)
+        passes_before = mac.stats.token_passes
+        for cycle in range(6):
+            mac.update(cycle)
+        assert mac.stats.token_passes > passes_before
+
+    def test_non_holder_never_sends(self):
+        adapter = ScriptedAdapter()
+        adapter.set_pending(20, dst=10, packet_id=3, buffered=4, length=4)
+        mac = self._mac(adapter)
+        mac.update(0)
+        assert not mac.may_send(20, 3, 10, True) or mac.current_transmitter() == 20
+
+    def test_receivers_always_awake(self):
+        adapter = ScriptedAdapter()
+        mac = self._mac(adapter)
+        assert mac.intended_receivers() == {10, 20}
+
+    def test_member_index_validation(self):
+        adapter = ScriptedAdapter()
+        mac = self._mac(adapter)
+        with pytest.raises(ValueError):
+            mac.member_index(99)

@@ -1,0 +1,113 @@
+"""Tests of the stacked-DRAM memory models."""
+
+import pytest
+
+from repro.memory import (
+    DramStack,
+    DramStackConfig,
+    MemoryInterface,
+    TsvBus,
+    VaultConfig,
+    VaultController,
+)
+from repro.topology import build_multichip_base
+
+
+class TestVault:
+    def test_access_latency_includes_burst(self):
+        config = VaultConfig()
+        short = config.access_latency_network_cycles(16)
+        long = config.access_latency_network_cycles(256)
+        assert long > short
+
+    def test_controller_serialises_accesses(self):
+        vault = VaultController(0)
+        first = vault.access(cycle=0, bytes_transferred=64, is_write=False)
+        second = vault.access(cycle=0, bytes_transferred=64, is_write=False)
+        assert second > first
+        assert vault.reads_serviced == 2
+
+    def test_utilisation_and_reset(self):
+        vault = VaultController(0)
+        vault.access(0, 64, is_write=True)
+        assert 0 < vault.utilisation(10_000) <= 1.0
+        vault.reset()
+        assert vault.busy_until == 0
+        assert vault.writes_serviced == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VaultConfig(bus_width_bits=0)
+        with pytest.raises(ValueError):
+            VaultController(-1)
+
+
+class TestTsvBus:
+    def test_transfer_cycles_scale_with_bits(self):
+        bus = TsvBus(layers=4, width_bits=128)
+        assert bus.transfer_cycles(0) == 0
+        assert bus.transfer_cycles(128) == 3
+        assert bus.transfer_cycles(256) == 6
+
+    def test_single_layer_stack_has_no_tsv_delay(self):
+        assert TsvBus(layers=1).transfer_cycles(1024) == 0
+
+    def test_energy_accounting(self):
+        bus = TsvBus()
+        assert bus.transfer_energy_pj(1000) > 0
+        assert bus.transfer_energy_pj(1000, layers_crossed=0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TsvBus(layers=0)
+        with pytest.raises(ValueError):
+            TsvBus().transfer_cycles(-1)
+
+
+class TestDramStack:
+    def test_paper_configuration(self):
+        stack = DramStack(0)
+        assert stack.config.layers == 4
+        assert stack.num_vaults == 4
+        assert stack.peak_bandwidth_gbps() == pytest.approx(512.0)
+
+    def test_reads_and_writes_complete_in_order_per_vault(self):
+        stack = DramStack(0)
+        first = stack.service_read(0, 64, cycle=0)
+        second = stack.service_read(0, 64, cycle=0)
+        other_vault = stack.service_read(1, 64, cycle=0)
+        assert second > first
+        assert other_vault <= first  # independent channel
+
+    def test_capacity(self):
+        assert DramStack(0).config.total_capacity_mib == 4096
+
+    def test_vault_index_bounds(self):
+        stack = DramStack(0)
+        with pytest.raises(IndexError):
+            stack.vault(10)
+
+
+class TestMemoryInterface:
+    def test_maps_every_vault_endpoint(self):
+        system = build_multichip_base(2, 4, 2, vaults_per_stack=4)
+        interface = MemoryInterface(system.graph)
+        assert interface.num_stacks == 2
+        assert interface.total_capacity_mib() == 2 * 4096
+        for vault in system.graph.memory_vaults:
+            done = interface.service_request(vault.endpoint_id, 64, cycle=0)
+            assert done > 0
+
+    def test_unknown_endpoint_rejected(self):
+        system = build_multichip_base(1, 4, 1, vaults_per_stack=2)
+        interface = MemoryInterface(system.graph)
+        with pytest.raises(KeyError):
+            interface.service_request(99999, 64, 0)
+
+    def test_reset(self):
+        system = build_multichip_base(1, 4, 1, vaults_per_stack=2)
+        interface = MemoryInterface(system.graph)
+        vault = system.graph.memory_vaults[0].endpoint_id
+        first = interface.service_request(vault, 64, 0)
+        interface.reset()
+        assert interface.service_request(vault, 64, 0) == first

@@ -1,0 +1,219 @@
+"""Unit tests of the simulator building blocks (flits, packets, VCs, links)."""
+
+import pytest
+
+from repro.noc.config import NetworkConfig, WirelessConfig
+from repro.noc.flit import FlitType, flit_type_for
+from repro.noc.link import LinkCharacteristics, WirelessLinkSettings, characterize_link
+from repro.noc.packet import Packet
+from repro.noc.port import InputPort, OutputPort
+from repro.noc.switch import Switch
+from repro.noc.virtual_channel import VirtualChannel
+from repro.topology.graph import LinkKind, LinkSpec, SwitchKind, SwitchSpec
+
+
+def _packet(length=4, route=(0, 1)):
+    return Packet(
+        packet_id=1,
+        src_endpoint=0,
+        dst_endpoint=1,
+        src_switch=route[0],
+        dst_switch=route[-1],
+        length_flits=length,
+        generation_cycle=0,
+        route=list(route),
+    )
+
+
+def _switch(switch_id=0, num_vcs=2, depth=4):
+    spec = SwitchSpec(
+        switch_id=switch_id,
+        kind=SwitchKind.CORE,
+        region_id=0,
+        grid_x=0,
+        grid_y=0,
+        position_mm=(0.0, 0.0),
+    )
+    return Switch(spec, num_vcs=num_vcs, buffer_depth=depth)
+
+
+class TestFlitsAndPackets:
+    def test_flit_type_positions(self):
+        assert flit_type_for(0, 4) == FlitType.HEAD
+        assert flit_type_for(1, 4) == FlitType.BODY
+        assert flit_type_for(3, 4) == FlitType.TAIL
+        assert flit_type_for(0, 1) == FlitType.HEAD_TAIL
+
+    def test_flit_type_out_of_range(self):
+        with pytest.raises(ValueError):
+            flit_type_for(4, 4)
+        with pytest.raises(ValueError):
+            flit_type_for(0, 0)
+
+    def test_packet_flit_factory(self):
+        packet = _packet(length=3)
+        head = packet.make_flit(0)
+        tail = packet.make_flit(2)
+        assert head.is_head and not head.is_tail
+        assert tail.is_tail and not tail.is_head
+
+    def test_packet_route_validation(self):
+        with pytest.raises(ValueError):
+            Packet(0, 0, 1, 0, 2, 4, 0, route=[0, 1])
+
+    def test_packet_latency_accounting(self):
+        packet = _packet()
+        assert packet.latency_cycles is None
+        packet.injection_cycle = 5
+        packet.record_ejection(packet.make_flit(3), cycle=50)
+        assert packet.delivered
+        assert packet.latency_cycles == 50
+        assert packet.network_latency_cycles == 45
+        assert packet.hop_count == 1
+
+    def test_next_switch_after(self):
+        packet = _packet(route=(0, 1, 2))
+        assert packet.next_switch_after(0) == 1
+        with pytest.raises(ValueError):
+            packet.next_switch_after(2)
+        with pytest.raises(ValueError):
+            packet.next_switch_after(7)
+
+
+class TestVirtualChannel:
+    def _vc(self, capacity=2):
+        switch = _switch()
+        port = switch.local_input
+        return port.vcs[0]
+
+    def test_reserve_deliver_pop_cycle(self):
+        vc = self._vc()
+        packet = _packet(length=2)
+        head = packet.make_flit(0)
+        tail = packet.make_flit(1)
+        vc.reserve(packet.packet_id, is_head=True)
+        vc.deliver(head)
+        vc.reserve(packet.packet_id, is_head=False)
+        vc.deliver(tail)
+        assert vc.occupancy == 2
+        assert vc.pop() is head
+        assert vc.allocated_packet_id == packet.packet_id
+        assert vc.pop() is tail
+        # Popping the tail releases ownership.
+        assert vc.allocated_packet_id is None
+        assert vc.is_free
+
+    def test_reserve_rejects_foreign_body_flit(self):
+        vc = self._vc()
+        vc.reserve(7, is_head=True)
+        with pytest.raises(RuntimeError):
+            vc.reserve(8, is_head=False)
+
+    def test_deliver_without_reserve_rejected(self):
+        vc = self._vc()
+        with pytest.raises(RuntimeError):
+            vc.deliver(_packet().make_flit(0))
+
+    def test_overfull_reserve_rejected(self):
+        switch = _switch(depth=1)
+        vc = switch.local_input.vcs[0]
+        vc.reserve(1, is_head=True)
+        with pytest.raises(RuntimeError):
+            vc.reserve(1, is_head=False)
+
+
+class TestLinkCharacterisation:
+    def _spec(self, kind, length=2.5):
+        return LinkSpec(link_id=0, src=0, dst=1, kind=kind, length_mm=length)
+
+    def test_mesh_link(self):
+        link = characterize_link(self._spec(LinkKind.MESH))
+        assert link.cycles_per_flit == 1
+        assert link.latency_cycles >= 3
+        assert link.energy_pj_per_flit > 0
+
+    def test_serial_io_is_slowest(self):
+        serial = characterize_link(self._spec(LinkKind.SERIAL_IO))
+        wide = characterize_link(self._spec(LinkKind.WIDE_IO))
+        mesh = characterize_link(self._spec(LinkKind.MESH))
+        assert serial.cycles_per_flit > wide.cycles_per_flit == mesh.cycles_per_flit
+
+    def test_wireless_settings_respected(self):
+        link = characterize_link(
+            self._spec(LinkKind.WIRELESS),
+            wireless=WirelessLinkSettings(cycles_per_flit=5, extra_latency_cycles=2),
+        )
+        assert link.is_wireless
+        assert link.cycles_per_flit == 5
+
+    def test_energy_ordering_per_flit(self):
+        wireless = characterize_link(self._spec(LinkKind.WIRELESS))
+        serial = characterize_link(self._spec(LinkKind.SERIAL_IO))
+        wide = characterize_link(self._spec(LinkKind.WIDE_IO))
+        assert wireless.energy_pj_per_flit < serial.energy_pj_per_flit
+        assert serial.energy_pj_per_flit < wide.energy_pj_per_flit
+
+    def test_invalid_characteristics_rejected(self):
+        with pytest.raises(ValueError):
+            LinkCharacteristics(
+                kind=LinkKind.MESH,
+                cycles_per_flit=0,
+                latency_cycles=1,
+                energy_pj_per_flit=1.0,
+            )
+
+
+class TestSwitchStructure:
+    def test_wired_port_pairs(self):
+        a = _switch(0)
+        b = _switch(1)
+        link = characterize_link(
+            LinkSpec(link_id=0, src=0, dst=1, kind=LinkKind.MESH, length_mm=1.0)
+        )
+        a_in, a_out = a.add_wired_port(1, link)
+        b_in, b_out = b.add_wired_port(0, link)
+        a_out.downstream_port = b_in
+        assert a.output_towards(1) is a_out
+        assert not a.has_wireless
+
+    def test_wireless_port(self):
+        switch = _switch()
+        link = characterize_link(
+            LinkSpec(link_id=0, src=0, dst=1, kind=LinkKind.WIRELESS)
+        )
+        wi_in, wi_out = switch.add_wireless_port(link)
+        assert switch.has_wireless
+        assert switch.output_towards(42) is wi_out
+        with pytest.raises(Exception):
+            switch.add_wireless_port(link)
+
+    def test_output_towards_missing_neighbor(self):
+        switch = _switch()
+        with pytest.raises(Exception):
+            switch.output_towards(3)
+
+    def test_round_robin_rotates(self):
+        switch = _switch(num_vcs=4)
+        vcs = switch.local_input.vcs
+        output = switch.ejection_port
+        first = switch.select_round_robin(output, vcs)
+        second = switch.select_round_robin(output, vcs)
+        assert first is not second
+
+    def test_network_config_wi_buffer_depth(self):
+        token = NetworkConfig(
+            packet_length_flits=64, wireless=WirelessConfig(mac="token")
+        )
+        control = NetworkConfig(
+            packet_length_flits=64, wireless=WirelessConfig(mac="control_packet")
+        )
+        assert token.wi_buffer_depth >= 64
+        assert control.wi_buffer_depth < token.wi_buffer_depth
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(virtual_channels=0)
+        with pytest.raises(ValueError):
+            WirelessConfig(mac="aloha")
+        with pytest.raises(ValueError):
+            WirelessConfig(num_channels=0)

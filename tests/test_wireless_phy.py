@@ -1,0 +1,120 @@
+"""Tests of the wireless physical layer models."""
+
+import pytest
+
+from repro.wireless import (
+    ChannelPlan,
+    LinkBudget,
+    Transceiver,
+    TransceiverSpec,
+    TransceiverState,
+    ZigZagAntenna,
+    assign_channels,
+)
+
+
+class TestAntenna:
+    def test_wavelength_at_60ghz(self):
+        antenna = ZigZagAntenna()
+        assert antenna.wavelength_mm == pytest.approx(5.0, rel=0.01)
+
+    def test_zigzag_is_compact_and_omnidirectional(self):
+        antenna = ZigZagAntenna()
+        assert antenna.axial_length_mm < antenna.wavelength_mm / 4
+        assert not antenna.is_directional
+
+    def test_supports_16gbps_ook(self):
+        antenna = ZigZagAntenna()
+        assert antenna.supports_data_rate(16.0)
+        assert not antenna.supports_data_rate(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZigZagAntenna(carrier_frequency_hz=0)
+
+
+class TestLinkBudget:
+    def test_link_closes_at_package_scale(self):
+        """A 60 GHz OOK link must close at multichip package distances."""
+        budget = LinkBudget()
+        assert budget.closes(50.0, data_rate_gbps=16.0, target_ber=1e-15)
+
+    def test_ber_degrades_with_distance(self):
+        budget = LinkBudget()
+        assert budget.bit_error_rate(10.0, 16.0) < budget.bit_error_rate(200.0, 16.0)
+
+    def test_path_loss_monotonic(self):
+        budget = LinkBudget()
+        assert budget.path_loss_db(10.0) < budget.path_loss_db(100.0)
+
+    def test_max_distance_beyond_package(self):
+        budget = LinkBudget()
+        assert budget.max_distance_mm(16.0) > 60.0
+
+    def test_invalid_inputs(self):
+        budget = LinkBudget()
+        with pytest.raises(ValueError):
+            budget.path_loss_db(0.0)
+        with pytest.raises(ValueError):
+            budget.noise_power_dbm(0.0)
+
+
+class TestTransceiver:
+    def test_spec_energy_and_time(self):
+        spec = TransceiverSpec()
+        assert spec.transfer_energy_pj(32) == pytest.approx(2.3 * 32)
+        assert spec.transfer_time_s(16) == pytest.approx(1e-9)
+
+    def test_power_gating_controls_sleep(self):
+        gated = Transceiver(wi_id=0, power_gating=True)
+        gated.set_state(TransceiverState.SLEEPING)
+        assert gated.state == TransceiverState.SLEEPING
+        always_on = Transceiver(wi_id=1, power_gating=False)
+        always_on.set_state(TransceiverState.SLEEPING)
+        assert always_on.state == TransceiverState.IDLE
+
+    def test_static_energy_lower_when_sleeping(self):
+        asleep = Transceiver(wi_id=0, power_gating=True)
+        asleep.set_state(TransceiverState.SLEEPING)
+        asleep.tick(1000)
+        awake = Transceiver(wi_id=1, power_gating=True)
+        awake.set_state(TransceiverState.IDLE)
+        awake.tick(1000)
+        assert asleep.static_energy_pj() < awake.static_energy_pj()
+
+    def test_sleep_fraction(self):
+        transceiver = Transceiver(wi_id=0, power_gating=True)
+        transceiver.set_state(TransceiverState.SLEEPING)
+        transceiver.tick(30)
+        transceiver.set_state(TransceiverState.IDLE)
+        transceiver.tick(70)
+        assert transceiver.sleep_fraction() == pytest.approx(0.3)
+
+    def test_record_transfer_accumulates(self):
+        transceiver = Transceiver(wi_id=0)
+        transceiver.record_transfer(32)
+        transceiver.record_transfer(32)
+        assert transceiver.dynamic_energy_pj == pytest.approx(2 * 2.3 * 32)
+
+
+class TestChannelAssignment:
+    def test_round_robin_assignment(self):
+        plans = assign_channels([1, 2, 3, 4, 5], num_channels=2)
+        assert len(plans) == 2
+        assert plans[0].wi_switch_ids == (1, 3, 5)
+        assert plans[1].wi_switch_ids == (2, 4)
+
+    def test_every_wi_gets_exactly_one_channel(self):
+        wis = list(range(10, 22))
+        plans = assign_channels(wis, num_channels=5)
+        assigned = [wi for plan in plans for wi in plan.wi_switch_ids]
+        assert sorted(assigned) == sorted(wis)
+
+    def test_channel_frequencies_distinct(self):
+        plans = assign_channels([1, 2, 3], num_channels=3)
+        centres = {plan.centre_frequency_hz for plan in plans}
+        assert len(centres) == 3
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            assign_channels([1, 2], 0)
