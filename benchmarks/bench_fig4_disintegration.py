@@ -3,9 +3,9 @@
 from repro.experiments import fig4_disintegration
 
 
-def test_fig4_disintegration_gains(run_once, bench_fidelity):
+def test_fig4_disintegration_gains(run_once, bench_fidelity, bench_runner):
     """Regenerate the Fig. 4 gain bars and check the headline claims."""
-    result = run_once(fig4_disintegration.run, bench_fidelity)
+    result = run_once(fig4_disintegration.run, bench_fidelity, runner=bench_runner)
     print()
     print(fig4_disintegration.format_report(result))
     # The wireless system must save packet energy at every disintegration

@@ -4,6 +4,12 @@ Each benchmark runs one experiment exactly once (``pedantic`` with a single
 round) — the quantity of interest is the experiment's *output tables*, which
 are printed so the run log contains the regenerated figure data, while
 pytest-benchmark records the wall-clock cost of regenerating it.
+
+Experiments execute through the parallel orchestration layer
+(:mod:`repro.experiments.runner`).  Set ``REPRO_BENCH_JOBS=8`` to fan the
+independent simulation tasks out across worker processes; results are
+bit-identical at any job count, only the wall-clock changes.  The result
+cache is disabled so every benchmark measures real simulation work.
 """
 
 from __future__ import annotations
@@ -12,9 +18,15 @@ import os
 
 import pytest
 
+from repro.experiments.runner import ExperimentRunner
+
 #: Fidelity used by the benchmark harness; override with
 #: ``REPRO_BENCH_FIDELITY=default`` (or ``paper``) in the environment.
 BENCH_FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "fast")
+
+#: Worker processes used by the benchmark harness; override with
+#: ``REPRO_BENCH_JOBS=8`` in the environment.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture
@@ -33,3 +45,9 @@ def run_once(benchmark):
 def bench_fidelity():
     """Fidelity level the benchmarks run at."""
     return BENCH_FIDELITY
+
+
+@pytest.fixture
+def bench_runner():
+    """Experiment runner for benchmarks: configurable jobs, cache disabled."""
+    return ExperimentRunner(jobs=BENCH_JOBS, cache_dir=None, use_cache=False)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..metrics.saturation import LoadSweepResult
+from ..metrics.saturation import LoadPointSummary, LoadSweepResult, SweepSummary
 from ..noc.stats import SimulationResult
 
 
@@ -48,15 +48,47 @@ class ArchitectureMetrics:
         Bandwidth is the peak *sustainable* rate (the offered traffic mix is
         still delivered), and energy/latency are measured at that operating
         point, mirroring the paper's "at saturation with maximum load".
+        Delegates to :meth:`from_sweep_summary`, so serial sweeps and
+        reassembled cached/parallel sweeps share one implementation.
         """
-        peak = sweep.result_at_sustainable_peak(acceptance)
+        return cls.from_sweep_summary(name, sweep.summary(), acceptance)
+
+    @classmethod
+    def from_point_summary(
+        cls, name: str, point: LoadPointSummary
+    ) -> "ArchitectureMetrics":
+        """Metrics of one cached/parallel task result.
+
+        Computes exactly the same quantities as :meth:`from_result` but from
+        the compact :class:`LoadPointSummary` the parallel experiment runner
+        caches, so cached and freshly simulated runs are interchangeable.
+        """
         return cls(
             name=name,
-            bandwidth_gbps_per_core=sweep.sustainable_bandwidth_gbps_per_core(
+            bandwidth_gbps_per_core=point.bandwidth_gbps_per_core,
+            average_packet_energy_nj=point.system_packet_energy_nj,
+            average_packet_latency_cycles=point.average_latency_cycles,
+        )
+
+    @classmethod
+    def from_sweep_summary(
+        cls, name: str, summary: SweepSummary, acceptance: float = 0.9
+    ) -> "ArchitectureMetrics":
+        """Metrics at the sustainable-saturation point of a sweep summary.
+
+        The :class:`SweepSummary` counterpart of :meth:`from_sweep`: the
+        selection rule and the arithmetic are identical, so assembling a
+        sweep from independently executed per-load tasks yields bit-identical
+        metrics to a serial :class:`LoadSweepResult`.
+        """
+        peak = summary.point_at_sustainable_peak(acceptance)
+        return cls(
+            name=name,
+            bandwidth_gbps_per_core=summary.sustainable_bandwidth_gbps_per_core(
                 acceptance
             ),
-            average_packet_energy_nj=peak.system_packet_energy_nj(),
-            average_packet_latency_cycles=peak.average_packet_latency_cycles(),
+            average_packet_energy_nj=peak.system_packet_energy_nj,
+            average_packet_latency_cycles=peak.average_latency_cycles,
         )
 
     def as_dict(self) -> Dict[str, float]:

@@ -1,9 +1,14 @@
 """Experiment harnesses that regenerate every figure of the paper's evaluation.
 
-Each module reproduces one figure (see DESIGN.md's experiment index) and can
-be run from the command line (``python -m repro.experiments fig4``), from the
-pytest benchmarks in ``benchmarks/``, or programmatically via its ``run``
-function.
+Each module reproduces one figure (see EXPERIMENTS.md for the figure →
+module mapping) and can be run from the command line
+(``python -m repro.experiments fig4 --jobs 8``), from the pytest benchmarks
+in ``benchmarks/``, or programmatically via its ``run`` function.
+
+Execution goes through the parallel orchestration layer in
+:mod:`repro.experiments.runner`: every figure decomposes into independent,
+deterministically seeded simulation tasks that fan out across worker
+processes and are cached on disk keyed by a content hash of the task.
 """
 
 from . import (
@@ -12,16 +17,21 @@ from . import (
     fig4_disintegration,
     fig5_memory_traffic,
     fig6_applications,
+    runner,
 )
 from .common import FIDELITIES, Fidelity, get_fidelity
+from .runner import ExperimentRunner, SimulationTask
 
 __all__ = [
+    "ExperimentRunner",
     "FIDELITIES",
     "Fidelity",
+    "SimulationTask",
     "fig2_uniform",
     "fig3_latency",
     "fig4_disintegration",
     "fig5_memory_traffic",
     "fig6_applications",
     "get_fidelity",
+    "runner",
 ]

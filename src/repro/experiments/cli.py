@@ -3,9 +3,17 @@
 Usage::
 
     python -m repro.experiments fig2 [--fidelity fast|default|paper]
-    python -m repro.experiments all  [--fidelity fast|default|paper]
+                                     [--jobs N] [--cache-dir DIR] [--no-cache]
+    python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
 
-or, after installation, ``repro-experiments fig3 --fidelity paper``.
+or, after installation, ``repro-experiments fig3 --fidelity paper --jobs 8``.
+
+Every experiment decomposes into independent, deterministically seeded
+simulation tasks (architecture × load point × application).  ``--jobs``
+fans those tasks out across worker processes — results are bit-identical
+at any job count — and each task's result is cached as JSON under
+``--cache-dir`` (keyed by a content hash of the task), so re-runs only
+simulate what is missing.  See EXPERIMENTS.md for details.
 """
 
 from __future__ import annotations
@@ -20,9 +28,11 @@ from . import (
     fig5_memory_traffic,
     fig6_applications,
 )
+from .runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
-#: Experiment name -> (description, runner) registry.
-EXPERIMENTS: Dict[str, Callable[[str], str]] = {
+#: Experiment name -> runner registry.  Every entry accepts
+#: ``(fidelity, runner)`` and returns the formatted report text.
+EXPERIMENTS: Dict[str, Callable[[str, Optional[ExperimentRunner]], str]] = {
     "fig2": fig2_uniform.main,
     "fig3": fig3_latency.main,
     "fig4": fig4_disintegration.main,
@@ -37,33 +47,92 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description=(
             "Regenerate the evaluation figures of the SOCC 2017 wireless "
-            "multichip interconnection paper."
+            "multichip interconnection paper.  Each figure is decomposed "
+            "into independent simulation tasks that run in parallel "
+            "(--jobs) and are cached on disk (--cache-dir), so repeated "
+            "runs skip completed work."
+        ),
+        epilog=(
+            "Examples:  repro-experiments fig2 --fidelity fast --jobs 4   |   "
+            "repro-experiments all --fidelity paper --jobs 8 "
+            "--cache-dir /tmp/repro-cache"
         ),
     )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure to regenerate (or 'all')",
+        help="which figure to regenerate (or 'all' for every figure)",
     )
     parser.add_argument(
         "--fidelity",
         choices=("fast", "default", "paper"),
         default="default",
-        help="run length / sweep resolution (default: default)",
+        help=(
+            "run length / sweep resolution: 'fast' for smoke tests, "
+            "'default' for the EXPERIMENTS.md numbers, 'paper' for the "
+            "paper's full 10k-cycle scale (default: default)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for independent simulation tasks; results "
+            "are bit-identical for any value (default: 1, serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=(
+            "directory of the per-task JSON result cache; completed tasks "
+            f"found there are not re-simulated (default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache: neither read nor write cached tasks",
+    )
+    parser.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress per-task progress output on stderr",
     )
     return parser
 
 
+def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the experiment runner described by parsed CLI arguments."""
+    return ExperimentRunner(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        show_progress=not args.quiet,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the requested experiment(s) and print their reports."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        runner = runner_from_args(args)
+    except OSError as error:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {error}")
     if args.experiment == "all":
         names: List[str] = sorted(EXPERIMENTS)
     else:
         names = [args.experiment]
     for name in names:
-        EXPERIMENTS[name](args.fidelity)
+        EXPERIMENTS[name](args.fidelity, runner)
         print()
+    print(f"[runner] {runner.summary_line()}")
     return 0
 
 

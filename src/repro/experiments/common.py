@@ -18,12 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.architectures import build_system
 from ..core.comparison import ArchitectureMetrics
 from ..core.config import Architecture, SystemConfig
-from ..core.framework import MultichipSimulation
-from ..metrics.saturation import LoadSweepResult
+from ..metrics.saturation import SweepSummary
 from ..noc.engine import SimulationConfig
+from .runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -111,15 +110,19 @@ def sweep_architecture(
     fidelity: Fidelity,
     memory_access_fraction: float = 0.2,
     loads: Optional[Sequence[float]] = None,
-) -> Tuple[ArchitectureMetrics, LoadSweepResult]:
-    """Load-sweep one architecture and summarise it at sustainable saturation."""
-    simulation = MultichipSimulation.from_config(config, fidelity.simulation_config)
-    sweep = simulation.sweep_uniform(
-        loads=list(loads) if loads is not None else list(fidelity.load_points),
-        memory_access_fraction=memory_access_fraction,
-        seed=fidelity.seed,
+    runner: Optional[ExperimentRunner] = None,
+) -> Tuple[ArchitectureMetrics, SweepSummary]:
+    """Load-sweep one architecture and summarise it at sustainable saturation.
+
+    Goes through the task runner (serial, uncached by default), so passing a
+    configured :class:`~repro.experiments.runner.ExperimentRunner` gets
+    parallel execution and caching for free.
+    """
+    active = runner if runner is not None else ExperimentRunner()
+    sweep = active.run_sweep(
+        config, fidelity, memory_access_fraction=memory_access_fraction, loads=loads
     )
-    metrics = ArchitectureMetrics.from_sweep(config.name, sweep)
+    metrics = ArchitectureMetrics.from_sweep_summary(config.name, sweep)
     return metrics, sweep
 
 

@@ -8,12 +8,13 @@ network saturation for the substrate, interposer and wireless architectures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.comparison import ArchitectureMetrics
 from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_table
-from .common import Fidelity, architectures_for_comparison, get_fidelity, sweep_architecture
+from .common import architectures_for_comparison, get_fidelity
+from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion used for Fig. 2 ("considered to be 20%").
 MEMORY_ACCESS_FRACTION = 0.2
@@ -60,18 +61,36 @@ class Fig2Result:
         )
 
 
-def run(fidelity: str = "default") -> Fig2Result:
-    """Run the Fig. 2 experiment at the requested fidelity."""
+def run(
+    fidelity: str = "default", runner: Optional[ExperimentRunner] = None
+) -> Fig2Result:
+    """Run the Fig. 2 experiment at the requested fidelity.
+
+    All load points of all three architectures are submitted to the runner
+    as one batch of independent tasks, so the whole figure parallelises
+    across ``runner.jobs`` worker processes.
+    """
     level = get_fidelity(fidelity)
+    active = runner if runner is not None else ExperimentRunner()
     result = Fig2Result(
         fidelity=level.name, memory_access_fraction=MEMORY_ACCESS_FRACTION
     )
-    for architecture in architectures_for_comparison():
-        config = SystemConfig(architecture=architecture)
-        metrics, _ = sweep_architecture(
-            config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+    configs = {
+        architecture: SystemConfig(architecture=architecture)
+        for architecture in architectures_for_comparison()
+    }
+    sweeps = active.run_sweep_groups(
+        {
+            architecture: sweep_tasks(
+                config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+            )
+            for architecture, config in configs.items()
+        }
+    )
+    for architecture, sweep in sweeps.items():
+        result.metrics[architecture] = ArchitectureMetrics.from_sweep_summary(
+            configs[architecture].name, sweep
         )
-        result.metrics[architecture] = metrics
     return result
 
 
@@ -89,8 +108,8 @@ def format_report(result: Fig2Result) -> str:
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default") -> str:
+def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity))
+    report = format_report(run(fidelity, runner=runner))
     print(report)
     return report

@@ -13,10 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import Architecture, SystemConfig
-from ..core.framework import MultichipSimulation
 from ..metrics.report import format_heading, format_table
-from ..metrics.saturation import LoadSweepResult
-from .common import Fidelity, architectures_for_comparison, get_fidelity
+from ..metrics.saturation import SweepSummary
+from .common import architectures_for_comparison, get_fidelity
+from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion used for Fig. 3 (same as Fig. 2).
 MEMORY_ACCESS_FRACTION = 0.2
@@ -28,7 +28,7 @@ class Fig3Result:
 
     fidelity: str
     loads: List[float]
-    sweeps: Dict[Architecture, LoadSweepResult] = field(default_factory=dict)
+    sweeps: Dict[Architecture, SweepSummary] = field(default_factory=dict)
 
     def curve(self, architecture: Architecture) -> List[Tuple[float, float]]:
         """(offered load, average latency) series for one architecture."""
@@ -58,20 +58,30 @@ class Fig3Result:
 
 
 def run(
-    fidelity: str = "default", loads: Optional[Sequence[float]] = None
+    fidelity: str = "default",
+    loads: Optional[Sequence[float]] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig3Result:
-    """Run the Fig. 3 experiment at the requested fidelity."""
+    """Run the Fig. 3 experiment at the requested fidelity.
+
+    Every (architecture, load) pair is an independent task; the whole
+    figure is submitted to the runner as one batch.
+    """
     level = get_fidelity(fidelity)
+    active = runner if runner is not None else ExperimentRunner()
     selected = list(loads) if loads is not None else list(level.load_points)
     result = Fig3Result(fidelity=level.name, loads=selected)
-    for architecture in architectures_for_comparison():
-        config = SystemConfig(architecture=architecture)
-        simulation = MultichipSimulation.from_config(config, level.simulation_config)
-        result.sweeps[architecture] = simulation.sweep_uniform(
-            loads=selected,
-            memory_access_fraction=MEMORY_ACCESS_FRACTION,
-            seed=level.seed,
-        )
+    result.sweeps = active.run_sweep_groups(
+        {
+            architecture: sweep_tasks(
+                SystemConfig(architecture=architecture),
+                level,
+                memory_access_fraction=MEMORY_ACCESS_FRACTION,
+                loads=selected,
+            )
+            for architecture in architectures_for_comparison()
+        }
+    )
     return result
 
 
@@ -88,8 +98,8 @@ def format_report(result: Fig3Result) -> str:
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default") -> str:
+def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity))
+    report = format_report(run(fidelity, runner=runner))
     print(report)
     return report

@@ -12,13 +12,14 @@ reported for each configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.comparison import ArchitectureMetrics, GainReport, compare
 from ..core.config import Architecture, SystemConfig, paper_1c4m, paper_4c4m, paper_8c4m
 from ..metrics.report import format_heading, format_percentage, format_table
 from ..traffic.base import offchip_fraction
-from .common import Fidelity, get_fidelity, sweep_architecture
+from .common import get_fidelity
+from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion of the disintegration study.
 MEMORY_ACCESS_FRACTION = 0.2
@@ -66,18 +67,37 @@ class Fig4Result:
         return all(g.energy_gain_pct > 0 for g in self.gains.values())
 
 
-def run(fidelity: str = "default") -> Fig4Result:
-    """Run the Fig. 4 experiment at the requested fidelity."""
+def run(
+    fidelity: str = "default", runner: Optional[ExperimentRunner] = None
+) -> Fig4Result:
+    """Run the Fig. 4 experiment at the requested fidelity.
+
+    All (disintegration level × architecture × load point) tasks are
+    submitted to the runner as one batch.
+    """
     level = get_fidelity(fidelity)
+    active = runner if runner is not None else ExperimentRunner()
     result = Fig4Result(fidelity=level.name)
+    configs = {
+        (label, architecture): _config_for(label, architecture)
+        for label, _ in CONFIGURATIONS
+        for architecture in (Architecture.INTERPOSER, Architecture.WIRELESS)
+    }
+    sweeps = active.run_sweep_groups(
+        {
+            key: sweep_tasks(
+                config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+            )
+            for key, config in configs.items()
+        }
+    )
     for label, _ in CONFIGURATIONS:
         per_arch: Dict[Architecture, ArchitectureMetrics] = {}
         for architecture in (Architecture.INTERPOSER, Architecture.WIRELESS):
-            config = _config_for(label, architecture)
-            metrics, _ = sweep_architecture(
-                config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+            key = (label, architecture)
+            per_arch[architecture] = ArchitectureMetrics.from_sweep_summary(
+                configs[key].name, sweeps[key]
             )
-            per_arch[architecture] = metrics
         result.metrics[label] = per_arch
         result.gains[label] = compare(
             per_arch[Architecture.WIRELESS], per_arch[Architecture.INTERPOSER]
@@ -98,8 +118,8 @@ def format_report(result: Fig4Result) -> str:
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default") -> str:
+def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity))
+    report = format_report(run(fidelity, runner=runner))
     print(report)
     return report

@@ -10,12 +10,13 @@ point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.comparison import ArchitectureMetrics, GainReport, compare
 from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_percentage, format_table
-from .common import Fidelity, get_fidelity, sweep_architecture
+from .common import get_fidelity
+from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportions swept by the paper.
 MEMORY_FRACTIONS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
@@ -64,18 +65,36 @@ class Fig5Result:
 def run(
     fidelity: str = "default",
     memory_fractions: Tuple[float, ...] = MEMORY_FRACTIONS,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Fig5Result:
-    """Run the Fig. 5 experiment at the requested fidelity."""
+    """Run the Fig. 5 experiment at the requested fidelity.
+
+    All (memory fraction × architecture × load point) tasks are submitted
+    to the runner as one batch.
+    """
     level = get_fidelity(fidelity)
+    active = runner if runner is not None else ExperimentRunner()
     result = Fig5Result(fidelity=level.name)
+    configs = {
+        (fraction, architecture): SystemConfig(architecture=architecture)
+        for fraction in memory_fractions
+        for architecture in (Architecture.INTERPOSER, Architecture.WIRELESS)
+    }
+    sweeps = active.run_sweep_groups(
+        {
+            (fraction, architecture): sweep_tasks(
+                config, level, memory_access_fraction=fraction
+            )
+            for (fraction, architecture), config in configs.items()
+        }
+    )
     for fraction in memory_fractions:
         per_arch: Dict[Architecture, ArchitectureMetrics] = {}
         for architecture in (Architecture.INTERPOSER, Architecture.WIRELESS):
-            config = SystemConfig(architecture=architecture)
-            metrics, _ = sweep_architecture(
-                config, level, memory_access_fraction=fraction
+            key = (fraction, architecture)
+            per_arch[architecture] = ArchitectureMetrics.from_sweep_summary(
+                configs[key].name, sweeps[key]
             )
-            per_arch[architecture] = metrics
         result.metrics[fraction] = per_arch
         result.gains[fraction] = compare(
             per_arch[Architecture.WIRELESS], per_arch[Architecture.INTERPOSER]
@@ -96,8 +115,8 @@ def format_report(result: Fig5Result) -> str:
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default") -> str:
+def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity))
+    report = format_report(run(fidelity, runner=runner))
     print(report)
     return report

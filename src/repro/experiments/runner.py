@@ -1,0 +1,397 @@
+"""Parallel experiment orchestration: tasks, caching, and the runner.
+
+Every figure experiment decomposes into *independent, deterministically
+seeded simulation tasks* — one cycle-accurate run of one system
+configuration under one traffic setting (architecture × load point, or
+architecture × application).  This module defines that task unit
+(:class:`SimulationTask`), executes batches of tasks through
+:func:`repro.parallel.executor.run_tasks` (inline or across a process
+pool), and memoises each task's result as JSON in a
+:class:`repro.parallel.cache.ResultCache` keyed by a content hash of the
+full task description.
+
+Guarantees:
+
+* **Determinism** — a task's result depends only on its content (config,
+  run length, traffic parameters, seed), never on scheduling.  Running with
+  ``jobs=8`` therefore produces bit-identical figures to ``jobs=1``.
+* **Incremental re-runs** — the cache key covers everything that affects
+  the result, so re-running a figure (or upgrading fidelity, which changes
+  run lengths and therefore keys) only simulates tasks not yet on disk.
+
+The figure modules (``fig2_uniform`` … ``fig6_applications``) build their
+task lists with :func:`sweep_tasks` / :func:`application_task`, execute
+them in one batch via :class:`ExperimentRunner`, and reassemble sweeps with
+:func:`assemble_sweep`.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.config import SystemConfig
+from ..core.framework import MultichipSimulation
+from ..metrics.saturation import LoadPointSummary, SweepSummary
+from ..noc.engine import SimulationConfig
+from ..parallel.cache import ResultCache
+from ..parallel.executor import run_tasks
+from ..parallel.hashing import stable_hash
+from ..traffic.rng import derive_seed
+
+#: Bump when the payload schema or simulation semantics change, so stale
+#: cache entries from older code versions are never reused.
+TASK_SCHEMA_VERSION = 1
+
+#: Default on-disk location of the per-task result cache (relative to the
+#: working directory; see EXPERIMENTS.md).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One independent, deterministically seeded simulation.
+
+    ``kind`` selects the traffic model: ``"uniform"`` runs uniform random
+    traffic at offered load ``load`` with the given memory-access fraction;
+    ``"application"`` runs one PARSEC/SPLASH-2 profile (``application``)
+    scaled by ``rate_scale``.  Instances are frozen (usable as dict keys)
+    and picklable (shippable to worker processes).
+    """
+
+    kind: str
+    config: SystemConfig
+    cycles: int
+    warmup_cycles: int
+    seed: int
+    memory_access_fraction: float = 0.2
+    load: float = 0.0
+    application: str = ""
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "application"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.kind == "uniform" and self.load < 0:
+            raise ValueError("uniform tasks need a non-negative offered load")
+        if self.kind == "application" and not self.application:
+            raise ValueError("application tasks need an application name")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description (used in progress output)."""
+        if self.kind == "uniform":
+            detail = f"load={self.load:g} mem={self.memory_access_fraction:g}"
+        else:
+            detail = f"app={self.application}"
+        return f"{self.config.name} {detail}"
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this task's result.
+
+        Covers the schema version, the full system configuration and every
+        traffic/run-length parameter, so any change that could change the
+        simulation output changes the key.
+        """
+        return stable_hash(
+            {
+                "version": TASK_SCHEMA_VERSION,
+                "kind": self.kind,
+                "config": self.config,
+                "cycles": self.cycles,
+                "warmup_cycles": self.warmup_cycles,
+                "seed": self.seed,
+                "memory_access_fraction": self.memory_access_fraction,
+                "load": self.load,
+                "application": self.application,
+                "rate_scale": self.rate_scale,
+            }
+        )
+
+    def with_seed(self, seed: int) -> "SimulationTask":
+        """The same task with a different RNG seed."""
+        return replace(self, seed=seed)
+
+
+def uniform_task(
+    config: SystemConfig,
+    fidelity,
+    load: float,
+    memory_access_fraction: float = 0.2,
+    seed: Optional[int] = None,
+) -> SimulationTask:
+    """One uniform-random-traffic task at one offered load.
+
+    ``fidelity`` is any object with ``cycles``, ``warmup_cycles`` and
+    ``seed`` attributes (normally a :class:`repro.experiments.common.Fidelity`).
+    """
+    return SimulationTask(
+        kind="uniform",
+        config=config,
+        cycles=fidelity.cycles,
+        warmup_cycles=fidelity.warmup_cycles,
+        seed=fidelity.seed if seed is None else seed,
+        memory_access_fraction=memory_access_fraction,
+        load=load,
+    )
+
+
+def application_task(
+    config: SystemConfig,
+    fidelity,
+    application: str,
+    rate_scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> SimulationTask:
+    """One application-traffic (SynFull-substitute) task."""
+    if rate_scale is None:
+        rate_scale = getattr(fidelity, "application_rate_scale", 1.0)
+    return SimulationTask(
+        kind="application",
+        config=config,
+        cycles=fidelity.cycles,
+        warmup_cycles=fidelity.warmup_cycles,
+        seed=fidelity.seed if seed is None else seed,
+        application=application,
+        rate_scale=rate_scale,
+    )
+
+
+def sweep_tasks(
+    config: SystemConfig,
+    fidelity,
+    memory_access_fraction: float = 0.2,
+    loads: Optional[Sequence[float]] = None,
+) -> List[SimulationTask]:
+    """The per-load-point tasks of one uniform load sweep.
+
+    Each load point is an independent task (the serial sweep also seeds
+    every point identically), so a sweep parallelises with no barrier.
+    """
+    selected = list(loads) if loads is not None else list(fidelity.load_points)
+    return [
+        uniform_task(
+            config,
+            fidelity,
+            load=load,
+            memory_access_fraction=memory_access_fraction,
+        )
+        for load in selected
+    ]
+
+
+def replicated_tasks(task: SimulationTask, replicas: int) -> List[SimulationTask]:
+    """Seed-decorrelated copies of one task (for confidence intervals).
+
+    Replica ``0`` is the task itself; replica ``i > 0`` derives its seed
+    from the task's seed and the replica index via
+    :func:`repro.traffic.rng.derive_seed`, so the set is deterministic and
+    order-independent.
+    """
+    if replicas <= 0:
+        raise ValueError("replicas must be positive")
+    return [task] + [
+        task.with_seed(derive_seed(task.seed, "replica", index))
+        for index in range(1, replicas)
+    ]
+
+
+def execute_task(task: SimulationTask) -> Dict[str, object]:
+    """Run one task and return its JSON-serialisable result payload.
+
+    This is the function shipped to worker processes; it rebuilds the
+    system from the task's configuration, runs the cycle-accurate
+    simulator, and summarises the run as a
+    :class:`repro.metrics.saturation.LoadPointSummary` dict.
+    """
+    simulation = MultichipSimulation.from_config(
+        task.config,
+        SimulationConfig(cycles=task.cycles, warmup_cycles=task.warmup_cycles),
+    )
+    if task.kind == "uniform":
+        result = simulation.run_uniform(
+            injection_rate=task.load,
+            memory_access_fraction=task.memory_access_fraction,
+            seed=task.seed,
+        )
+        offered = task.load
+    else:
+        result = simulation.run_application(
+            task.application,
+            rate_scale=task.rate_scale,
+            seed=task.seed,
+        )
+        offered = result.offered_load_packets_per_core_per_cycle
+    return LoadPointSummary.from_result(offered, result).as_dict()
+
+
+def assemble_sweep(
+    results: Mapping[SimulationTask, LoadPointSummary],
+    tasks: Sequence[SimulationTask],
+) -> SweepSummary:
+    """Reassemble one sweep from the runner's per-task results."""
+    return SweepSummary(points=[results[task] for task in tasks])
+
+
+class ExperimentRunner:
+    """Executes batches of simulation tasks with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes; ``1`` (the default) runs everything
+        inline.  Results are bit-identical at any value.
+    cache_dir:
+        Directory of the per-task JSON result cache; ``None`` disables
+        caching entirely.
+    use_cache:
+        Master switch for the cache (the CLI's ``--no-cache``); when
+        ``False`` the cache is neither read nor written.
+    show_progress:
+        When ``True``, prints a one-line progress update to stderr after
+        each task completes.
+
+    The counters ``cache_hits``, ``cache_misses`` and ``tasks_executed``
+    accumulate across :meth:`run` calls and back the CLI's summary line.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        show_progress: bool = False,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        )
+        self.show_progress = show_progress
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.tasks_executed = 0
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(
+        self, tasks: Sequence[SimulationTask]
+    ) -> Dict[SimulationTask, LoadPointSummary]:
+        """Execute every distinct task and return task → result summary.
+
+        Cached tasks are served from disk; the rest are executed (in
+        parallel when ``jobs > 1``) and written back to the cache.
+        Duplicate tasks in ``tasks`` are executed once.
+        """
+        unique: List[SimulationTask] = []
+        seen = set()
+        for task in tasks:
+            if task not in seen:
+                seen.add(task)
+                unique.append(task)
+
+        results: Dict[SimulationTask, LoadPointSummary] = {}
+        pending: List[SimulationTask] = []
+        for task in unique:
+            summary = self._cached_summary(task)
+            if summary is not None:
+                results[task] = summary
+                self.cache_hits += 1
+            else:
+                pending.append(task)
+        self.cache_misses += len(pending)
+
+        if self.show_progress and unique:
+            self._progress_line(
+                0, len(pending), f"{len(unique)} tasks, {len(unique) - len(pending)} cached"
+            )
+
+        payloads = run_tasks(
+            execute_task,
+            pending,
+            jobs=self.jobs,
+            progress=self._on_task_done if self.show_progress else None,
+        )
+        for task, payload in zip(pending, payloads):
+            if self.cache is not None:
+                self.cache.put(
+                    task.cache_key(),
+                    {
+                        "version": TASK_SCHEMA_VERSION,
+                        "label": task.label,
+                        "result": payload,
+                    },
+                )
+            results[task] = LoadPointSummary.from_dict(payload)
+        self.tasks_executed += len(pending)
+        return results
+
+    def _cached_summary(self, task: SimulationTask) -> Optional[LoadPointSummary]:
+        """The cached result of ``task``, or ``None`` on any kind of miss.
+
+        A wrong-shaped entry (hand-edited file, schema drift) is a miss —
+        the task is simply recomputed and the entry overwritten — never an
+        error that aborts the experiment.
+        """
+        if self.cache is None:
+            return None
+        payload = self.cache.get(task.cache_key())
+        if not payload or not isinstance(payload.get("result"), dict):
+            return None
+        try:
+            return LoadPointSummary.from_dict(payload["result"])
+        except (TypeError, ValueError):
+            return None
+
+    def run_sweep(
+        self,
+        config: SystemConfig,
+        fidelity,
+        memory_access_fraction: float = 0.2,
+        loads: Optional[Sequence[float]] = None,
+    ) -> SweepSummary:
+        """Convenience: run one architecture's uniform load sweep."""
+        tasks = sweep_tasks(
+            config,
+            fidelity,
+            memory_access_fraction=memory_access_fraction,
+            loads=loads,
+        )
+        return assemble_sweep(self.run(tasks), tasks)
+
+    def run_sweep_groups(
+        self, groups: Mapping[object, Sequence[SimulationTask]]
+    ) -> Dict[object, SweepSummary]:
+        """Run several task groups as one batch and reassemble each sweep.
+
+        ``groups`` maps an arbitrary key (architecture, disintegration
+        label, memory fraction, …) to that group's sweep tasks.  All groups
+        execute as a single flat batch — so parallelism spans the whole
+        figure, not one sweep at a time — and each key gets its own
+        :class:`SweepSummary` back.
+        """
+        results = self.run([task for tasks in groups.values() for task in tasks])
+        return {
+            key: assemble_sweep(results, tasks) for key, tasks in groups.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def summary_line(self) -> str:
+        """One-line execution summary for CLI output."""
+        return (
+            f"{self.tasks_executed} task(s) simulated, "
+            f"{self.cache_hits} served from cache "
+            f"(jobs={self.jobs}, cache={'on' if self.cache is not None else 'off'})"
+        )
+
+    def _on_task_done(self, done: int, total: int, task: SimulationTask, _result) -> None:
+        self._progress_line(done, total, task.label)
+
+    @staticmethod
+    def _progress_line(done: int, total: int, detail: str) -> None:
+        print(f"[runner] {done}/{total} {detail}", file=sys.stderr, flush=True)

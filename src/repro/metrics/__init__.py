@@ -3,14 +3,18 @@
 from .report import format_heading, format_percentage, format_table
 from .saturation import (
     LoadPoint,
+    LoadPointSummary,
     LoadSweepResult,
+    SweepSummary,
     default_load_points,
     run_load_sweep,
 )
 
 __all__ = [
     "LoadPoint",
+    "LoadPointSummary",
     "LoadSweepResult",
+    "SweepSummary",
     "default_load_points",
     "format_heading",
     "format_percentage",

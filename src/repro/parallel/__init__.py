@@ -1,0 +1,28 @@
+"""Parallel-execution helpers: content hashing, result caching, worker pools.
+
+This package contains the generic machinery the experiment orchestration
+layer (``repro.experiments.runner``) is built on:
+
+* :mod:`repro.parallel.hashing` — canonical JSON serialisation and stable
+  content hashes of task/configuration objects, used as cache keys.
+* :mod:`repro.parallel.cache` — an atomic, JSON-file-per-entry result cache
+  keyed by those hashes.
+* :mod:`repro.parallel.executor` — ordered fan-out of independent tasks over
+  a :class:`concurrent.futures.ProcessPoolExecutor` (or inline when
+  ``jobs=1``), with progress callbacks.
+
+Nothing in here knows about simulations; the modules are reusable for any
+deterministic, independently executable unit of work.
+"""
+
+from .cache import ResultCache
+from .executor import run_tasks
+from .hashing import canonical_json, stable_hash, to_jsonable
+
+__all__ = [
+    "ResultCache",
+    "canonical_json",
+    "run_tasks",
+    "stable_hash",
+    "to_jsonable",
+]

@@ -1,0 +1,88 @@
+"""Ordered fan-out of independent tasks over a process pool.
+
+``run_tasks`` is the single execution primitive of the orchestration layer:
+it applies a picklable function to every task, inline when ``jobs <= 1`` and
+via :class:`concurrent.futures.ProcessPoolExecutor` otherwise, and returns
+the results *in input order* regardless of completion order.  Because every
+task is independent and deterministically seeded, the two execution modes
+produce identical results — parallelism only changes wall-clock time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+#: Signature of the optional progress callback:
+#: ``(completed_count, total_count, task, result)``.
+ProgressCallback = Callable[[int, int, Any, Any], None]
+
+
+def run_tasks(
+    function: Callable[[TaskT], ResultT],
+    tasks: Sequence[TaskT],
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ResultT]:
+    """Apply ``function`` to every task, possibly in parallel.
+
+    Parameters
+    ----------
+    function:
+        A module-level (picklable) callable executed once per task.
+    tasks:
+        The independent units of work.
+    jobs:
+        Maximum worker processes.  ``jobs <= 1`` runs inline in this
+        process (no pool, no pickling); higher values use a process pool
+        with ``min(jobs, len(tasks))`` workers.
+    progress:
+        Optional callback invoked after each completion with
+        ``(completed, total, task, result)``; called from this process in
+        completion order.
+
+    Returns
+    -------
+    list
+        One result per task, in the same order as ``tasks``.
+    """
+    total = len(tasks)
+    if total == 0:
+        return []
+    if jobs <= 1 or total == 1:
+        results: List[ResultT] = []
+        for index, task in enumerate(tasks):
+            result = function(task)
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, total, task, result)
+        return results
+
+    workers = min(jobs, total)
+    ordered: List[Optional[ResultT]] = [None] * total
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        future_to_index = {
+            pool.submit(function, task): index for index, task in enumerate(tasks)
+        }
+        completed = 0
+        pending = set(future_to_index)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_to_index[future]
+                    result = future.result()
+                    ordered[index] = result
+                    completed += 1
+                    if progress is not None:
+                        progress(completed, total, tasks[index], result)
+        except BaseException:
+            # Surface the failure immediately: drop every still-queued task
+            # instead of letting the pool drain a possibly hours-long batch
+            # before the exception reaches the caller.
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+    return ordered  # type: ignore[return-value]

@@ -1,0 +1,58 @@
+"""Canonical serialisation and stable content hashing.
+
+The result cache keys every simulation task by a hash of its *content*
+(system configuration, run length, traffic parameters, seed), so a task is
+recognised as already-computed no matter which process, run or host produced
+it.  For that to work the serialisation must be canonical: dataclasses are
+flattened to sorted-key dictionaries, enums to their values, and the JSON is
+emitted with a fixed key order and separators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any, Mapping, Sequence
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` to plain JSON-serialisable types.
+
+    Handles dataclasses (by field), enums (by value), mappings, sequences
+    and primitives.  Anything else falls back to ``repr`` so exotic values
+    still hash stably within one code version.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return to_jsonable(obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [to_jsonable(v) for v in obj]
+        if isinstance(obj, (set, frozenset)):
+            items.sort(key=repr)
+        return items
+    return repr(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical (sorted-key, fixed-separator) JSON text of ``obj``."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any, length: int = 20) -> str:
+    """Stable hex digest of ``obj``'s canonical JSON.
+
+    ``length`` hex characters of SHA-256 (default 20, i.e. 80 bits — ample
+    for cache-key uniqueness while keeping file names short).
+    """
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:length]

@@ -7,6 +7,7 @@ distributions the models share.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional, Sequence, TypeVar
 
@@ -16,6 +17,21 @@ T = TypeVar("T")
 def make_rng(seed: Optional[int]) -> random.Random:
     """A private ``random.Random`` instance for one traffic model."""
     return random.Random(seed if seed is not None else 0xC0FFEE)
+
+
+def derive_seed(base_seed: int, *components: object) -> int:
+    """Deterministically derive an independent child seed.
+
+    Hashes ``base_seed`` together with the string form of every component
+    (e.g. an architecture name, a load point, a replica index) so that every
+    simulation task of a parallel experiment gets its own stable stream:
+    the same ``(base_seed, components)`` always yields the same child seed,
+    regardless of process, platform or execution order, while any change to
+    a component decorrelates the stream.
+    """
+    text = "\x1f".join([str(int(base_seed))] + [str(c) for c in components])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def bernoulli(rng: random.Random, probability: float) -> bool:

@@ -1,8 +1,9 @@
 """Shared fixtures for the test suite.
 
-The fixtures build deliberately small systems (a few cores per chip, short
-packets, short runs) so the whole suite exercises every code path of the
-cycle-accurate simulator in seconds.
+The configuration builders live in :mod:`repro.testing` so test modules can
+import them unambiguously (``from repro.testing import small_system_config``)
+— a bare ``from conftest import ...`` is ambiguous when both ``tests/`` and
+``benchmarks/`` have a ``conftest.py``.  This module only defines fixtures.
 """
 
 from __future__ import annotations
@@ -10,40 +11,9 @@ from __future__ import annotations
 import pytest
 
 from repro.core.architectures import build_system
-from repro.core.config import Architecture, SystemConfig
-from repro.noc.config import NetworkConfig, WirelessConfig
+from repro.core.config import Architecture
 from repro.noc.engine import SimulationConfig
-
-
-def small_network_config(mac: str = "control_packet", packet_length: int = 8) -> NetworkConfig:
-    """A small-but-complete NoC configuration for fast tests."""
-    return NetworkConfig(
-        virtual_channels=4,
-        buffer_depth_flits=4,
-        packet_length_flits=packet_length,
-        wireless=WirelessConfig(mac=mac, num_channels=2),
-    )
-
-
-def small_system_config(
-    architecture: Architecture = Architecture.WIRELESS,
-    num_chips: int = 2,
-    cores_per_chip: int = 4,
-    num_memory_stacks: int = 2,
-    mac: str = "control_packet",
-    packet_length: int = 8,
-) -> SystemConfig:
-    """A 2-chip, 2-stack system that still exercises every architecture."""
-    return SystemConfig(
-        architecture=architecture,
-        num_chips=num_chips,
-        cores_per_chip=cores_per_chip,
-        num_memory_stacks=num_memory_stacks,
-        vaults_per_stack=2,
-        cores_per_wi=4,
-        total_processing_area_mm2=100.0,
-        network=small_network_config(mac=mac, packet_length=packet_length),
-    )
+from repro.testing import small_network_config, small_system_config  # noqa: F401
 
 
 @pytest.fixture

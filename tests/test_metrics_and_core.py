@@ -18,7 +18,7 @@ from repro.metrics import (
 )
 from repro.noc.stats import SimulationResult
 
-from conftest import small_system_config
+from repro.testing import small_system_config
 
 
 def _result(accepted_flits=0.05, latency=100.0, energy_pj=5000.0, load=0.001):

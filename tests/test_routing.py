@@ -20,7 +20,7 @@ from repro.routing import (
 from repro.topology import LinkKind, build_multichip_base, apply_wireless_overlay
 from repro.topology.wireless_overlay import WirelessOverlayConfig
 
-from conftest import small_system_config
+from repro.testing import small_system_config
 
 
 def _wireless_topology():

@@ -8,7 +8,7 @@ from repro.core.framework import MultichipSimulation
 from repro.noc.engine import SimulationConfig, Simulator
 from repro.traffic.uniform import UniformRandomTraffic
 
-from conftest import small_system_config
+from repro.testing import small_system_config
 
 
 def _run(architecture, injection_rate=0.05, cycles=400, mac="control_packet", seed=11,
