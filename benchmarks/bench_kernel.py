@@ -1,0 +1,180 @@
+"""Kernel micro-benchmark: active-set versus dense scheduling.
+
+Runs one mid-load uniform point per architecture (the single-chip mesh
+baseline plus the paper's three multichip systems) under both kernel
+schedulers, verifies they agree bit for bit, and writes a perf snapshot to
+``BENCH_kernel.json`` so the kernel's wall-clock trajectory is tracked
+across changes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--cycles N] [--load L]
+                                                     [--output PATH]
+
+The default load (0.0002 packets/core/cycle) is about 10 % of the mesh
+baseline's saturation load (~0.002 from the fig2/fig3 sweeps) — squarely in
+the low/mid-load region that dominates every figure sweep, where the
+active-set scheduler's wake sets pay off most.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict
+
+from repro.core.architectures import build_system
+from repro.core.config import Architecture, SystemConfig, paper_4c4m
+from repro.metrics.report import format_simulator_throughput, format_table
+from repro.noc.engine import SimulationConfig, Simulator
+from repro.traffic.uniform import UniformRandomTraffic
+
+#: Offered load of the benchmark point [packets/core/cycle]; ~10 % of the
+#: mesh baseline's saturation load (acceptance criterion: <= 30 %).
+DEFAULT_LOAD = 0.0002
+
+#: Approximate saturation load of the mesh baseline under uniform traffic
+#: with the default 64-flit packets (from the fig2/fig3 load sweeps).
+MESH_SATURATION_LOAD = 0.002
+
+DEFAULT_CYCLES = 2000
+
+DEFAULT_OUTPUT = "BENCH_kernel.json"
+
+
+def benchmark_configs() -> Dict[str, SystemConfig]:
+    """One mid-load uniform point per architecture."""
+    return {
+        "mesh": SystemConfig(
+            architecture=Architecture.SUBSTRATE, num_chips=1, cores_per_chip=64
+        ),
+        "substrate": paper_4c4m(Architecture.SUBSTRATE),
+        "interposer": paper_4c4m(Architecture.INTERPOSER),
+        "wireless": paper_4c4m(Architecture.WIRELESS),
+    }
+
+
+def run_once(config: SystemConfig, load: float, cycles: int, scheduler: str):
+    """One timed simulation run under the given scheduler."""
+    system = build_system(config)
+    traffic = UniformRandomTraffic(
+        system.topology,
+        injection_rate=load,
+        memory_access_fraction=0.2,
+        seed=7,
+    )
+    simulator = Simulator(
+        topology=system.topology,
+        router=system.router,
+        traffic=traffic,
+        network_config=config.network,
+        simulation_config=SimulationConfig(
+            cycles=cycles, warmup_cycles=cycles // 10, scheduler=scheduler
+        ),
+    )
+    started = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def fingerprint(result) -> tuple:
+    """The counters that must agree between the two schedulers."""
+    return (
+        result.packets_delivered,
+        result.flits_injected,
+        result.flits_ejected_measured,
+        result.flit_hops,
+        result.wireless_flit_hops,
+        tuple(result.latencies_cycles),
+        result.energy.total_pj,
+    )
+
+
+def run_benchmark(load: float, cycles: int) -> Dict[str, object]:
+    """Benchmark every architecture and assemble the snapshot payload."""
+    entries: Dict[str, Dict[str, float]] = {}
+    for name, config in benchmark_configs().items():
+        dense_result, dense_s = run_once(config, load, cycles, "dense")
+        active_result, active_s = run_once(config, load, cycles, "active")
+        if fingerprint(dense_result) != fingerprint(active_result):
+            raise AssertionError(
+                f"scheduler parity violated for {name!r}: the active-set "
+                "kernel diverged from the dense reference"
+            )
+        entries[name] = {
+            "dense_seconds": round(dense_s, 4),
+            "active_seconds": round(active_s, 4),
+            "speedup": round(dense_s / active_s, 3),
+            "active_cycles_per_second": round(cycles / active_s, 1),
+            "active_flits_per_second": round(
+                active_result.flit_hops / active_s, 1
+            ),
+            "packets_delivered": active_result.packets_delivered,
+        }
+    return {
+        "benchmark": "bench_kernel",
+        "description": (
+            "one mid-load uniform point per architecture, dense vs "
+            "active-set scheduler (identical results, different wall-clock)"
+        ),
+        "load_packets_per_core_per_cycle": load,
+        "load_fraction_of_mesh_saturation": round(load / MESH_SATURATION_LOAD, 3),
+        "cycles": cycles,
+        "python": platform.python_version(),
+        "results": entries,
+        "mesh_speedup": entries["mesh"]["speedup"],
+    }
+
+
+def format_report(snapshot: Dict[str, object]) -> str:
+    """Human-readable table of the snapshot."""
+    rows = []
+    for name, entry in snapshot["results"].items():
+        rows.append(
+            [
+                name,
+                entry["dense_seconds"],
+                entry["active_seconds"],
+                f"{entry['speedup']:.2f}x",
+                format_simulator_throughput(
+                    snapshot["cycles"], entry["active_seconds"]
+                ).split(": ")[1],
+            ]
+        )
+    return format_table(
+        ["Architecture", "dense (s)", "active (s)", "speedup", "active throughput"],
+        rows,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES)
+    parser.add_argument("--load", type=float, default=DEFAULT_LOAD)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    snapshot = run_benchmark(args.load, args.cycles)
+    print(format_report(snapshot))
+    mesh_speedup = snapshot["mesh_speedup"]
+    print(
+        f"\nmesh baseline speedup at "
+        f"{snapshot['load_fraction_of_mesh_saturation']:.0%} of saturation: "
+        f"{mesh_speedup:.2f}x"
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"snapshot written to {args.output}")
+    # Timing is advisory (noisy machines exist); only a parity violation —
+    # which raises inside run_benchmark — makes this benchmark fail.
+    if mesh_speedup < 2.0:
+        print("WARNING: mesh speedup below the 2x acceptance threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,15 @@ cycle-accurate evaluation — uniform-random sweeps for the saturation
 metrics, and application traffic for the steady-state comparison.
 """
 
-from .architectures import BuiltSystem, build_comparison_set, build_system
+from .architectures import (
+    BuiltSystem,
+    UnknownArchitectureError,
+    architecture_builder,
+    available_architectures,
+    build_comparison_set,
+    build_system,
+    register_architecture,
+)
 from .comparison import (
     ArchitectureMetrics,
     GainReport,
@@ -29,9 +37,13 @@ __all__ = [
     "GainReport",
     "MultichipSimulation",
     "SystemConfig",
+    "UnknownArchitectureError",
+    "architecture_builder",
+    "available_architectures",
     "build_comparison_set",
     "build_system",
     "compare",
+    "register_architecture",
     "paper_1c4m",
     "paper_4c4m",
     "paper_8c4m",

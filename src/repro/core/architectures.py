@@ -1,20 +1,32 @@
-"""Architecture factories: build the three multichip systems of the paper.
+"""Architecture factories: build the multichip systems of the paper.
 
 ``build_system`` turns a :class:`~repro.core.config.SystemConfig` into a
 fully connected topology (chips + memory stacks + the architecture's
 inter-die links), a router over that topology, and the bookkeeping needed by
 experiments (WI count, area overhead, off-chip link inventory).
+
+The inter-die interconnect of each architecture is applied by a registered
+*overlay builder*; new architectures plug in with one decorator —
+
+::
+
+    @register_architecture("my-fabric")
+    def _apply_my_fabric(multichip, config):
+        ...mutate multichip.graph...
+
+— and are then constructible by name via :func:`architecture_builder`
+(``build_system`` resolves the builder from the configured architecture's
+value the same way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..routing import BaseRouter, ShortestPathRouter
 from ..topology import (
     InterposerOverlayConfig,
-    LinkKind,
     MultichipSystem,
     SubstrateOverlayConfig,
     TopologyGraph,
@@ -72,6 +84,79 @@ class BuiltSystem:
         return len(self.topology.inter_region_links())
 
 
+# ----------------------------------------------------------------------
+# Architecture registry.
+# ----------------------------------------------------------------------
+
+#: Overlay-builder signature: mutate ``multichip`` in place so its graph
+#: carries the architecture's inter-die interconnect.
+OverlayBuilder = Callable[[MultichipSystem, SystemConfig], None]
+
+_ARCHITECTURES: Dict[str, OverlayBuilder] = {}
+
+
+class UnknownArchitectureError(KeyError):
+    """Raised when an architecture name is not registered."""
+
+
+def register_architecture(name: str) -> Callable[[OverlayBuilder], OverlayBuilder]:
+    """Decorator that registers an overlay builder under a name."""
+
+    def decorator(builder: OverlayBuilder) -> OverlayBuilder:
+        if name in _ARCHITECTURES:
+            raise ValueError(f"architecture {name!r} is already registered")
+        _ARCHITECTURES[name] = builder
+        return builder
+
+    return decorator
+
+
+def architecture_builder(name: str) -> OverlayBuilder:
+    """Look up the overlay builder registered under ``name``."""
+    try:
+        return _ARCHITECTURES[name]
+    except KeyError:
+        known = ", ".join(sorted(_ARCHITECTURES))
+        raise UnknownArchitectureError(
+            f"unknown architecture {name!r}; known architectures: {known}"
+        ) from None
+
+
+def available_architectures() -> List[str]:
+    """All registered architecture names, sorted."""
+    return sorted(_ARCHITECTURES)
+
+
+@register_architecture(Architecture.SUBSTRATE.value)
+def _apply_substrate(multichip: MultichipSystem, config: SystemConfig) -> None:
+    apply_substrate_overlay(
+        multichip,
+        SubstrateOverlayConfig(
+            serial_links_per_boundary=config.substrate_serial_links,
+            wide_io_links_per_stack=config.wide_io_links_per_stack,
+        ),
+    )
+
+
+@register_architecture(Architecture.INTERPOSER.value)
+def _apply_interposer(multichip: MultichipSystem, config: SystemConfig) -> None:
+    apply_interposer_overlay(
+        multichip,
+        InterposerOverlayConfig(
+            links_per_boundary=config.interposer_links_per_boundary,
+            wide_io_links_per_stack=config.wide_io_links_per_stack,
+        ),
+    )
+
+
+@register_architecture(Architecture.WIRELESS.value)
+def _apply_wireless(multichip: MultichipSystem, config: SystemConfig) -> None:
+    apply_wireless_overlay(
+        multichip,
+        WirelessOverlayConfig(cores_per_wi=config.cores_per_wi),
+    )
+
+
 def build_system(
     config: SystemConfig,
     router_factory=None,
@@ -91,29 +176,8 @@ def build_system(
         total_processing_area_mm2=config.total_processing_area_mm2,
     )
 
-    if config.architecture == Architecture.SUBSTRATE:
-        apply_substrate_overlay(
-            multichip,
-            SubstrateOverlayConfig(
-                serial_links_per_boundary=config.substrate_serial_links,
-                wide_io_links_per_stack=config.wide_io_links_per_stack,
-            ),
-        )
-    elif config.architecture == Architecture.INTERPOSER:
-        apply_interposer_overlay(
-            multichip,
-            InterposerOverlayConfig(
-                links_per_boundary=config.interposer_links_per_boundary,
-                wide_io_links_per_stack=config.wide_io_links_per_stack,
-            ),
-        )
-    elif config.architecture == Architecture.WIRELESS:
-        apply_wireless_overlay(
-            multichip,
-            WirelessOverlayConfig(cores_per_wi=config.cores_per_wi),
-        )
-    else:  # pragma: no cover - the enum is exhaustive
-        raise ValueError(f"unknown architecture {config.architecture!r}")
+    builder = architecture_builder(config.architecture.value)
+    builder(multichip, config)
 
     multichip.graph.validate()
     if router_factory is None:

@@ -9,7 +9,7 @@ gains once so every experiment and test computes them identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..metrics.saturation import LoadPointSummary, LoadSweepResult, SweepSummary
 from ..noc.stats import SimulationResult

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
-from ..noc.config import NetworkConfig, WirelessConfig
+from ..noc.config import NetworkConfig
 
 
 class Architecture(str, Enum):

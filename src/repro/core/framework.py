@@ -9,7 +9,7 @@ and benchmarks are written against.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..metrics.saturation import (
     LoadSweepResult,
@@ -20,6 +20,7 @@ from ..noc.config import NetworkConfig
 from ..noc.engine import SimulationConfig, Simulator
 from ..noc.stats import SimulationResult
 from ..traffic.base import TrafficModel
+from ..traffic.registry import create_pattern
 from ..traffic.synfull import SynfullApplicationTraffic
 from ..traffic.uniform import UniformRandomTraffic
 from .architectures import BuiltSystem, build_system
@@ -92,6 +93,30 @@ class MultichipSimulation:
             injection_rate=injection_rate,
             memory_access_fraction=memory_access_fraction,
             memory_replies=memory_replies,
+            seed=seed,
+        )
+        return self.run_traffic(traffic)
+
+    def run_pattern(
+        self,
+        pattern: str,
+        injection_rate: float,
+        memory_access_fraction: float = 0.2,
+        seed: int = 1,
+    ) -> SimulationResult:
+        """Run one registered synthetic traffic pattern at one offered load.
+
+        ``pattern`` is any name from
+        :func:`repro.traffic.registry.available_patterns` — this is the
+        path behind the experiment CLI's ``--pattern`` flag.  Patterns
+        without a memory-traffic component ignore
+        ``memory_access_fraction``.
+        """
+        traffic = create_pattern(
+            pattern,
+            self.system.topology,
+            injection_rate=injection_rate,
+            memory_access_fraction=memory_access_fraction,
             seed=seed,
         )
         return self.run_traffic(traffic)

@@ -15,7 +15,7 @@ share explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .technology import DEFAULT_TECHNOLOGY, Technology

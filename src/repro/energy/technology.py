@@ -14,7 +14,7 @@ Every constant uses explicit units in its name (``_PJ_PER_BIT``, ``_MW``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 # ---------------------------------------------------------------------------
 # Global digital operating point (Section IV of the paper).

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..traffic.registry import available_patterns
 from . import (
     fig2_uniform,
     fig3_latency,
@@ -31,14 +32,18 @@ from . import (
 from .runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
 #: Experiment name -> runner registry.  Every entry accepts
-#: ``(fidelity, runner)`` and returns the formatted report text.
-EXPERIMENTS: Dict[str, Callable[[str, Optional[ExperimentRunner]], str]] = {
+#: ``(fidelity, runner, pattern)`` and returns the formatted report text.
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig2": fig2_uniform.main,
     "fig3": fig3_latency.main,
     "fig4": fig4_disintegration.main,
     "fig5": fig5_memory_traffic.main,
     "fig6": fig6_applications.main,
 }
+
+#: Experiments whose synthetic workload can be swapped via ``--pattern``
+#: (fig5 sweeps the uniform memory mix, fig6 runs application traffic).
+PATTERN_EXPERIMENTS = ("fig2", "fig3", "fig4")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
             "run length / sweep resolution: 'fast' for smoke tests, "
             "'default' for the EXPERIMENTS.md numbers, 'paper' for the "
             "paper's full 10k-cycle scale (default: default)"
+        ),
+    )
+    parser.add_argument(
+        "--pattern",
+        choices=available_patterns(),
+        default="uniform",
+        help=(
+            "synthetic traffic pattern for the load-sweep figures "
+            "(fig2/fig3/fig4); constructed by name from the traffic "
+            "registry (default: uniform)"
         ),
     )
     parser.add_argument(
@@ -127,10 +142,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"cannot use cache directory {args.cache_dir!r}: {error}")
     if args.experiment == "all":
         names: List[str] = sorted(EXPERIMENTS)
+        if args.pattern != "uniform":
+            names = [n for n in names if n in PATTERN_EXPERIMENTS]
+            print(
+                f"[runner] pattern {args.pattern!r}: running "
+                f"{', '.join(names)} (fig5/fig6 are uniform/application-only)"
+            )
     else:
         names = [args.experiment]
+        if args.pattern != "uniform" and args.experiment not in PATTERN_EXPERIMENTS:
+            parser.error(
+                f"--pattern only applies to {', '.join(PATTERN_EXPERIMENTS)}; "
+                f"{args.experiment} has a fixed workload"
+            )
     for name in names:
-        EXPERIMENTS[name](args.fidelity, runner)
+        EXPERIMENTS[name](args.fidelity, runner, pattern=args.pattern)
         print()
     print(f"[runner] {runner.summary_line()}")
     return 0

@@ -15,7 +15,7 @@ parameters, so results differ in noise, not in shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.comparison import ArchitectureMetrics
@@ -111,16 +111,22 @@ def sweep_architecture(
     memory_access_fraction: float = 0.2,
     loads: Optional[Sequence[float]] = None,
     runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
 ) -> Tuple[ArchitectureMetrics, SweepSummary]:
     """Load-sweep one architecture and summarise it at sustainable saturation.
 
     Goes through the task runner (serial, uncached by default), so passing a
     configured :class:`~repro.experiments.runner.ExperimentRunner` gets
-    parallel execution and caching for free.
+    parallel execution and caching for free.  ``pattern`` selects any
+    registered synthetic traffic pattern (default: uniform random traffic).
     """
     active = runner if runner is not None else ExperimentRunner()
     sweep = active.run_sweep(
-        config, fidelity, memory_access_fraction=memory_access_fraction, loads=loads
+        config,
+        fidelity,
+        memory_access_fraction=memory_access_fraction,
+        loads=loads,
+        pattern=pattern,
     )
     metrics = ArchitectureMetrics.from_sweep_summary(config.name, sweep)
     return metrics, sweep

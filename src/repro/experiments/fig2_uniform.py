@@ -26,6 +26,7 @@ class Fig2Result:
 
     fidelity: str
     memory_access_fraction: float
+    pattern: str = "uniform"
     metrics: Dict[Architecture, ArchitectureMetrics] = field(default_factory=dict)
 
     def rows(self) -> List[List[object]]:
@@ -62,18 +63,25 @@ class Fig2Result:
 
 
 def run(
-    fidelity: str = "default", runner: Optional[ExperimentRunner] = None
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
 ) -> Fig2Result:
     """Run the Fig. 2 experiment at the requested fidelity.
 
     All load points of all three architectures are submitted to the runner
     as one batch of independent tasks, so the whole figure parallelises
-    across ``runner.jobs`` worker processes.
+    across ``runner.jobs`` worker processes.  ``pattern`` swaps the
+    synthetic workload for any registered traffic pattern (transpose,
+    bit-reversal, bursty-hotspot, ...), keeping the same sweep and
+    saturation analysis.
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
     result = Fig2Result(
-        fidelity=level.name, memory_access_fraction=MEMORY_ACCESS_FRACTION
+        fidelity=level.name,
+        memory_access_fraction=MEMORY_ACCESS_FRACTION,
+        pattern=pattern,
     )
     configs = {
         architecture: SystemConfig(architecture=architecture)
@@ -82,7 +90,10 @@ def run(
     sweeps = active.run_sweep_groups(
         {
             architecture: sweep_tasks(
-                config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+                config,
+                level,
+                memory_access_fraction=MEMORY_ACCESS_FRACTION,
+                pattern=pattern,
             )
             for architecture, config in configs.items()
         }
@@ -100,16 +111,25 @@ def format_report(result: Fig2Result) -> str:
         ["Configuration", "Peak bandwidth/core (Gbps)", "Avg packet energy (nJ)"],
         result.rows(),
     )
+    if result.pattern == "uniform":
+        workload = (
+            "uniform random traffic, 4C4M, "
+            f"{int(result.memory_access_fraction * 100)}% memory access"
+        )
+    else:
+        workload = f"{result.pattern} traffic, 4C4M"
     heading = format_heading(
-        "Fig. 2 - uniform random traffic, 4C4M, "
-        f"{int(result.memory_access_fraction * 100)}% memory access "
-        f"[fidelity={result.fidelity}]"
+        f"Fig. 2 - {workload} [fidelity={result.fidelity}]"
     )
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
+def main(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity, runner=runner))
+    report = format_report(run(fidelity, runner=runner, pattern=pattern))
     print(report)
     return report

@@ -28,6 +28,7 @@ class Fig3Result:
 
     fidelity: str
     loads: List[float]
+    pattern: str = "uniform"
     sweeps: Dict[Architecture, SweepSummary] = field(default_factory=dict)
 
     def curve(self, architecture: Architecture) -> List[Tuple[float, float]]:
@@ -61,16 +62,18 @@ def run(
     fidelity: str = "default",
     loads: Optional[Sequence[float]] = None,
     runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
 ) -> Fig3Result:
     """Run the Fig. 3 experiment at the requested fidelity.
 
     Every (architecture, load) pair is an independent task; the whole
-    figure is submitted to the runner as one batch.
+    figure is submitted to the runner as one batch.  ``pattern`` swaps the
+    synthetic workload for any registered traffic pattern.
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
     selected = list(loads) if loads is not None else list(level.load_points)
-    result = Fig3Result(fidelity=level.name, loads=selected)
+    result = Fig3Result(fidelity=level.name, loads=selected, pattern=pattern)
     result.sweeps = active.run_sweep_groups(
         {
             architecture: sweep_tasks(
@@ -78,6 +81,7 @@ def run(
                 level,
                 memory_access_fraction=MEMORY_ACCESS_FRACTION,
                 loads=selected,
+                pattern=pattern,
             )
             for architecture in architectures_for_comparison()
         }
@@ -91,15 +95,20 @@ def format_report(result: Fig3Result) -> str:
         SystemConfig(architecture=a).name for a in architectures_for_comparison()
     ]
     table = format_table(headers, result.rows())
+    workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
     heading = format_heading(
-        "Fig. 3 - average packet latency (cycles) vs injection load, 4C4M "
+        f"Fig. 3 - average packet latency (cycles) vs injection load, 4C4M{workload} "
         f"[fidelity={result.fidelity}]"
     )
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
+def main(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity, runner=runner))
+    report = format_report(run(fidelity, runner=runner, pattern=pattern))
     print(report)
     return report

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Tuple
 from ..core.comparison import ArchitectureMetrics, GainReport, compare
 from ..core.config import Architecture, SystemConfig, paper_1c4m, paper_4c4m, paper_8c4m
 from ..metrics.report import format_heading, format_percentage, format_table
-from ..traffic.base import offchip_fraction
 from .common import get_fidelity
 from .runner import ExperimentRunner, sweep_tasks
 
@@ -43,6 +42,7 @@ class Fig4Result:
     """Wireless-versus-interposer gains for each disintegration level."""
 
     fidelity: str
+    pattern: str = "uniform"
     gains: Dict[str, GainReport] = field(default_factory=dict)
     metrics: Dict[str, Dict[Architecture, ArchitectureMetrics]] = field(
         default_factory=dict
@@ -68,16 +68,19 @@ class Fig4Result:
 
 
 def run(
-    fidelity: str = "default", runner: Optional[ExperimentRunner] = None
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
 ) -> Fig4Result:
     """Run the Fig. 4 experiment at the requested fidelity.
 
     All (disintegration level × architecture × load point) tasks are
-    submitted to the runner as one batch.
+    submitted to the runner as one batch.  ``pattern`` swaps the synthetic
+    workload for any registered traffic pattern.
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
-    result = Fig4Result(fidelity=level.name)
+    result = Fig4Result(fidelity=level.name, pattern=pattern)
     configs = {
         (label, architecture): _config_for(label, architecture)
         for label, _ in CONFIGURATIONS
@@ -86,7 +89,10 @@ def run(
     sweeps = active.run_sweep_groups(
         {
             key: sweep_tasks(
-                config, level, memory_access_fraction=MEMORY_ACCESS_FRACTION
+                config,
+                level,
+                memory_access_fraction=MEMORY_ACCESS_FRACTION,
+                pattern=pattern,
             )
             for key, config in configs.items()
         }
@@ -111,15 +117,20 @@ def format_report(result: Fig4Result) -> str:
         ["% Chip-to-chip traffic (config)", "% gain in bandwidth", "% gain in packet energy"],
         result.rows(),
     )
+    workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
     heading = format_heading(
-        "Fig. 4 - wireless vs interposer gains under disintegration "
+        f"Fig. 4 - wireless vs interposer gains under disintegration{workload} "
         f"[fidelity={result.fidelity}]"
     )
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
+def main(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity, runner=runner))
+    report = format_report(run(fidelity, runner=runner, pattern=pattern))
     print(report)
     return report

@@ -115,8 +115,22 @@ def format_report(result: Fig5Result) -> str:
     return f"{heading}\n{table}"
 
 
-def main(fidelity: str = "default", runner: Optional[ExperimentRunner] = None) -> str:
-    """Run and format the experiment (used by the CLI and benchmarks)."""
+def main(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+) -> str:
+    """Run and format the experiment (used by the CLI and benchmarks).
+
+    The memory-fraction sweep is only meaningful for uniform traffic with a
+    memory-access share, so a non-uniform ``--pattern`` is declined loudly
+    rather than silently ignored.
+    """
+    if pattern != "uniform":
+        raise ValueError(
+            "fig5 sweeps the memory-access fraction of uniform traffic; "
+            f"--pattern {pattern} does not apply (use fig2/fig3/fig4)"
+        )
     report = format_report(run(fidelity, runner=runner))
     print(report)
     return report

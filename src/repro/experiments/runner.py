@@ -28,11 +28,13 @@ them in one batch via :class:`ExperimentRunner`, and reassemble sweeps with
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.config import SystemConfig
 from ..core.framework import MultichipSimulation
+from ..metrics.report import format_simulator_throughput
 from ..metrics.saturation import LoadPointSummary, SweepSummary
 from ..noc.engine import SimulationConfig
 from ..parallel.cache import ResultCache
@@ -42,7 +44,7 @@ from ..traffic.rng import derive_seed
 
 #: Bump when the payload schema or simulation semantics change, so stale
 #: cache entries from older code versions are never reused.
-TASK_SCHEMA_VERSION = 1
+TASK_SCHEMA_VERSION = 2
 
 #: Default on-disk location of the per-task result cache (relative to the
 #: working directory; see EXPERIMENTS.md).
@@ -53,11 +55,14 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 class SimulationTask:
     """One independent, deterministically seeded simulation.
 
-    ``kind`` selects the traffic model: ``"uniform"`` runs uniform random
-    traffic at offered load ``load`` with the given memory-access fraction;
-    ``"application"`` runs one PARSEC/SPLASH-2 profile (``application``)
-    scaled by ``rate_scale``.  Instances are frozen (usable as dict keys)
-    and picklable (shippable to worker processes).
+    ``kind`` selects the traffic model: ``"synthetic"`` runs one registered
+    traffic pattern (``pattern``, see :mod:`repro.traffic.registry`; the
+    default is uniform random traffic) at offered load ``load`` with the
+    given memory-access fraction; ``"application"`` runs one PARSEC/SPLASH-2
+    profile (``application``) scaled by ``rate_scale``.  The legacy kind
+    name ``"uniform"`` is accepted as an alias of ``"synthetic"``.
+    Instances are frozen (usable as dict keys) and picklable (shippable to
+    worker processes).
     """
 
     kind: str
@@ -69,20 +74,29 @@ class SimulationTask:
     load: float = 0.0
     application: str = ""
     rate_scale: float = 1.0
+    pattern: str = "uniform"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("uniform", "application"):
+        if self.kind == "uniform":
+            # Legacy alias from the schema-v1 task format.
+            object.__setattr__(self, "kind", "synthetic")
+        if self.kind not in ("synthetic", "application"):
             raise ValueError(f"unknown task kind {self.kind!r}")
-        if self.kind == "uniform" and self.load < 0:
-            raise ValueError("uniform tasks need a non-negative offered load")
+        if self.kind == "synthetic":
+            if self.load < 0:
+                raise ValueError("synthetic tasks need a non-negative offered load")
+            if not self.pattern:
+                raise ValueError("synthetic tasks need a traffic pattern name")
         if self.kind == "application" and not self.application:
             raise ValueError("application tasks need an application name")
 
     @property
     def label(self) -> str:
         """Short human-readable description (used in progress output)."""
-        if self.kind == "uniform":
+        if self.kind == "synthetic":
             detail = f"load={self.load:g} mem={self.memory_access_fraction:g}"
+            if self.pattern != "uniform":
+                detail = f"pattern={self.pattern} {detail}"
         else:
             detail = f"app={self.application}"
         return f"{self.config.name} {detail}"
@@ -106,6 +120,7 @@ class SimulationTask:
                 "load": self.load,
                 "application": self.application,
                 "rate_scale": self.rate_scale,
+                "pattern": self.pattern,
             }
         )
 
@@ -120,20 +135,24 @@ def uniform_task(
     load: float,
     memory_access_fraction: float = 0.2,
     seed: Optional[int] = None,
+    pattern: str = "uniform",
 ) -> SimulationTask:
-    """One uniform-random-traffic task at one offered load.
+    """One synthetic-traffic task at one offered load.
 
     ``fidelity`` is any object with ``cycles``, ``warmup_cycles`` and
     ``seed`` attributes (normally a :class:`repro.experiments.common.Fidelity`).
+    ``pattern`` selects any registered traffic pattern (default: uniform
+    random traffic, the paper's synthetic workload).
     """
     return SimulationTask(
-        kind="uniform",
+        kind="synthetic",
         config=config,
         cycles=fidelity.cycles,
         warmup_cycles=fidelity.warmup_cycles,
         seed=fidelity.seed if seed is None else seed,
         memory_access_fraction=memory_access_fraction,
         load=load,
+        pattern=pattern,
     )
 
 
@@ -163,8 +182,9 @@ def sweep_tasks(
     fidelity,
     memory_access_fraction: float = 0.2,
     loads: Optional[Sequence[float]] = None,
+    pattern: str = "uniform",
 ) -> List[SimulationTask]:
-    """The per-load-point tasks of one uniform load sweep.
+    """The per-load-point tasks of one synthetic load sweep.
 
     Each load point is an independent task (the serial sweep also seeds
     every point identically), so a sweep parallelises with no barrier.
@@ -176,6 +196,7 @@ def sweep_tasks(
             fidelity,
             load=load,
             memory_access_fraction=memory_access_fraction,
+            pattern=pattern,
         )
         for load in selected
     ]
@@ -209,8 +230,9 @@ def execute_task(task: SimulationTask) -> Dict[str, object]:
         task.config,
         SimulationConfig(cycles=task.cycles, warmup_cycles=task.warmup_cycles),
     )
-    if task.kind == "uniform":
-        result = simulation.run_uniform(
+    if task.kind == "synthetic":
+        result = simulation.run_pattern(
+            task.pattern,
             injection_rate=task.load,
             memory_access_fraction=task.memory_access_fraction,
             seed=task.seed,
@@ -253,7 +275,10 @@ class ExperimentRunner:
         each task completes.
 
     The counters ``cache_hits``, ``cache_misses`` and ``tasks_executed``
-    accumulate across :meth:`run` calls and back the CLI's summary line.
+    accumulate across :meth:`run` calls and back the CLI's summary line,
+    as do ``wall_clock_seconds`` and ``simulated_cycles`` (the simulator
+    self-throughput report; orchestration-side, so cached and parallel
+    results stay bit-identical to serial ones).
     """
 
     def __init__(
@@ -271,6 +296,8 @@ class ExperimentRunner:
         self.cache_hits = 0
         self.cache_misses = 0
         self.tasks_executed = 0
+        self.wall_clock_seconds = 0.0
+        self.simulated_cycles = 0
 
     # ------------------------------------------------------------------
     # Execution.
@@ -308,12 +335,16 @@ class ExperimentRunner:
                 0, len(pending), f"{len(unique)} tasks, {len(unique) - len(pending)} cached"
             )
 
+        started = time.perf_counter()
         payloads = run_tasks(
             execute_task,
             pending,
             jobs=self.jobs,
             progress=self._on_task_done if self.show_progress else None,
         )
+        if pending:
+            self.wall_clock_seconds += time.perf_counter() - started
+            self.simulated_cycles += sum(task.cycles for task in pending)
         for task, payload in zip(pending, payloads):
             if self.cache is not None:
                 self.cache.put(
@@ -351,13 +382,15 @@ class ExperimentRunner:
         fidelity,
         memory_access_fraction: float = 0.2,
         loads: Optional[Sequence[float]] = None,
+        pattern: str = "uniform",
     ) -> SweepSummary:
-        """Convenience: run one architecture's uniform load sweep."""
+        """Convenience: run one architecture's synthetic load sweep."""
         tasks = sweep_tasks(
             config,
             fidelity,
             memory_access_fraction=memory_access_fraction,
             loads=loads,
+            pattern=pattern,
         )
         return assemble_sweep(self.run(tasks), tasks)
 
@@ -383,11 +416,32 @@ class ExperimentRunner:
 
     def summary_line(self) -> str:
         """One-line execution summary for CLI output."""
-        return (
+        line = (
             f"{self.tasks_executed} task(s) simulated, "
             f"{self.cache_hits} served from cache "
             f"(jobs={self.jobs}, cache={'on' if self.cache is not None else 'off'})"
         )
+        throughput = self.throughput_line()
+        if throughput:
+            line = f"{line}\n[runner] {throughput}"
+        return line
+
+    def throughput_line(self) -> Optional[str]:
+        """Simulator self-throughput over the executed (uncached) tasks.
+
+        Cycles are summed across all tasks while the wall clock is the
+        batch interval, so with ``jobs > 1`` this is *aggregate* (all
+        workers combined) throughput — the line says so, to keep it from
+        reading as a per-kernel speedup.
+        """
+        if self.wall_clock_seconds <= 0 or not self.simulated_cycles:
+            return None
+        line = format_simulator_throughput(
+            self.simulated_cycles, self.wall_clock_seconds, tasks=self.tasks_executed
+        )
+        if self.jobs > 1:
+            line += f" [aggregate across {self.jobs} workers]"
+        return line
 
     def _on_task_done(self, done: int, total: int, task: SimulationTask, _result) -> None:
         self._progress_line(done, total, task.label)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..topology.graph import EndpointKind, TopologyGraph
+from ..topology.graph import TopologyGraph
 from .dram_stack import DramStack, DramStackConfig
 
 

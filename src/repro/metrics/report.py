@@ -41,6 +41,41 @@ def format_percentage(value: float) -> str:
     return f"{value:+.1f}%"
 
 
+def format_simulator_throughput(
+    simulated_cycles: int,
+    wall_clock_seconds: float,
+    flit_hops: int = 0,
+    tasks: int = 0,
+) -> str:
+    """Summarise the simulator's own speed (how fast the kernel ran).
+
+    ``simulated_cycles`` is the total number of cycles processed in
+    ``wall_clock_seconds`` of wall-clock time; ``flit_hops`` (when known)
+    adds the flits-per-second figure, and ``tasks`` the number of
+    simulations the totals cover.  Used by the experiment runner's summary
+    and the kernel micro-benchmark so kernel speedups are visible in every
+    experiment output.
+    """
+    if wall_clock_seconds <= 0:
+        return "simulator self-throughput: n/a (no timed simulation work)"
+    parts = [
+        f"simulator self-throughput: "
+        f"{_si(simulated_cycles / wall_clock_seconds)}cycles/s"
+    ]
+    if flit_hops:
+        parts.append(f"{_si(flit_hops / wall_clock_seconds)}flits/s")
+    tail = f" over {tasks} run(s)" if tasks else ""
+    return ", ".join(parts) + f" ({wall_clock_seconds:.2f}s wall-clock{tail})"
+
+
+def _si(value: float) -> str:
+    """Format a rate with an SI magnitude prefix (k / M / G)."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f} {suffix}"
+    return f"{value:.1f} "
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         if abs(value) >= 100:

@@ -8,9 +8,17 @@ and an optional wireless fabric with MAC-arbitrated shared channels.
 
 from .config import NetworkConfig, WirelessConfig
 from .engine import SimulationConfig, SimulationStallError, Simulator
+from .fabric import Fabric, FabricError, WiredFabric, WirelessFabric
 from .flit import Flit, FlitType, flit_type_for
+from .kernel import (
+    ActiveSetScheduler,
+    DenseScheduler,
+    Scheduler,
+    SimulationKernel,
+    make_scheduler,
+)
 from .link import LinkCharacteristics, WirelessLinkSettings, characterize_link
-from .network import Network, NetworkBuildError, WirelessFabric
+from .network import Network, NetworkBuildError
 from .packet import Packet
 from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
 from .stats import SimulationResult
@@ -18,6 +26,10 @@ from .switch import Switch, SwitchConfigError
 from .virtual_channel import VirtualChannel
 
 __all__ = [
+    "ActiveSetScheduler",
+    "DenseScheduler",
+    "Fabric",
+    "FabricError",
     "Flit",
     "FlitType",
     "InputPort",
@@ -28,7 +40,9 @@ __all__ = [
     "NetworkConfig",
     "OutputPort",
     "Packet",
+    "Scheduler",
     "SimulationConfig",
+    "SimulationKernel",
     "SimulationResult",
     "SimulationStallError",
     "Simulator",
@@ -36,9 +50,11 @@ __all__ = [
     "SwitchConfigError",
     "VirtualChannel",
     "WIRELESS_PORT",
+    "WiredFabric",
     "WirelessConfig",
     "WirelessFabric",
     "WirelessLinkSettings",
     "characterize_link",
     "flit_type_for",
+    "make_scheduler",
 ]

@@ -1,73 +1,41 @@
-"""The cycle-accurate simulation engine.
+"""The cycle-accurate simulation engine (public facade).
 
-Mirrors the simulator described in Section IV of the paper: it
-"characterizes the multichip architecture and models the progress of the
-flits over the switches and links per cycle accounting for those flits that
-reach the destination as well as those that are stalled".
-
-Each simulated cycle performs, in order:
-
-1. **Arrivals** — flits whose link traversal completes this cycle are
-   appended to their reserved downstream VC buffers.
-2. **Traffic generation** — the traffic model emits new packets into the
-   per-endpoint source queues; routes are assigned from the pre-computed
-   shortest paths.
-3. **Injection** — source queues feed flits into free local-port VCs
-   (one flit per cycle per switch, more for multi-endpoint memory dies).
-4. **MAC update** — the wireless fabric advances its channel arbitration
-   and transceiver power states.
-5. **Switch allocation and traversal** — every switch arbitrates its output
-   ports among the VCs requesting them (round-robin), moves the winning
-   flits onto links / the wireless channel / the ejection port, performs
-   credit-equivalent space reservation downstream, and charges energy.
-
-A watchdog aborts the run if no flit makes progress for a configurable
-number of cycles while traffic is still in flight, so routing or protocol
-bugs surface as loud errors instead of silent hangs.
+The actual per-cycle work lives in the phase-structured
+:mod:`repro.noc.kernel`; this module keeps the stable public surface —
+:class:`Simulator`, :class:`SimulationConfig` and
+:class:`SimulationStallError` — and owns the per-run plumbing around one
+kernel execution: building the :class:`~repro.noc.network.Network`,
+binding the fabrics to the run's :class:`~repro.energy.EnergyAccountant`,
+and settling the end-of-run accounting (static energy, fabric statistics,
+wall-clock self-throughput) into the :class:`SimulationResult`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+import time
+from typing import Optional
 
 from ..energy import EnergyAccountant
 from ..routing.base import BaseRouter
 from ..topology.graph import TopologyGraph
-from ..traffic.base import TrafficModel, TrafficRequest
+from ..traffic.base import TrafficModel
 from .config import NetworkConfig
-from .flit import Flit
+from .kernel import (
+    SCHEDULERS,
+    SimulationConfig,
+    SimulationKernel,
+    SimulationStallError,
+    make_scheduler,
+)
 from .network import Network
-from .packet import Packet
 from .stats import SimulationResult
-from .switch import Switch
-from .virtual_channel import VirtualChannel
 
-
-class SimulationStallError(RuntimeError):
-    """Raised when no flit has moved for ``watchdog_cycles`` cycles."""
-
-
-@dataclass(frozen=True)
-class SimulationConfig:
-    """Run-length and robustness parameters of one simulation."""
-
-    cycles: int = 3000
-    warmup_cycles: int = 300
-    watchdog_cycles: int = 4000
-    max_source_queue_packets: int = 16
-    raise_on_stall: bool = True
-
-    def __post_init__(self) -> None:
-        if self.cycles <= 0:
-            raise ValueError("cycles must be positive")
-        if not 0 <= self.warmup_cycles < self.cycles:
-            raise ValueError("warmup_cycles must be in [0, cycles)")
-        if self.watchdog_cycles <= 0:
-            raise ValueError("watchdog_cycles must be positive")
-        if self.max_source_queue_packets <= 0:
-            raise ValueError("max_source_queue_packets must be positive")
+__all__ = [
+    "SCHEDULERS",
+    "SimulationConfig",
+    "SimulationStallError",
+    "Simulator",
+]
 
 
 class Simulator:
@@ -87,10 +55,6 @@ class Simulator:
         self.network_config = network_config or NetworkConfig()
         self.simulation_config = simulation_config or SimulationConfig()
 
-    # ------------------------------------------------------------------
-    # Public API.
-    # ------------------------------------------------------------------
-
     def run(self) -> SimulationResult:
         """Execute the configured number of cycles and return the results."""
         config = self.simulation_config
@@ -102,8 +66,7 @@ class Simulator:
             technology=net_config.technology,
             include_static=net_config.include_static_energy,
         )
-        fabric = network.wireless_fabric
-        if fabric is not None:
+        for fabric in network.fabrics:
             fabric.bind_accountant(accountant)
 
         result = SimulationResult(
@@ -116,34 +79,26 @@ class Simulator:
             include_static_energy=net_config.include_static_energy,
         )
 
-        state = _RunState(network, accountant, result, config, net_config, self)
-        switches = [network.switches[sid] for sid in sorted(network.switches)]
-        injecting_switches = [s for s in switches if s.endpoints]
-
-        for cycle in range(config.cycles):
-            state.cycle = cycle
-            state.process_arrivals(cycle)
-            state.generate_traffic(cycle)
-            for switch in injecting_switches:
-                state.inject(switch, cycle)
-            if fabric is not None:
-                fabric.update(cycle)
-            for switch in switches:
-                state.allocate(switch, cycle)
-            state.check_watchdog(cycle)
-            if state.stalled:
-                break
+        started = time.perf_counter()
+        kernel = SimulationKernel(
+            network=network,
+            router=self.router,
+            traffic=self.traffic,
+            accountant=accountant,
+            result=result,
+            config=config,
+            net_config=net_config,
+            scheduler=make_scheduler(config.scheduler),
+        )
+        state = kernel.run()
+        result.wall_clock_seconds = time.perf_counter() - started
 
         accountant.record_static(
             cycles=state.cycle + 1,
             total_switch_static_mw=network.total_switch_static_power_mw,
         )
-        if fabric is not None:
-            accountant.add_transceiver_static_energy(
-                fabric.total_transceiver_static_energy_pj()
-            )
-            result.mac_statistics = fabric.mac_statistics()
-            result.transceiver_sleep_fraction = fabric.average_sleep_fraction()
+        for fabric in network.fabrics:
+            fabric.finalize(result, accountant)
 
         result.energy = accountant.breakdown
         result.stalled = state.stalled
@@ -152,304 +107,3 @@ class Simulator:
                 result.num_cores * config.cycles
             )
         return result
-
-
-class _RunState:
-    """Mutable per-run state of the engine (kept separate from the facade)."""
-
-    def __init__(
-        self,
-        network: Network,
-        accountant: EnergyAccountant,
-        result: SimulationResult,
-        config: SimulationConfig,
-        net_config: NetworkConfig,
-        simulator: Simulator,
-    ) -> None:
-        self.network = network
-        self.accountant = accountant
-        self.result = result
-        self.config = config
-        self.net_config = net_config
-        self.simulator = simulator
-        self.cycle = 0
-        self.stalled = False
-        self.last_progress_cycle = 0
-        self.next_packet_id = 0
-        self.source_queues: Dict[int, Deque[Packet]] = {
-            endpoint_id: deque() for endpoint_id in network.endpoint_switch
-        }
-        self.arrivals: Dict[int, List[Tuple[VirtualChannel, Flit]]] = {}
-        self.switch_energy_pj = network.switch_dynamic_energy_pj_per_flit
-
-    # ------------------------------------------------------------------
-    # Phase 1: arrivals.
-    # ------------------------------------------------------------------
-
-    def process_arrivals(self, cycle: int) -> None:
-        due = self.arrivals.pop(cycle, None)
-        if not due:
-            return
-        for vc, flit in due:
-            vc.deliver(flit)
-        self.last_progress_cycle = cycle
-
-    # ------------------------------------------------------------------
-    # Phase 2: traffic generation.
-    # ------------------------------------------------------------------
-
-    def generate_traffic(self, cycle: int) -> None:
-        for request in self.simulator.traffic.generate(cycle):
-            self.enqueue_request(request, cycle)
-
-    def enqueue_request(self, request: TrafficRequest, cycle: int) -> None:
-        """Turn a traffic request into a routed packet in its source queue."""
-        self.result.packets_offered += 1
-        queue = self.source_queues.get(request.src_endpoint)
-        if queue is None:
-            raise ValueError(f"unknown source endpoint {request.src_endpoint}")
-        if len(queue) >= self.config.max_source_queue_packets:
-            return  # finite source queue: the request is dropped at the source
-        src_switch = self.network.switch_for_endpoint(request.src_endpoint)
-        dst_switch = self.network.switch_for_endpoint(request.dst_endpoint)
-        if src_switch.switch_id == dst_switch.switch_id:
-            route = [src_switch.switch_id]
-        else:
-            route = self.simulator.router.route(
-                src_switch.switch_id, dst_switch.switch_id
-            )
-        length = request.length_flits or self.net_config.packet_length_flits
-        packet = Packet(
-            packet_id=self.next_packet_id,
-            src_endpoint=request.src_endpoint,
-            dst_endpoint=request.dst_endpoint,
-            src_switch=src_switch.switch_id,
-            dst_switch=dst_switch.switch_id,
-            length_flits=length,
-            generation_cycle=cycle,
-            route=route,
-            is_memory_access=request.is_memory_access,
-            is_reply=request.is_reply,
-            measured=cycle >= self.config.warmup_cycles,
-            traffic_class=request.traffic_class,
-        )
-        self.next_packet_id += 1
-        queue.append(packet)
-        self.result.packets_generated += 1
-
-    # ------------------------------------------------------------------
-    # Phase 3: injection.
-    # ------------------------------------------------------------------
-
-    def inject(self, switch: Switch, cycle: int) -> None:
-        budget = switch.injection_width
-        local = switch.local_input
-        # Continue serialising packets already owning a local VC.
-        for vc in local.vcs:
-            if budget == 0:
-                return
-            packet = vc.source_packet
-            if packet is None:
-                continue
-            if len(vc.buffer) + vc.in_flight >= vc.capacity:
-                continue
-            flit = packet.make_flit(vc.source_flits_emitted)
-            vc.buffer.append(flit)
-            vc.source_flits_emitted += 1
-            self.result.flits_injected += 1
-            budget -= 1
-            self.last_progress_cycle = cycle
-            if vc.source_flits_emitted >= packet.length_flits:
-                vc.source_packet = None
-                vc.source_flits_emitted = 0
-        if budget == 0:
-            return
-        # Start injecting new packets from the attached endpoints.
-        for endpoint_id in switch.endpoints:
-            if budget == 0:
-                return
-            queue = self.source_queues.get(endpoint_id)
-            if not queue:
-                continue
-            vc = local.find_free_vc()
-            if vc is None:
-                return
-            packet = queue.popleft()
-            packet.injection_cycle = cycle
-            vc.allocated_packet_id = packet.packet_id
-            vc.source_packet = packet
-            vc.source_flits_emitted = 0
-            flit = packet.make_flit(0)
-            vc.buffer.append(flit)
-            vc.source_flits_emitted = 1
-            self.result.flits_injected += 1
-            budget -= 1
-            self.last_progress_cycle = cycle
-            if vc.source_flits_emitted >= packet.length_flits:
-                vc.source_packet = None
-                vc.source_flits_emitted = 0
-
-    # ------------------------------------------------------------------
-    # Phase 5: switch allocation and traversal.
-    # ------------------------------------------------------------------
-
-    def allocate(self, switch: Switch, cycle: int) -> None:
-        requests: Dict[object, List[VirtualChannel]] = {}
-        for port in switch.input_ports.values():
-            for vc in port.vcs:
-                if not vc.buffer:
-                    continue
-                if vc.current_output is None:
-                    self._assign_output(switch, vc)
-                requests.setdefault(vc.current_output, []).append(vc)
-        if not requests:
-            return
-        for output, vcs in requests.items():
-            if output.is_ejection:
-                self._serve_ejection(switch, output, vcs, cycle)
-                continue
-            if not output.is_available(cycle):
-                continue
-            eligible = [vc for vc in vcs if self._can_send(switch, vc, output, cycle)]
-            if not eligible:
-                continue
-            winner = switch.select_round_robin(output, eligible)
-            self._send(switch, winner, output, cycle)
-
-    def _assign_output(self, switch: Switch, vc: VirtualChannel) -> None:
-        flit = vc.buffer[0]
-        packet = flit.packet
-        if not flit.is_head:
-            raise RuntimeError(
-                f"VC {vc!r} has no routing state but its front flit is not a head"
-            )
-        if switch.switch_id == packet.dst_switch:
-            vc.current_output = switch.ejection_port
-            vc.downstream_port = None
-            vc.downstream_switch = None
-            return
-        expected = packet.route[packet.head_hop]
-        if expected != switch.switch_id:
-            raise RuntimeError(
-                f"packet {packet.packet_id} head expected at switch {expected} "
-                f"but found at {switch.switch_id}"
-            )
-        next_switch = packet.route[packet.head_hop + 1]
-        output = switch.output_towards(next_switch)
-        vc.current_output = output
-        vc.downstream_switch = next_switch
-        if output.is_wireless:
-            vc.downstream_port = self.network.wireless_fabric.wireless_input_port(
-                next_switch
-            )
-        else:
-            vc.downstream_port = output.downstream_port
-
-    def _serve_ejection(self, switch: Switch, output, vcs, cycle: int) -> None:
-        budget = output.width
-        candidates = [vc for vc in vcs if vc.buffer]
-        while budget > 0 and candidates:
-            winner = switch.select_round_robin(output, candidates)
-            self._eject(switch, winner, cycle)
-            candidates.remove(winner)
-            budget -= 1
-
-    def _can_send(self, switch: Switch, vc: VirtualChannel, output, cycle: int) -> bool:
-        flit = vc.buffer[0]
-        packet = flit.packet
-        downstream = vc.downstream_port
-        if downstream is None:
-            return False
-        target = downstream.find_vc_for_packet(packet.packet_id)
-        if target is None:
-            if not flit.is_head:
-                return False
-            target = downstream.find_free_vc()
-            if target is None:
-                return False
-        if not target.has_space():
-            return False
-        if output.is_wireless:
-            fabric = self.network.wireless_fabric
-            if fabric is None or not fabric.may_send(
-                switch.switch_id, packet, vc.downstream_switch, flit
-            ):
-                return False
-        return True
-
-    def _send(self, switch: Switch, vc: VirtualChannel, output, cycle: int) -> None:
-        front = vc.buffer[0]
-        packet = front.packet
-        downstream = vc.downstream_port
-        downstream_switch = vc.downstream_switch
-        target = downstream.find_vc_for_packet(packet.packet_id)
-        if target is None:
-            target = downstream.find_free_vc()
-        if target is None or not target.has_space():
-            raise RuntimeError("send() called without a valid downstream VC")
-        flit = vc.pop()
-        target.reserve(packet.packet_id, flit.is_head)
-        arrival_cycle = cycle + output.link.latency_cycles
-        self.arrivals.setdefault(arrival_cycle, []).append((target, flit))
-        output.occupy(cycle)
-
-        self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
-        self.accountant.record_link_traversal(
-            packet, output.link.energy_pj_per_flit, wireless=output.is_wireless
-        )
-        self.result.flit_hops += 1
-        if output.is_wireless:
-            self.result.wireless_flit_hops += 1
-            self.network.wireless_fabric.on_flit_sent(
-                switch.switch_id, packet, downstream_switch, flit, cycle
-            )
-        if flit.is_head:
-            packet.head_hop += 1
-        self.last_progress_cycle = cycle
-
-    def _eject(self, switch: Switch, vc: VirtualChannel, cycle: int) -> None:
-        front = vc.buffer[0]
-        packet = front.packet
-        flit = vc.pop()
-        self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
-        packet.record_ejection(flit, cycle)
-        if cycle >= self.config.warmup_cycles:
-            self.result.flits_ejected_measured += 1
-        self.last_progress_cycle = cycle
-        if not flit.is_tail:
-            return
-        self.result.packets_delivered += 1
-        if packet.measured:
-            self.result.packets_delivered_measured += 1
-            self.result.latencies_cycles.append(packet.latency_cycles)
-            if packet.network_latency_cycles is not None:
-                self.result.network_latencies_cycles.append(
-                    packet.network_latency_cycles
-                )
-            self.result.packet_energies_pj.append(packet.energy_pj)
-            self.result.packet_hops.append(packet.hop_count)
-        for reply in self.simulator.traffic.on_packet_delivered(packet, cycle):
-            self.enqueue_request(reply, cycle)
-
-    # ------------------------------------------------------------------
-    # Watchdog.
-    # ------------------------------------------------------------------
-
-    def check_watchdog(self, cycle: int) -> None:
-        if cycle - self.last_progress_cycle < self.config.watchdog_cycles:
-            return
-        in_flight = (
-            self.network.total_buffered_flits() > 0
-            or any(self.arrivals.values())
-            or any(self.source_queues.values())
-        )
-        if not in_flight:
-            self.last_progress_cycle = cycle
-            return
-        message = (
-            f"no flit progress for {self.config.watchdog_cycles} cycles at cycle "
-            f"{cycle} with traffic still in flight (possible deadlock)"
-        )
-        if self.config.raise_on_stall:
-            raise SimulationStallError(message)
-        self.stalled = True

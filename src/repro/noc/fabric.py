@@ -1,0 +1,318 @@
+"""The unified fabric interface: wired links and the wireless channel.
+
+A :class:`Fabric` is the transmission medium behind a set of output ports.
+The simulation kernel talks to every medium through the same five
+questions — *where does this hop land?* (:meth:`Fabric.resolve_downstream`),
+*may this flit go now?* (:meth:`Fabric.may_send`), *a flit just went*
+(:meth:`Fabric.on_flit_sent`), *advance your per-cycle state*
+(:meth:`Fabric.update`) and *settle your end-of-run accounting*
+(:meth:`Fabric.finalize`) — so the kernel never special-cases the wireless
+channel inline and the MAC protocols never reach into the kernel.
+
+Two implementations exist:
+
+* :class:`WiredFabric` — point-to-point links with a fixed downstream port;
+  every send is allowed, nothing needs per-cycle updates.
+* :class:`WirelessFabric` — the shared-medium state of the deployed
+  wireless interfaces: channel assignment, one MAC instance per channel,
+  and the transceiver power states.  The destination (and therefore the
+  downstream input port) differs per packet, and sends are gated by the
+  owning MAC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..energy import EnergyAccountant
+from ..wireless.channel import assign_channels
+from ..wireless.mac import (
+    ControlPacketMac,
+    MacAdapter,
+    MacProtocol,
+    PendingTransmission,
+    TokenMac,
+)
+from ..wireless.transceiver import Transceiver, TransceiverSpec, TransceiverState
+from .flit import Flit
+from .packet import Packet
+from .port import InputPort, OutputPort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .config import NetworkConfig
+    from .stats import SimulationResult
+    from .switch import Switch
+
+
+class FabricError(ValueError):
+    """Raised when a fabric is built or addressed inconsistently."""
+
+
+class Fabric:
+    """One transmission medium shared by a set of output ports."""
+
+    #: Whether traversals over this fabric are wireless (drives energy
+    #: attribution and the per-figure wireless-hop counters).
+    is_wireless: bool = False
+
+    #: Whether the kernel must call :meth:`update` every cycle.  Media with
+    #: no time-dependent state (wired links) opt out so the kernel's fabric
+    #: phase stays free for them.
+    needs_update: bool = False
+
+    def bind_accountant(self, accountant: EnergyAccountant) -> None:
+        """Attach the energy accountant of the current simulation run."""
+
+    def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
+        """The input port a hop over ``output`` towards ``dst_switch_id`` lands on."""
+        raise NotImplementedError
+
+    def may_send(
+        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
+    ) -> bool:
+        """Whether the medium grants this flit transmission right now."""
+        return True
+
+    def on_flit_sent(
+        self,
+        src_switch_id: int,
+        packet: Packet,
+        dst_switch_id: int,
+        flit: Flit,
+        cycle: int,
+    ) -> None:
+        """Notification that a flit went onto the medium this cycle."""
+
+    def update(self, cycle: int) -> None:
+        """Advance per-cycle medium state (MAC arbitration, power states)."""
+
+    def finalize(self, result: "SimulationResult", accountant: EnergyAccountant) -> None:
+        """Settle end-of-run statistics and static energy into the result."""
+
+
+class WiredFabric(Fabric):
+    """Point-to-point wired links: fixed downstream, always grantable."""
+
+    def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
+        downstream = output.downstream_port
+        if downstream is None:
+            raise FabricError(
+                f"wired output port {output.key!r} of switch "
+                f"{output.switch.switch_id} has no downstream port"
+            )
+        return downstream
+
+
+class WirelessFabric(Fabric, MacAdapter):
+    """Shared-medium state of the deployed wireless interfaces."""
+
+    is_wireless = True
+    needs_update = True
+
+    def __init__(
+        self,
+        switches: List["Switch"],
+        config: "NetworkConfig",
+    ) -> None:
+        if not switches:
+            raise FabricError("wireless fabric needs at least one WI switch")
+        self._config = config
+        wireless_cfg = config.wireless
+        self._switches: Dict[int, "Switch"] = {s.switch_id: s for s in switches}
+        ordered_ids = sorted(self._switches)
+        self._accountant: Optional[EnergyAccountant] = None
+        self._flit_hops = 0
+
+        spec = TransceiverSpec(
+            data_rate_gbps=config.technology.wireless_data_rate_gbps,
+            energy_pj_per_bit=config.technology.wireless_energy_pj_per_bit,
+            idle_power_mw=config.technology.wireless_idle_power_mw,
+            sleep_power_mw=config.technology.wireless_sleep_power_mw,
+        )
+        self.transceivers: Dict[int, Transceiver] = {
+            wi_id: Transceiver(
+                wi_id=wi_id,
+                spec=spec,
+                power_gating=wireless_cfg.sleepy_receivers
+                and wireless_cfg.mac == "control_packet",
+            )
+            for wi_id in ordered_ids
+        }
+
+        self.channel_plans = assign_channels(ordered_ids, wireless_cfg.num_channels)
+        self.macs: List[MacProtocol] = []
+        self._mac_of: Dict[int, MacProtocol] = {}
+        for plan in self.channel_plans:
+            if not plan.wi_switch_ids:
+                continue
+            mac = self._make_mac(plan.channel_id, list(plan.wi_switch_ids))
+            self.macs.append(mac)
+            for wi_id in plan.wi_switch_ids:
+                self._mac_of[wi_id] = mac
+
+    def _make_mac(self, channel_id: int, wi_ids: List[int]) -> MacProtocol:
+        wireless_cfg = self._config.wireless
+        if wireless_cfg.mac == "token":
+            return TokenMac(
+                channel_id,
+                wi_ids,
+                adapter=self,
+                token_pass_latency_cycles=wireless_cfg.token_pass_latency_cycles,
+                max_hold_cycles=4 * self._config.packet_length_flits
+                * wireless_cfg.cycles_per_flit
+                + 64,
+            )
+        return ControlPacketMac(
+            channel_id,
+            wi_ids,
+            adapter=self,
+            control_packet_cycles=wireless_cfg.control_packet_cycles,
+            control_packet_bits=wireless_cfg.control_packet_bits,
+            max_tuples=wireless_cfg.max_control_tuples,
+            cycles_per_flit=wireless_cfg.cycles_per_flit,
+        )
+
+    # ------------------------------------------------------------------
+    # MacAdapter interface.
+    # ------------------------------------------------------------------
+
+    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
+        """Traffic waiting for the wireless port of one WI switch."""
+        switch = self._switches[wi_switch_id]
+        entries = []
+        for vc, dst_switch, packet_id, buffered, remaining in switch.wireless_pending():
+            front = vc.front()
+            entries.append(
+                PendingTransmission(
+                    dst_switch=dst_switch,
+                    packet_id=packet_id,
+                    buffered_flits=buffered,
+                    packet_length_flits=front.packet.length_flits,
+                    front_is_head=front.is_head,
+                    remaining_flits=remaining,
+                )
+            )
+        return entries
+
+    def record_control_energy(self, energy_pj: float) -> None:
+        """Charge MAC control/token overhead to the current run's accountant."""
+        if self._accountant is not None:
+            self._accountant.record_mac_control(energy_pj)
+
+    def acceptable_flits(
+        self, dst_switch: int, packet_id: int, is_head: bool
+    ) -> int:
+        """Flits the destination WI can take over the coming burst.
+
+        The receiver drains its buffer into the destination chip's mesh
+        while the burst is in the air, so a transmission may announce one
+        extra buffer window on top of the space that is free right now.
+        """
+        switch = self._switches.get(dst_switch)
+        if switch is None or switch.wireless_input is None:
+            return 0
+        port = switch.wireless_input
+        owned = port.find_vc_for_packet(packet_id)
+        if owned is not None:
+            return max(0, owned.capacity - owned.occupancy) + owned.capacity
+        if not is_head:
+            return 0
+        free = port.find_free_vc()
+        if free is None:
+            return 0
+        return 2 * free.capacity
+
+    # ------------------------------------------------------------------
+    # Fabric interface (used by the kernel).
+    # ------------------------------------------------------------------
+
+    def bind_accountant(self, accountant: EnergyAccountant) -> None:
+        """Attach the energy accountant of the current simulation run."""
+        self._accountant = accountant
+
+    @property
+    def wi_switch_ids(self) -> List[int]:
+        """Ids of all WI switches, in sequence order."""
+        return sorted(self._switches)
+
+    def wireless_input_port(self, dst_switch_id: int) -> InputPort:
+        """The wireless input port of a destination WI switch."""
+        switch = self._switches.get(dst_switch_id)
+        if switch is None or switch.wireless_input is None:
+            raise FabricError(
+                f"switch {dst_switch_id} has no wireless interface"
+            )
+        return switch.wireless_input
+
+    def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
+        """Wireless hops land on the destination WI's wireless input port."""
+        return self.wireless_input_port(dst_switch_id)
+
+    def update(self, cycle: int) -> None:
+        """Advance every channel's MAC and the transceiver power states."""
+        for mac in self.macs:
+            mac.update(cycle)
+        for mac in self.macs:
+            transmitter = mac.current_transmitter()
+            receivers = mac.intended_receivers() if transmitter is not None else set()
+            for wi_id in mac.wi_switch_ids:
+                transceiver = self.transceivers[wi_id]
+                if wi_id == transmitter:
+                    transceiver.set_state(TransceiverState.TRANSMITTING)
+                elif wi_id in receivers:
+                    transceiver.set_state(TransceiverState.RECEIVING)
+                elif transmitter is not None:
+                    transceiver.set_state(TransceiverState.SLEEPING)
+                else:
+                    transceiver.set_state(TransceiverState.IDLE)
+                transceiver.tick()
+
+    def may_send(
+        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
+    ) -> bool:
+        """Whether the MAC grants this flit transmission right now."""
+        mac = self._mac_of.get(src_switch_id)
+        if mac is None:
+            return False
+        return mac.may_send(src_switch_id, packet.packet_id, dst_switch_id, flit.is_head)
+
+    def on_flit_sent(
+        self,
+        src_switch_id: int,
+        packet: Packet,
+        dst_switch_id: int,
+        flit: Flit,
+        cycle: int,
+    ) -> None:
+        """Notify the owning MAC that a flit went on the air."""
+        self._flit_hops += 1
+        mac = self._mac_of.get(src_switch_id)
+        if mac is not None:
+            mac.on_flit_sent(
+                src_switch_id, packet.packet_id, dst_switch_id, flit.is_tail, cycle
+            )
+
+    def finalize(self, result: "SimulationResult", accountant: EnergyAccountant) -> None:
+        """Charge transceiver static energy and publish the MAC statistics."""
+        accountant.add_transceiver_static_energy(
+            self.total_transceiver_static_energy_pj()
+        )
+        result.mac_statistics = self.mac_statistics()
+        result.transceiver_sleep_fraction = self.average_sleep_fraction()
+        result.wireless_flit_hops = self._flit_hops
+
+    def total_transceiver_static_energy_pj(self) -> float:
+        """Static energy of all transceivers over the accounted cycles."""
+        cycle_time = self._config.technology.cycle_time_s
+        return sum(t.static_energy_pj(cycle_time) for t in self.transceivers.values())
+
+    def mac_statistics(self) -> Dict[int, Dict[str, int]]:
+        """Per-channel MAC counters."""
+        return {mac.channel_id: mac.stats.as_dict() for mac in self.macs}
+
+    def average_sleep_fraction(self) -> float:
+        """Mean fraction of cycles the transceivers spent power-gated."""
+        transceivers = list(self.transceivers.values())
+        if not transceivers:
+            return 0.0
+        return sum(t.sleep_fraction() for t in transceivers) / len(transceivers)

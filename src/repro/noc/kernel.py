@@ -1,0 +1,682 @@
+"""The phase-structured simulation kernel.
+
+Mirrors the simulator described in Section IV of the paper: it
+"characterizes the multichip architecture and models the progress of the
+flits over the switches and links per cycle accounting for those flits that
+reach the destination as well as those that are stalled".
+
+Each simulated cycle executes five explicit phases, in order:
+
+1. :class:`ArrivalPhase` — flits whose fabric traversal completes this
+   cycle are appended to their reserved downstream VC buffers.
+2. :class:`GenerationPhase` — the traffic model emits new packets into the
+   per-endpoint source queues; routes are assigned from the pre-computed
+   shortest paths.
+3. :class:`InjectionPhase` — source queues feed flits into free local-port
+   VCs (one flit per cycle per switch, more for multi-endpoint memory dies).
+4. :class:`FabricPhase` — every fabric with time-dependent state advances
+   (the wireless fabric's channel arbitration and transceiver power states).
+5. :class:`AllocationPhase` — switches arbitrate their output ports among
+   the VCs requesting them (round-robin), move the winning flits onto their
+   fabric or the ejection port, perform credit-equivalent space reservation
+   downstream, and charge energy.
+
+The injection and allocation phases take their per-cycle work lists from a
+:class:`Scheduler`.  The :class:`DenseScheduler` visits every switch every
+cycle — a faithful transliteration of the original monolithic engine loop —
+while the :class:`ActiveSetScheduler` maintains *wake sets* of switches
+that can possibly make progress (buffered flits for allocation, queued or
+partially serialised packets for injection) and skips everything else.
+Skipped switches are exactly those for which the dense pass would be a
+no-op, so the two schedulers are bit-identical (the parity tests in
+``tests/test_kernel.py`` prove it); the active-set scheduler is simply
+several times faster at the low and mid loads that dominate every figure
+sweep.
+
+A watchdog aborts the run if no flit makes progress for a configurable
+number of cycles while traffic is still in flight, so routing or protocol
+bugs surface as loud errors instead of silent hangs.  The watchdog is
+re-anchored at the warm-up boundary and on traffic phase changes (see
+:meth:`repro.traffic.base.TrafficModel.phase_token`), so long cold starts
+and bursty phase-structured workloads cannot trip it spuriously; a phase
+change only re-anchors when some flit has progressed since the previous
+anchor, so fast-cycling phases can never mask a genuine deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..energy import EnergyAccountant
+from ..routing.base import BaseRouter
+from ..traffic.base import TrafficModel, TrafficRequest
+from .config import NetworkConfig
+from .flit import Flit
+from .network import Network
+from .packet import Packet
+from .stats import SimulationResult
+from .switch import Switch
+from .virtual_channel import VirtualChannel
+
+#: The scheduler names accepted by :class:`SimulationConfig`.
+SCHEDULERS = ("active", "dense")
+
+
+class SimulationStallError(RuntimeError):
+    """Raised when no flit has moved for ``watchdog_cycles`` cycles."""
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-length and robustness parameters of one simulation."""
+
+    cycles: int = 3000
+    warmup_cycles: int = 300
+    watchdog_cycles: int = 4000
+    max_source_queue_packets: int = 16
+    raise_on_stall: bool = True
+    #: Per-cycle work-list strategy: ``"active"`` (wake sets, the default)
+    #: or ``"dense"`` (visit every switch every cycle, the reference
+    #: behaviour of the original engine).  Results are bit-identical.
+    scheduler: str = "active"
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if not 0 <= self.warmup_cycles < self.cycles:
+            raise ValueError("warmup_cycles must be in [0, cycles)")
+        if self.watchdog_cycles <= 0:
+            raise ValueError("watchdog_cycles must be positive")
+        if self.max_source_queue_packets <= 0:
+            raise ValueError("max_source_queue_packets must be positive")
+        if self.scheduler not in SCHEDULERS:
+            known = ", ".join(SCHEDULERS)
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; known: {known}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Schedulers.
+# ----------------------------------------------------------------------
+
+
+class Scheduler:
+    """Decides which switches each phase visits in a given cycle.
+
+    The kernel notifies the scheduler of every event that can wake a
+    switch (a flit buffered into one of its VCs, a packet queued at one of
+    its endpoints) and of every opportunity to let one sleep again (a
+    visited switch that drained, an injector with nothing left to
+    serialise).  Candidate lists are always produced in ascending
+    switch-id order, matching the dense iteration order, so arbitration
+    outcomes are identical under both schedulers.
+    """
+
+    name = "scheduler"
+
+    def bind(self, switches: List[Switch], injecting: List[Switch]) -> None:
+        """Attach the (sorted) switch lists of the network being run."""
+        raise NotImplementedError
+
+    def allocation_candidates(self) -> Iterable[Switch]:
+        """Switches the allocation phase must visit this cycle."""
+        raise NotImplementedError
+
+    def injection_candidates(self) -> Iterable[Switch]:
+        """Switches the injection phase must visit this cycle."""
+        raise NotImplementedError
+
+    def on_flit_buffered(self, switch: Switch) -> None:
+        """A flit entered one of ``switch``'s VC buffers."""
+
+    def on_flit_drained(self, switch: Switch) -> None:
+        """A flit left one of ``switch``'s VC buffers."""
+
+    def on_packet_queued(self, switch: Switch) -> None:
+        """A packet joined a source queue of one of ``switch``'s endpoints."""
+
+    def after_allocation(self, switch: Switch) -> None:
+        """The allocation phase finished visiting ``switch`` this cycle."""
+
+    def after_injection(self, switch: Switch, has_work: bool) -> None:
+        """The injection phase finished visiting ``switch`` this cycle."""
+
+
+class DenseScheduler(Scheduler):
+    """Visit every switch every cycle (the original engine's behaviour)."""
+
+    name = "dense"
+
+    def bind(self, switches: List[Switch], injecting: List[Switch]) -> None:
+        self._switches = switches
+        self._injecting = injecting
+
+    def allocation_candidates(self) -> Iterable[Switch]:
+        return self._switches
+
+    def injection_candidates(self) -> Iterable[Switch]:
+        return self._injecting
+
+
+class ActiveSetScheduler(Scheduler):
+    """Visit only switches that can possibly make progress.
+
+    A switch is *allocation-active* while any of its VC buffers holds a
+    flit, and *injection-active* while any attached endpoint has queued
+    packets or a local VC is mid-serialisation.  Both conditions are
+    exactly the preconditions under which the dense pass can mutate state,
+    so skipping inactive switches never changes a simulation outcome —
+    only the wall-clock cost of reaching it.
+    """
+
+    name = "active"
+
+    def bind(self, switches: List[Switch], injecting: List[Switch]) -> None:
+        self._switch_of = {s.switch_id: s for s in switches}
+        self._buffered: Dict[int, int] = {s.switch_id: 0 for s in switches}
+        self._alloc_active: set = set()
+        self._inject_active: set = set()
+
+    def allocation_candidates(self) -> Iterable[Switch]:
+        switch_of = self._switch_of
+        return [switch_of[sid] for sid in sorted(self._alloc_active)]
+
+    def injection_candidates(self) -> Iterable[Switch]:
+        switch_of = self._switch_of
+        return [switch_of[sid] for sid in sorted(self._inject_active)]
+
+    def on_flit_buffered(self, switch: Switch) -> None:
+        sid = switch.switch_id
+        self._buffered[sid] += 1
+        self._alloc_active.add(sid)
+
+    def on_flit_drained(self, switch: Switch) -> None:
+        self._buffered[switch.switch_id] -= 1
+
+    def on_packet_queued(self, switch: Switch) -> None:
+        self._inject_active.add(switch.switch_id)
+
+    def after_allocation(self, switch: Switch) -> None:
+        if self._buffered[switch.switch_id] == 0:
+            self._alloc_active.discard(switch.switch_id)
+
+    def after_injection(self, switch: Switch, has_work: bool) -> None:
+        if not has_work:
+            self._inject_active.discard(switch.switch_id)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by its :class:`SimulationConfig` name."""
+    if name == "dense":
+        return DenseScheduler()
+    if name == "active":
+        return ActiveSetScheduler()
+    known = ", ".join(SCHEDULERS)
+    raise ValueError(f"unknown scheduler {name!r}; known: {known}")
+
+
+# ----------------------------------------------------------------------
+# Kernel state: everything the phases mutate.
+# ----------------------------------------------------------------------
+
+
+class KernelState:
+    """Mutable per-run state shared by the kernel's phases."""
+
+    def __init__(
+        self,
+        network: Network,
+        router: BaseRouter,
+        traffic: TrafficModel,
+        accountant: EnergyAccountant,
+        result: SimulationResult,
+        config: SimulationConfig,
+        net_config: NetworkConfig,
+        scheduler: Scheduler,
+    ) -> None:
+        self.network = network
+        self.router = router
+        self.traffic = traffic
+        self.accountant = accountant
+        self.result = result
+        self.config = config
+        self.net_config = net_config
+        self.scheduler = scheduler
+        self.cycle = 0
+        self.stalled = False
+        self.last_progress_cycle = 0
+        self.next_packet_id = 0
+        self.source_queues: Dict[int, Deque[Packet]] = {
+            endpoint_id: deque() for endpoint_id in network.endpoint_switch
+        }
+        self.arrivals: Dict[int, List[Tuple[VirtualChannel, Flit]]] = {}
+        self.switch_energy_pj = network.switch_dynamic_energy_pj_per_flit
+
+    # ------------------------------------------------------------------
+    # Phase 1: arrivals.
+    # ------------------------------------------------------------------
+
+    def process_arrivals(self, cycle: int) -> None:
+        due = self.arrivals.pop(cycle, None)
+        if not due:
+            return
+        scheduler = self.scheduler
+        for vc, flit in due:
+            vc.deliver(flit)
+            scheduler.on_flit_buffered(vc.port.switch)
+        self.last_progress_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # Phase 2: traffic generation.
+    # ------------------------------------------------------------------
+
+    def generate_traffic(self, cycle: int) -> None:
+        for request in self.traffic.generate(cycle):
+            self.enqueue_request(request, cycle)
+
+    def enqueue_request(self, request: TrafficRequest, cycle: int) -> None:
+        """Turn a traffic request into a routed packet in its source queue."""
+        self.result.packets_offered += 1
+        queue = self.source_queues.get(request.src_endpoint)
+        if queue is None:
+            raise ValueError(f"unknown source endpoint {request.src_endpoint}")
+        if len(queue) >= self.config.max_source_queue_packets:
+            return  # finite source queue: the request is dropped at the source
+        src_switch = self.network.switch_for_endpoint(request.src_endpoint)
+        dst_switch = self.network.switch_for_endpoint(request.dst_endpoint)
+        if src_switch.switch_id == dst_switch.switch_id:
+            route = [src_switch.switch_id]
+        else:
+            route = self.router.route(src_switch.switch_id, dst_switch.switch_id)
+        length = request.length_flits or self.net_config.packet_length_flits
+        packet = Packet(
+            packet_id=self.next_packet_id,
+            src_endpoint=request.src_endpoint,
+            dst_endpoint=request.dst_endpoint,
+            src_switch=src_switch.switch_id,
+            dst_switch=dst_switch.switch_id,
+            length_flits=length,
+            generation_cycle=cycle,
+            route=route,
+            is_memory_access=request.is_memory_access,
+            is_reply=request.is_reply,
+            measured=cycle >= self.config.warmup_cycles,
+            traffic_class=request.traffic_class,
+        )
+        self.next_packet_id += 1
+        queue.append(packet)
+        self.result.packets_generated += 1
+        self.scheduler.on_packet_queued(src_switch)
+
+    # ------------------------------------------------------------------
+    # Phase 3: injection.
+    # ------------------------------------------------------------------
+
+    def inject(self, switch: Switch, cycle: int) -> None:
+        budget = switch.injection_width
+        local = switch.local_input
+        # Continue serialising packets already owning a local VC.
+        for vc in local.vcs:
+            if budget == 0:
+                return
+            packet = vc.source_packet
+            if packet is None:
+                continue
+            if len(vc.buffer) + vc.in_flight >= vc.capacity:
+                continue
+            flit = packet.make_flit(vc.source_flits_emitted)
+            vc.buffer.append(flit)
+            self.scheduler.on_flit_buffered(switch)
+            vc.source_flits_emitted += 1
+            self.result.flits_injected += 1
+            budget -= 1
+            self.last_progress_cycle = cycle
+            if vc.source_flits_emitted >= packet.length_flits:
+                vc.source_packet = None
+                vc.source_flits_emitted = 0
+        if budget == 0:
+            return
+        # Start injecting new packets from the attached endpoints.
+        for endpoint_id in switch.endpoints:
+            if budget == 0:
+                return
+            queue = self.source_queues.get(endpoint_id)
+            if not queue:
+                continue
+            vc = local.find_free_vc()
+            if vc is None:
+                return
+            packet = queue.popleft()
+            packet.injection_cycle = cycle
+            vc.allocated_packet_id = packet.packet_id
+            vc.source_packet = packet
+            vc.source_flits_emitted = 0
+            flit = packet.make_flit(0)
+            vc.buffer.append(flit)
+            self.scheduler.on_flit_buffered(switch)
+            vc.source_flits_emitted = 1
+            self.result.flits_injected += 1
+            budget -= 1
+            self.last_progress_cycle = cycle
+            if vc.source_flits_emitted >= packet.length_flits:
+                vc.source_packet = None
+                vc.source_flits_emitted = 0
+
+    def has_injection_work(self, switch: Switch) -> bool:
+        """Whether the switch still has anything for the injection phase."""
+        for vc in switch.local_input.vcs:
+            if vc.source_packet is not None:
+                return True
+        for endpoint_id in switch.endpoints:
+            if self.source_queues.get(endpoint_id):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 5: switch allocation and traversal.
+    # ------------------------------------------------------------------
+
+    def allocate(self, switch: Switch, cycle: int) -> None:
+        requests: Dict[object, List[VirtualChannel]] = {}
+        for port in switch.input_ports.values():
+            for vc in port.vcs:
+                if not vc.buffer:
+                    continue
+                if vc.current_output is None:
+                    self._assign_output(switch, vc)
+                requests.setdefault(vc.current_output, []).append(vc)
+        if not requests:
+            return
+        for output, vcs in requests.items():
+            if output.is_ejection:
+                self._serve_ejection(switch, output, vcs, cycle)
+                continue
+            if not output.is_available(cycle):
+                continue
+            eligible = [vc for vc in vcs if self._can_send(switch, vc, output, cycle)]
+            if not eligible:
+                continue
+            winner = switch.select_round_robin(output, eligible)
+            self._send(switch, winner, output, cycle)
+
+    def _assign_output(self, switch: Switch, vc: VirtualChannel) -> None:
+        flit = vc.buffer[0]
+        packet = flit.packet
+        if not flit.is_head:
+            raise RuntimeError(
+                f"VC {vc!r} has no routing state but its front flit is not a head"
+            )
+        if switch.switch_id == packet.dst_switch:
+            vc.current_output = switch.ejection_port
+            vc.downstream_port = None
+            vc.downstream_switch = None
+            return
+        expected = packet.route[packet.head_hop]
+        if expected != switch.switch_id:
+            raise RuntimeError(
+                f"packet {packet.packet_id} head expected at switch {expected} "
+                f"but found at {switch.switch_id}"
+            )
+        next_switch = packet.route[packet.head_hop + 1]
+        output = switch.output_towards(next_switch)
+        vc.current_output = output
+        vc.downstream_switch = next_switch
+        vc.downstream_port = output.fabric.resolve_downstream(output, next_switch)
+
+    def _serve_ejection(self, switch: Switch, output, vcs, cycle: int) -> None:
+        budget = output.width
+        candidates = [vc for vc in vcs if vc.buffer]
+        while budget > 0 and candidates:
+            winner = switch.select_round_robin(output, candidates)
+            self._eject(switch, winner, cycle)
+            candidates.remove(winner)
+            budget -= 1
+
+    def _can_send(self, switch: Switch, vc: VirtualChannel, output, cycle: int) -> bool:
+        flit = vc.buffer[0]
+        packet = flit.packet
+        downstream = vc.downstream_port
+        if downstream is None:
+            return False
+        target = downstream.find_vc_for_packet(packet.packet_id)
+        if target is None:
+            if not flit.is_head:
+                return False
+            target = downstream.find_free_vc()
+            if target is None:
+                return False
+        if not target.has_space():
+            return False
+        return output.fabric.may_send(
+            switch.switch_id, packet, vc.downstream_switch, flit
+        )
+
+    def _send(self, switch: Switch, vc: VirtualChannel, output, cycle: int) -> None:
+        front = vc.buffer[0]
+        packet = front.packet
+        downstream = vc.downstream_port
+        downstream_switch = vc.downstream_switch
+        target = downstream.find_vc_for_packet(packet.packet_id)
+        if target is None:
+            target = downstream.find_free_vc()
+        if target is None or not target.has_space():
+            raise RuntimeError("send() called without a valid downstream VC")
+        flit = vc.pop()
+        self.scheduler.on_flit_drained(switch)
+        target.reserve(packet.packet_id, flit.is_head)
+        arrival_cycle = cycle + output.link.latency_cycles
+        self.arrivals.setdefault(arrival_cycle, []).append((target, flit))
+        output.occupy(cycle)
+
+        fabric = output.fabric
+        self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
+        self.accountant.record_link_traversal(
+            packet, output.link.energy_pj_per_flit, wireless=fabric.is_wireless
+        )
+        self.result.flit_hops += 1
+        fabric.on_flit_sent(switch.switch_id, packet, downstream_switch, flit, cycle)
+        if flit.is_head:
+            packet.head_hop += 1
+        self.last_progress_cycle = cycle
+
+    def _eject(self, switch: Switch, vc: VirtualChannel, cycle: int) -> None:
+        front = vc.buffer[0]
+        packet = front.packet
+        flit = vc.pop()
+        self.scheduler.on_flit_drained(switch)
+        self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
+        packet.record_ejection(flit, cycle)
+        if cycle >= self.config.warmup_cycles:
+            self.result.flits_ejected_measured += 1
+        self.last_progress_cycle = cycle
+        if not flit.is_tail:
+            return
+        self.result.packets_delivered += 1
+        if packet.measured:
+            self.result.packets_delivered_measured += 1
+            self.result.latencies_cycles.append(packet.latency_cycles)
+            if packet.network_latency_cycles is not None:
+                self.result.network_latencies_cycles.append(
+                    packet.network_latency_cycles
+                )
+            self.result.packet_energies_pj.append(packet.energy_pj)
+            self.result.packet_hops.append(packet.hop_count)
+        for reply in self.traffic.on_packet_delivered(packet, cycle):
+            self.enqueue_request(reply, cycle)
+
+    # ------------------------------------------------------------------
+    # Watchdog.
+    # ------------------------------------------------------------------
+
+    def anchor_watchdog(self, cycle: int) -> None:
+        """Restart the stall countdown (warm-up boundary, phase change)."""
+        if cycle > self.last_progress_cycle:
+            self.last_progress_cycle = cycle
+
+    def check_watchdog(self, cycle: int) -> None:
+        if cycle - self.last_progress_cycle < self.config.watchdog_cycles:
+            return
+        in_flight = (
+            self.network.total_buffered_flits() > 0
+            or any(self.arrivals.values())
+            or any(self.source_queues.values())
+        )
+        if not in_flight:
+            self.last_progress_cycle = cycle
+            return
+        message = (
+            f"no flit progress for {self.config.watchdog_cycles} cycles at cycle "
+            f"{cycle} with traffic still in flight (possible deadlock)"
+        )
+        if self.config.raise_on_stall:
+            raise SimulationStallError(message)
+        self.stalled = True
+
+
+# ----------------------------------------------------------------------
+# Phases.
+# ----------------------------------------------------------------------
+
+
+class Phase:
+    """One step of the per-cycle pipeline."""
+
+    name = "phase"
+
+    def __init__(self, state: KernelState) -> None:
+        self.state = state
+
+    def run(self, cycle: int) -> None:
+        raise NotImplementedError
+
+
+class ArrivalPhase(Phase):
+    """Deliver flits whose fabric traversal completes this cycle."""
+
+    name = "arrival"
+
+    def run(self, cycle: int) -> None:
+        self.state.process_arrivals(cycle)
+
+
+class GenerationPhase(Phase):
+    """Let the traffic model emit new packets into the source queues."""
+
+    name = "generation"
+
+    def run(self, cycle: int) -> None:
+        self.state.generate_traffic(cycle)
+
+
+class InjectionPhase(Phase):
+    """Serialise queued packets into free local-port VCs."""
+
+    name = "injection"
+
+    def run(self, cycle: int) -> None:
+        state = self.state
+        scheduler = state.scheduler
+        for switch in scheduler.injection_candidates():
+            state.inject(switch, cycle)
+            scheduler.after_injection(switch, state.has_injection_work(switch))
+
+
+class FabricPhase(Phase):
+    """Advance every fabric with time-dependent state (MAC, transceivers)."""
+
+    name = "fabric"
+
+    def __init__(self, state: KernelState) -> None:
+        super().__init__(state)
+        self._fabrics = [f for f in state.network.fabrics if f.needs_update]
+
+    def run(self, cycle: int) -> None:
+        for fabric in self._fabrics:
+            fabric.update(cycle)
+
+
+class AllocationPhase(Phase):
+    """Arbitrate output ports and move winning flits onto their fabric."""
+
+    name = "allocation"
+
+    def run(self, cycle: int) -> None:
+        state = self.state
+        scheduler = state.scheduler
+        for switch in scheduler.allocation_candidates():
+            state.allocate(switch, cycle)
+            scheduler.after_allocation(switch)
+
+
+# ----------------------------------------------------------------------
+# The kernel.
+# ----------------------------------------------------------------------
+
+
+class SimulationKernel:
+    """Drives the five per-cycle phases over one network instance."""
+
+    def __init__(
+        self,
+        network: Network,
+        router: BaseRouter,
+        traffic: TrafficModel,
+        accountant: EnergyAccountant,
+        result: SimulationResult,
+        config: SimulationConfig,
+        net_config: NetworkConfig,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        self.scheduler = scheduler or make_scheduler(config.scheduler)
+        switches = [network.switches[sid] for sid in sorted(network.switches)]
+        injecting = [s for s in switches if s.endpoints]
+        self.scheduler.bind(switches, injecting)
+        self.state = KernelState(
+            network=network,
+            router=router,
+            traffic=traffic,
+            accountant=accountant,
+            result=result,
+            config=config,
+            net_config=net_config,
+            scheduler=self.scheduler,
+        )
+        self.phases: List[Phase] = [
+            ArrivalPhase(self.state),
+            GenerationPhase(self.state),
+            InjectionPhase(self.state),
+            FabricPhase(self.state),
+            AllocationPhase(self.state),
+        ]
+
+    def run(self) -> KernelState:
+        """Execute the configured number of cycles and return the state."""
+        state = self.state
+        config = state.config
+        phases = self.phases
+        phase_token = state.traffic.phase_token()
+        # Progress level at the last phase-change anchor.  A phase change
+        # only re-anchors the watchdog when some flit made progress since
+        # the previous anchor: a workload whose phases are shorter than
+        # ``watchdog_cycles`` must not be able to mask a genuine deadlock
+        # by re-anchoring forever while nothing moves.
+        anchored_progress = 0
+        for cycle in range(config.cycles):
+            state.cycle = cycle
+            if cycle == config.warmup_cycles:
+                state.anchor_watchdog(cycle)
+            for phase in phases:
+                phase.run(cycle)
+            token = state.traffic.phase_token()
+            if token != phase_token:
+                phase_token = token
+                if state.last_progress_cycle > anchored_progress:
+                    state.anchor_watchdog(cycle)
+                    anchored_progress = state.last_progress_cycle
+            state.check_watchdog(cycle)
+            if state.stalled:
+                break
+        return state

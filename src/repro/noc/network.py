@@ -2,10 +2,14 @@
 
 ``Network`` turns the structural :class:`~repro.topology.graph.TopologyGraph`
 into live simulator objects: one :class:`~repro.noc.switch.Switch` per
-topology switch, characterised links wired between their ports, and — when
-the topology deploys wireless interfaces — a :class:`WirelessFabric` that
-owns the shared-medium state (channel assignment, MAC instances, transceiver
-power states).
+topology switch, characterised links wired between their ports, and one
+:class:`~repro.noc.fabric.Fabric` per transmission medium — a
+:class:`~repro.noc.fabric.WiredFabric` behind every wired output port and,
+when the topology deploys wireless interfaces, a
+:class:`~repro.noc.fabric.WirelessFabric` that owns the shared-medium state
+(channel assignment, MAC instances, transceiver power states).  Every
+output port carries a reference to its fabric, so the simulation kernel
+addresses all media uniformly.
 
 A ``Network`` is cheap to build and holds mutable per-run state (buffers,
 arbitration pointers, transceiver residency counters), so the simulation
@@ -14,219 +18,18 @@ engine constructs a fresh one for every run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..energy import EnergyAccountant, SwitchPowerModel
+from ..energy import SwitchPowerModel
 from ..topology.graph import LinkKind, LinkSpec, SwitchKind, TopologyGraph
-from ..wireless.channel import assign_channels
-from ..wireless.mac import (
-    ControlPacketMac,
-    MacAdapter,
-    MacProtocol,
-    PendingTransmission,
-    TokenMac,
-)
-from ..wireless.transceiver import Transceiver, TransceiverSpec, TransceiverState
 from .config import NetworkConfig
-from .flit import Flit
-from .link import LinkCharacteristics, WirelessLinkSettings, characterize_link
-from .packet import Packet
-from .port import InputPort
+from .fabric import Fabric, WiredFabric, WirelessFabric
+from .link import WirelessLinkSettings, characterize_link
 from .switch import Switch
 
 
 class NetworkBuildError(ValueError):
     """Raised when the topology cannot be instantiated as a network."""
-
-
-class WirelessFabric(MacAdapter):
-    """Shared-medium state of the deployed wireless interfaces."""
-
-    def __init__(
-        self,
-        switches: List[Switch],
-        config: NetworkConfig,
-    ) -> None:
-        if not switches:
-            raise NetworkBuildError("wireless fabric needs at least one WI switch")
-        self._config = config
-        wireless_cfg = config.wireless
-        self._switches: Dict[int, Switch] = {s.switch_id: s for s in switches}
-        ordered_ids = sorted(self._switches)
-        self._accountant: Optional[EnergyAccountant] = None
-
-        spec = TransceiverSpec(
-            data_rate_gbps=config.technology.wireless_data_rate_gbps,
-            energy_pj_per_bit=config.technology.wireless_energy_pj_per_bit,
-            idle_power_mw=config.technology.wireless_idle_power_mw,
-            sleep_power_mw=config.technology.wireless_sleep_power_mw,
-        )
-        self.transceivers: Dict[int, Transceiver] = {
-            wi_id: Transceiver(
-                wi_id=wi_id,
-                spec=spec,
-                power_gating=wireless_cfg.sleepy_receivers
-                and wireless_cfg.mac == "control_packet",
-            )
-            for wi_id in ordered_ids
-        }
-
-        self.channel_plans = assign_channels(ordered_ids, wireless_cfg.num_channels)
-        self.macs: List[MacProtocol] = []
-        self._mac_of: Dict[int, MacProtocol] = {}
-        for plan in self.channel_plans:
-            if not plan.wi_switch_ids:
-                continue
-            mac = self._make_mac(plan.channel_id, list(plan.wi_switch_ids))
-            self.macs.append(mac)
-            for wi_id in plan.wi_switch_ids:
-                self._mac_of[wi_id] = mac
-
-    def _make_mac(self, channel_id: int, wi_ids: List[int]) -> MacProtocol:
-        wireless_cfg = self._config.wireless
-        if wireless_cfg.mac == "token":
-            return TokenMac(
-                channel_id,
-                wi_ids,
-                adapter=self,
-                token_pass_latency_cycles=wireless_cfg.token_pass_latency_cycles,
-                max_hold_cycles=4 * self._config.packet_length_flits
-                * wireless_cfg.cycles_per_flit
-                + 64,
-            )
-        return ControlPacketMac(
-            channel_id,
-            wi_ids,
-            adapter=self,
-            control_packet_cycles=wireless_cfg.control_packet_cycles,
-            control_packet_bits=wireless_cfg.control_packet_bits,
-            max_tuples=wireless_cfg.max_control_tuples,
-            cycles_per_flit=wireless_cfg.cycles_per_flit,
-        )
-
-    # ------------------------------------------------------------------
-    # MacAdapter interface.
-    # ------------------------------------------------------------------
-
-    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
-        """Traffic waiting for the wireless port of one WI switch."""
-        switch = self._switches[wi_switch_id]
-        entries = []
-        for vc, dst_switch, packet_id, buffered, remaining in switch.wireless_pending():
-            front = vc.front()
-            entries.append(
-                PendingTransmission(
-                    dst_switch=dst_switch,
-                    packet_id=packet_id,
-                    buffered_flits=buffered,
-                    packet_length_flits=front.packet.length_flits,
-                    front_is_head=front.is_head,
-                    remaining_flits=remaining,
-                )
-            )
-        return entries
-
-    def record_control_energy(self, energy_pj: float) -> None:
-        """Charge MAC control/token overhead to the current run's accountant."""
-        if self._accountant is not None:
-            self._accountant.record_mac_control(energy_pj)
-
-    def acceptable_flits(
-        self, dst_switch: int, packet_id: int, is_head: bool
-    ) -> int:
-        """Flits the destination WI can take over the coming burst.
-
-        The receiver drains its buffer into the destination chip's mesh
-        while the burst is in the air, so a transmission may announce one
-        extra buffer window on top of the space that is free right now.
-        """
-        switch = self._switches.get(dst_switch)
-        if switch is None or switch.wireless_input is None:
-            return 0
-        port = switch.wireless_input
-        owned = port.find_vc_for_packet(packet_id)
-        if owned is not None:
-            return max(0, owned.capacity - owned.occupancy) + owned.capacity
-        if not is_head:
-            return 0
-        free = port.find_free_vc()
-        if free is None:
-            return 0
-        return 2 * free.capacity
-
-    # ------------------------------------------------------------------
-    # Engine-facing interface.
-    # ------------------------------------------------------------------
-
-    def bind_accountant(self, accountant: EnergyAccountant) -> None:
-        """Attach the energy accountant of the current simulation run."""
-        self._accountant = accountant
-
-    @property
-    def wi_switch_ids(self) -> List[int]:
-        """Ids of all WI switches, in sequence order."""
-        return sorted(self._switches)
-
-    def wireless_input_port(self, dst_switch_id: int) -> InputPort:
-        """The wireless input port of a destination WI switch."""
-        switch = self._switches.get(dst_switch_id)
-        if switch is None or switch.wireless_input is None:
-            raise NetworkBuildError(
-                f"switch {dst_switch_id} has no wireless interface"
-            )
-        return switch.wireless_input
-
-    def update(self, cycle: int) -> None:
-        """Advance every channel's MAC and the transceiver power states."""
-        for mac in self.macs:
-            mac.update(cycle)
-        for mac in self.macs:
-            transmitter = mac.current_transmitter()
-            receivers = mac.intended_receivers() if transmitter is not None else set()
-            for wi_id in mac.wi_switch_ids:
-                transceiver = self.transceivers[wi_id]
-                if wi_id == transmitter:
-                    transceiver.set_state(TransceiverState.TRANSMITTING)
-                elif wi_id in receivers:
-                    transceiver.set_state(TransceiverState.RECEIVING)
-                elif transmitter is not None:
-                    transceiver.set_state(TransceiverState.SLEEPING)
-                else:
-                    transceiver.set_state(TransceiverState.IDLE)
-                transceiver.tick()
-
-    def may_send(self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit) -> bool:
-        """Whether the MAC grants this flit transmission right now."""
-        mac = self._mac_of.get(src_switch_id)
-        if mac is None:
-            return False
-        return mac.may_send(src_switch_id, packet.packet_id, dst_switch_id, flit.is_head)
-
-    def on_flit_sent(
-        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit, cycle: int
-    ) -> None:
-        """Notify the owning MAC that a flit went on the air."""
-        mac = self._mac_of.get(src_switch_id)
-        if mac is not None:
-            mac.on_flit_sent(
-                src_switch_id, packet.packet_id, dst_switch_id, flit.is_tail, cycle
-            )
-
-    def total_transceiver_static_energy_pj(self) -> float:
-        """Static energy of all transceivers over the accounted cycles."""
-        cycle_time = self._config.technology.cycle_time_s
-        return sum(t.static_energy_pj(cycle_time) for t in self.transceivers.values())
-
-    def mac_statistics(self) -> Dict[int, Dict[str, int]]:
-        """Per-channel MAC counters."""
-        return {mac.channel_id: mac.stats.as_dict() for mac in self.macs}
-
-    def average_sleep_fraction(self) -> float:
-        """Mean fraction of cycles the transceivers spent power-gated."""
-        transceivers = list(self.transceivers.values())
-        if not transceivers:
-            return 0.0
-        return sum(t.sleep_fraction() for t in transceivers) / len(transceivers)
 
 
 class Network:
@@ -241,9 +44,10 @@ class Network:
         self._power_model = SwitchPowerModel(config.technology)
         self._static_power_mw = 0.0
 
+        self.wired_fabric = WiredFabric()
         self._build_switches()
         self._build_wired_links()
-        self.wireless_fabric = self._build_wireless()
+        self.wireless_fabric: Optional[WirelessFabric] = self._build_wireless()
         self._profile_power()
 
     # ------------------------------------------------------------------
@@ -291,6 +95,8 @@ class Network:
             dst_in, dst_out = dst_switch.add_wired_port(link.src, characteristics)
             src_out.downstream_port = dst_in
             dst_out.downstream_port = src_in
+            src_out.fabric = self.wired_fabric
+            dst_out.fabric = self.wired_fabric
 
     def _build_wireless(self) -> Optional[WirelessFabric]:
         wireless_specs = self.topology.wireless_switches
@@ -314,7 +120,10 @@ class Network:
             switch = self.switches[spec.switch_id]
             switch.add_wireless_port(characteristics, buffer_depth=self.config.wi_buffer_depth)
             wi_switches.append(switch)
-        return WirelessFabric(wi_switches, self.config)
+        fabric = WirelessFabric(wi_switches, self.config)
+        for switch in wi_switches:
+            switch.wireless_output.fabric = fabric
+        return fabric
 
     def _profile_power(self) -> None:
         total = 0.0
@@ -330,6 +139,14 @@ class Network:
     # ------------------------------------------------------------------
     # Queries used by the engine and by experiments.
     # ------------------------------------------------------------------
+
+    @property
+    def fabrics(self) -> List[Fabric]:
+        """All transmission media of the network, wired fabric first."""
+        media: List[Fabric] = [self.wired_fabric]
+        if self.wireless_fabric is not None:
+            media.append(self.wireless_fabric)
+        return media
 
     @property
     def switch_dynamic_energy_pj_per_flit(self) -> float:

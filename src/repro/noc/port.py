@@ -81,6 +81,7 @@ class OutputPort:
         "switch",
         "key",
         "link",
+        "fabric",
         "downstream_switch",
         "downstream_port",
         "busy_until",
@@ -106,6 +107,10 @@ class OutputPort:
         self.switch = switch
         self.key = key
         self.link = link
+        #: The :class:`~repro.noc.fabric.Fabric` this port transmits over
+        #: (set by the network builder; ``None`` for ejection ports, whose
+        #: flits leave the network instead of traversing a fabric).
+        self.fabric = None
         self.downstream_switch = downstream_switch
         self.downstream_port = downstream_port
         self.busy_until = 0

@@ -9,7 +9,7 @@ metrics as methods, so experiments and tests compute them the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..energy.accounting import EnergyBreakdown
 from ..energy.technology import CLOCK_FREQUENCY_HZ, FLIT_WIDTH_BITS
@@ -46,6 +46,11 @@ class SimulationResult:
     transceiver_sleep_fraction: float = 0.0
     stalled: bool = False
     offered_load_packets_per_core_per_cycle: float = 0.0
+    #: Wall-clock duration of the kernel loop [s] — the simulator's own
+    #: cost, not a property of the simulated system, so it is excluded
+    #: from equality comparisons (it differs run to run even for
+    #: bit-identical simulations).
+    wall_clock_seconds: float = field(default=0.0, compare=False)
 
     # ------------------------------------------------------------------
     # Derived metrics.
@@ -134,6 +139,22 @@ class SimulationResult:
         """Total-energy-based average packet energy [nJ]."""
         return self.system_packet_energy_pj() / 1e3
 
+    # ------------------------------------------------------------------
+    # Simulator self-throughput (how fast the simulator itself ran).
+    # ------------------------------------------------------------------
+
+    def simulated_cycles_per_second(self) -> float:
+        """Simulated cycles the kernel processed per wall-clock second."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_clock_seconds
+
+    def simulated_flits_per_second(self) -> float:
+        """Flit-hops the kernel processed per wall-clock second."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.flit_hops / self.wall_clock_seconds
+
     def accepted_flits_per_core_per_cycle(self) -> float:
         """Accepted traffic: flits ejected per core per measurement cycle."""
         if self.measurement_cycles == 0 or self.num_cores == 0:
@@ -175,4 +196,6 @@ class SimulationResult:
             "packets_delivered": float(self.packets_delivered),
             "delivery_ratio": self.delivery_ratio(),
             "sleep_fraction": self.transceiver_sleep_fraction,
+            "sim_cycles_per_second": self.simulated_cycles_per_second(),
+            "sim_flits_per_second": self.simulated_flits_per_second(),
         }

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..topology.graph import SwitchSpec
 from .link import LinkCharacteristics
-from .packet import Packet
 from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
 from .virtual_channel import VirtualChannel
 

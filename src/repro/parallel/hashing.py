@@ -14,7 +14,7 @@ import dataclasses
 import hashlib
 import json
 from enum import Enum
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 
 def to_jsonable(obj: Any) -> Any:

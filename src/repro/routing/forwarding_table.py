@@ -20,7 +20,7 @@ the strictly table-driven router the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..topology.graph import TopologyGraph
 from .base import BaseRouter, RoutingError

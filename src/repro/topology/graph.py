@@ -13,9 +13,9 @@ simulator network is built.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class SwitchKind(str, Enum):
@@ -354,7 +354,7 @@ class TopologyGraph:
 
     def links_of_kind(self, kind: LinkKind) -> List[LinkSpec]:
         """All links of a given kind."""
-        return [l for l in self.links if l.kind == kind]
+        return [link for link in self.links if link.kind == kind]
 
     def inter_region_links(self) -> List[LinkSpec]:
         """Links whose two endpoints lie in different regions."""

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Tuple
 from .geometry import PackageLayout, plan_package
 from .graph import (
     EndpointKind,
-    LinkKind,
     RegionKind,
     SwitchKind,
     TopologyGraph,

@@ -16,7 +16,6 @@ WI port and enforces the shared-medium constraint through the MAC.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List
 

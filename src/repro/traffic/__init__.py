@@ -15,13 +15,24 @@ from .applications import (
     profiles_for_suite,
 )
 from .base import TrafficModel, TrafficRequest, endpoint_region, offchip_fraction
+from .registry import (
+    PatternSpec,
+    UnknownPatternError,
+    available_patterns,
+    create_pattern,
+    pattern_spec,
+    register_pattern,
+)
 from .rng import bernoulli, choose_other, make_rng, weighted_choice
 from .synfull import SynfullApplicationTraffic
 from .synthetic import (
     BitComplementTraffic,
+    BitReversalTraffic,
+    BurstyHotspotTraffic,
     HotspotTraffic,
     NeighbourTraffic,
     TransposeTraffic,
+    default_hotspots,
 )
 from .uniform import UniformRandomTraffic
 
@@ -30,20 +41,29 @@ __all__ = [
     "ApplicationPhase",
     "ApplicationProfile",
     "BitComplementTraffic",
+    "BitReversalTraffic",
+    "BurstyHotspotTraffic",
     "HotspotTraffic",
     "NeighbourTraffic",
+    "PatternSpec",
     "SynfullApplicationTraffic",
     "TrafficModel",
     "TrafficRequest",
     "TransposeTraffic",
     "UniformRandomTraffic",
+    "UnknownPatternError",
+    "available_patterns",
     "bernoulli",
     "choose_other",
+    "create_pattern",
     "default_application_set",
+    "default_hotspots",
     "endpoint_region",
     "get_profile",
     "make_rng",
     "offchip_fraction",
+    "pattern_spec",
     "profiles_for_suite",
+    "register_pattern",
     "weighted_choice",
 ]

@@ -14,7 +14,7 @@ import abc
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-from ..topology.graph import EndpointKind, TopologyGraph
+from ..topology.graph import TopologyGraph
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,17 @@ class TrafficModel(abc.ABC):
 
     def reset(self) -> None:
         """Reset internal state before a new run; default no state."""
+
+    def phase_token(self) -> Optional[object]:
+        """Opaque marker of the model's current traffic phase.
+
+        Phase-structured models (application phases, burst windows) return
+        a value that changes whenever their coarse behaviour changes; the
+        simulation kernel re-anchors its stall watchdog on every change so
+        a long quiet phase following a heavy one is not mistaken for a
+        deadlock.  Stationary models keep the default ``None``.
+        """
+        return None
 
 
 def endpoint_region(topology: TopologyGraph, endpoint_id: int) -> int:

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 from ..topology.graph import TopologyGraph
 from .applications import ApplicationProfile, get_profile
 from .base import TrafficModel, TrafficRequest
-from .rng import bernoulli, choose_other, make_rng, weighted_choice
+from .rng import bernoulli, choose_other, make_rng
 
 
 class SynfullApplicationTraffic(TrafficModel):
@@ -93,6 +93,10 @@ class SynfullApplicationTraffic(TrafficModel):
         self._burst_remaining.clear()
         self._phase_index = 0
         self._phase_elapsed = 0
+
+    def phase_token(self) -> Optional[object]:
+        """The current phase index (re-anchors the kernel's watchdog)."""
+        return self._phase_index
 
     # ------------------------------------------------------------------
     # Phase / burst chains.

@@ -1,9 +1,12 @@
 """Additional synthetic traffic patterns.
 
 The paper's synthetic evaluation uses uniform random traffic; these classic
-NoC patterns (hotspot, transpose, bit-complement, neighbour) are provided so
-the framework can be exercised with spatially skewed workloads as well —
-they back the extra ablation benchmarks and several property tests.
+NoC patterns (hotspot, transpose, bit-complement, bit-reversal, neighbour,
+bursty hotspot) are provided so the framework can be exercised with
+spatially skewed and temporally bursty workloads as well — they back the
+``--pattern`` experiment axis, the extra ablation benchmarks and several
+property tests.  All of them are constructible by name through
+:mod:`repro.traffic.registry`.
 """
 
 from __future__ import annotations
@@ -128,9 +131,135 @@ class BitComplementTraffic(_PermutationTraffic):
         return [self._cores[count - 1 - i] for i in range(count)]
 
 
+class BitReversalTraffic(_PermutationTraffic):
+    """Core ``i`` sends to the core whose index is ``i`` bit-reversed.
+
+    With ``2**k`` cores the destination index is the ``k``-bit reversal of
+    the source index — the classic FFT-butterfly worst case for meshes.
+    Non-power-of-two core counts fall back to an index-reversal pattern,
+    matching :class:`BitComplementTraffic`'s fallback behaviour.
+    """
+
+    def _build_permutation(self) -> List[int]:
+        count = len(self._cores)
+        bits = count.bit_length() - 1
+        if count <= 1 or (1 << bits) != count:
+            return [self._cores[count - 1 - i] for i in range(count)]
+        destinations = []
+        for index in range(count):
+            reversed_index = 0
+            for bit in range(bits):
+                if index & (1 << bit):
+                    reversed_index |= 1 << (bits - 1 - bit)
+            destinations.append(self._cores[reversed_index])
+        return destinations
+
+
 class NeighbourTraffic(_PermutationTraffic):
     """Core ``i`` sends to core ``i + 1`` (wrapping), a best-case local pattern."""
 
     def _build_permutation(self) -> List[int]:
         count = len(self._cores)
         return [self._cores[(i + 1) % count] for i in range(count)]
+
+
+class BurstyHotspotTraffic(TrafficModel):
+    """Hotspot traffic gated by deterministic on/off burst windows.
+
+    Time is divided into fixed windows of ``burst_period_cycles``; the
+    first ``burst_duty`` share of each window is a *burst*, during which
+    every core injects at ``burst_scale`` times the base rate and a
+    ``hotspot_fraction`` of packets target the hotspot endpoints.  Outside
+    the burst the pattern degenerates to low-rate uniform background
+    traffic.  The window index is exposed through :meth:`phase_token` so
+    the simulation kernel re-anchors its stall watchdog at each window
+    boundary instead of mistaking a quiet window after a heavy burst for a
+    deadlock.
+    """
+
+    def __init__(
+        self,
+        topology: TopologyGraph,
+        injection_rate: float,
+        hotspot_endpoints: Optional[Sequence[int]] = None,
+        hotspot_fraction: float = 0.5,
+        burst_period_cycles: int = 200,
+        burst_duty: float = 0.25,
+        burst_scale: float = 4.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(topology)
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be non-negative")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if burst_period_cycles <= 0:
+            raise ValueError("burst_period_cycles must be positive")
+        if not 0.0 < burst_duty <= 1.0:
+            raise ValueError("burst_duty must be in (0, 1]")
+        if burst_scale < 1.0:
+            raise ValueError("burst_scale must be at least 1")
+        if hotspot_endpoints is None:
+            hotspot_endpoints = default_hotspots(topology)
+        if not hotspot_endpoints:
+            raise ValueError("hotspot_endpoints must not be empty")
+        known = {e.endpoint_id for e in topology.endpoints}
+        for endpoint in hotspot_endpoints:
+            if endpoint not in known:
+                raise ValueError(f"unknown hotspot endpoint {endpoint}")
+        self._injection_rate = injection_rate
+        self._hotspots = list(hotspot_endpoints)
+        self._fraction = hotspot_fraction
+        self._period = burst_period_cycles
+        self._burst_cycles = max(1, int(round(burst_duty * burst_period_cycles)))
+        self._burst_scale = burst_scale
+        self._seed = seed
+        self._rng = make_rng(seed)
+        self._window = 0
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+        self._window = 0
+
+    def phase_token(self) -> Optional[object]:
+        """The burst-window index of the last generated cycle."""
+        return self._window
+
+    def in_burst(self, cycle: int) -> bool:
+        """Whether ``cycle`` falls inside a burst window."""
+        return (cycle % self._period) < self._burst_cycles
+
+    def generate(self, cycle: int) -> Iterator[TrafficRequest]:
+        self._window = cycle // self._period
+        burst = self.in_burst(cycle)
+        rate = self._injection_rate * (self._burst_scale if burst else 1.0)
+        probability = min(1.0, rate)
+        if probability <= 0:
+            return
+        for core in self._cores:
+            if not bernoulli(self._rng, probability):
+                continue
+            if burst and bernoulli(self._rng, self._fraction):
+                candidates = [h for h in self._hotspots if h != core]
+                if not candidates:
+                    continue
+                destination = self._rng.choice(candidates)
+                yield TrafficRequest(core, destination, traffic_class="hotspot")
+            else:
+                destination = choose_other(self._rng, self._cores, core)
+                yield TrafficRequest(core, destination)
+
+
+def default_hotspots(topology: TopologyGraph, count: int = 2) -> List[int]:
+    """A deterministic default hotspot set: the central core endpoints.
+
+    Used by the registry when a pattern is constructed by name and the
+    caller supplies no explicit hotspot list.
+    """
+    cores = [e.endpoint_id for e in topology.cores]
+    if not cores:
+        raise ValueError("topology has no core endpoints")
+    count = max(1, min(count, len(cores)))
+    middle = len(cores) // 2
+    start = max(0, middle - count // 2)
+    return cores[start:start + count]

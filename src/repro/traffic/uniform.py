@@ -9,7 +9,7 @@ is 20 % by default (Fig. 2/3) and is swept from 20 % to 80 % for Fig. 5.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..topology.graph import TopologyGraph
 from .base import TrafficModel, TrafficRequest

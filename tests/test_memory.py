@@ -4,7 +4,6 @@ import pytest
 
 from repro.memory import (
     DramStack,
-    DramStackConfig,
     MemoryInterface,
     TsvBus,
     VaultConfig,

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.comparison import ArchitectureMetrics, GainReport, compare, percentage_gain
+from repro.core.comparison import ArchitectureMetrics, compare, percentage_gain
 from repro.core.config import Architecture, SystemConfig, paper_1c4m, paper_4c4m, paper_8c4m
-from repro.core.architectures import build_comparison_set, build_system
+from repro.core.architectures import build_comparison_set
 from repro.experiments.cli import build_parser
 from repro.experiments.common import FIDELITIES, get_fidelity
 from repro.metrics import (

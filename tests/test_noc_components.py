@@ -6,9 +6,7 @@ from repro.noc.config import NetworkConfig, WirelessConfig
 from repro.noc.flit import FlitType, flit_type_for
 from repro.noc.link import LinkCharacteristics, WirelessLinkSettings, characterize_link
 from repro.noc.packet import Packet
-from repro.noc.port import InputPort, OutputPort
 from repro.noc.switch import Switch
-from repro.noc.virtual_channel import VirtualChannel
 from repro.topology.graph import LinkKind, LinkSpec, SwitchKind, SwitchSpec
 
 

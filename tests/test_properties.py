@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on routing, topology and flow-control invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

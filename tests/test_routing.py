@@ -194,5 +194,5 @@ class TestArchitectureRouting:
 
     def test_wireless_architecture_has_no_wired_offchip_links(self):
         system = build_system(small_system_config(Architecture.WIRELESS))
-        offchip_kinds = {l.kind for l in system.topology.inter_region_links()}
+        offchip_kinds = {link.kind for link in system.topology.inter_region_links()}
         assert offchip_kinds == {LinkKind.WIRELESS}

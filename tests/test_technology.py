@@ -1,6 +1,5 @@
 """Tests of the 65 nm technology constants and helpers."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ from repro.topology import (
     InterposerOverlayConfig,
     LinkKind,
     RegionKind,
-    SubstrateOverlayConfig,
     SwitchKind,
     TopologyError,
     TopologyGraph,
@@ -158,8 +157,8 @@ class TestOverlays:
         kinds = {link.kind for link in created}
         assert kinds == {LinkKind.SERIAL_IO, LinkKind.WIDE_IO}
         # One serial link per adjacent chip pair, one wide I/O per stack.
-        assert len([l for l in created if l.kind == LinkKind.SERIAL_IO]) == 1
-        assert len([l for l in created if l.kind == LinkKind.WIDE_IO]) == 2
+        assert len([link for link in created if link.kind == LinkKind.SERIAL_IO]) == 1
+        assert len([link for link in created if link.kind == LinkKind.WIDE_IO]) == 2
         system.graph.validate()
 
     def test_interposer_overlay_links(self):
@@ -167,7 +166,7 @@ class TestOverlays:
         created = apply_interposer_overlay(
             system, InterposerOverlayConfig(links_per_boundary=2)
         )
-        interposer = [l for l in created if l.kind == LinkKind.INTERPOSER]
+        interposer = [link for link in created if link.kind == LinkKind.INTERPOSER]
         assert len(interposer) == 2
         system.graph.validate()
 

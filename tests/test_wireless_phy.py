@@ -3,7 +3,6 @@
 import pytest
 
 from repro.wireless import (
-    ChannelPlan,
     LinkBudget,
     Transceiver,
     TransceiverSpec,
