@@ -25,11 +25,10 @@ import platform
 import time
 from typing import Dict
 
-from repro.core.architectures import build_system
 from repro.core.config import Architecture, SystemConfig, paper_4c4m
+from repro.core.framework import MultichipSimulation
 from repro.metrics.report import format_simulator_throughput, format_table
-from repro.noc.engine import SimulationConfig, Simulator
-from repro.traffic.uniform import UniformRandomTraffic
+from repro.noc.engine import SimulationConfig
 
 #: Offered load of the benchmark point [packets/core/cycle]; ~10 % of the
 #: mesh baseline's saturation load (acceptance criterion: <= 30 %).
@@ -57,25 +56,22 @@ def benchmark_configs() -> Dict[str, SystemConfig]:
 
 
 def run_once(config: SystemConfig, load: float, cycles: int, scheduler: str):
-    """One timed simulation run under the given scheduler."""
-    system = build_system(config)
-    traffic = UniformRandomTraffic(
-        system.topology,
-        injection_rate=load,
-        memory_access_fraction=0.2,
-        seed=7,
-    )
-    simulator = Simulator(
-        topology=system.topology,
-        router=system.router,
-        traffic=traffic,
-        network_config=config.network,
-        simulation_config=SimulationConfig(
+    """One timed simulation run under the given scheduler.
+
+    Built through :class:`MultichipSimulation` and the traffic registry —
+    the same construction path the experiment CLI uses — so the benchmark
+    exercises exactly what the figures run, not a parallel bespoke wiring.
+    """
+    simulation = MultichipSimulation.from_config(
+        config,
+        SimulationConfig(
             cycles=cycles, warmup_cycles=cycles // 10, scheduler=scheduler
         ),
     )
     started = time.perf_counter()
-    result = simulator.run()
+    result = simulation.run_pattern(
+        "uniform", injection_rate=load, memory_access_fraction=0.2, seed=7
+    )
     elapsed = time.perf_counter() - started
     return result, elapsed
 
@@ -93,12 +89,31 @@ def fingerprint(result) -> tuple:
     )
 
 
-def run_benchmark(load: float, cycles: int) -> Dict[str, object]:
-    """Benchmark every architecture and assemble the snapshot payload."""
+def run_benchmark(load: float, cycles: int, repeats: int = 1) -> Dict[str, object]:
+    """Benchmark every architecture and assemble the snapshot payload.
+
+    ``repeats`` runs each (architecture, scheduler) point several times and
+    keeps the fastest wall-clock — best-of-N is the standard defence
+    against scheduler noise on shared machines, and it is what the CI
+    bench-trend gate uses so a single GC pause cannot fail the build.
+    Results are bit-identical across repeats (asserted), so only timing is
+    affected.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
     entries: Dict[str, Dict[str, float]] = {}
     for name, config in benchmark_configs().items():
         dense_result, dense_s = run_once(config, load, cycles, "dense")
         active_result, active_s = run_once(config, load, cycles, "active")
+        for _ in range(repeats - 1):
+            again, seconds = run_once(config, load, cycles, "dense")
+            if fingerprint(again) != fingerprint(dense_result):
+                raise AssertionError(f"dense runs diverged for {name!r}")
+            dense_s = min(dense_s, seconds)
+            again, seconds = run_once(config, load, cycles, "active")
+            if fingerprint(again) != fingerprint(active_result):
+                raise AssertionError(f"active runs diverged for {name!r}")
+            active_s = min(active_s, seconds)
         if fingerprint(dense_result) != fingerprint(active_result):
             raise AssertionError(
                 f"scheduler parity violated for {name!r}: the active-set "
@@ -155,9 +170,15 @@ def main(argv=None) -> int:
     parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES)
     parser.add_argument("--load", type=float, default=DEFAULT_LOAD)
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repeats per point; the fastest run wins (default: 1)",
+    )
     args = parser.parse_args(argv)
 
-    snapshot = run_benchmark(args.load, args.cycles)
+    snapshot = run_benchmark(args.load, args.cycles, repeats=args.repeats)
     print(format_report(snapshot))
     mesh_speedup = snapshot["mesh_speedup"]
     print(

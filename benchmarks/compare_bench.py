@@ -1,0 +1,106 @@
+"""Compare a fresh kernel-benchmark snapshot against the committed baseline.
+
+The CI ``bench-trend`` job regenerates ``BENCH_kernel.json`` with
+``benchmarks/bench_kernel.py`` and runs this script against the committed
+snapshot.  The **hard gate** is the per-architecture active-vs-dense
+*speedup ratio*: it is a same-machine, same-run quotient, so it transfers
+across hosts (unlike absolute wall-clock), and a drop means the active-set
+scheduler is doing relatively more work per simulated cycle — exactly the
+regression the gate exists to catch.  A fresh speedup more than
+``--max-regression`` (default 25 %) below the committed one fails the job.
+
+Absolute cycles/s numbers are printed as an **advisory** delta only —
+runner hardware varies — mirroring how ``bench_kernel.py`` itself gates on
+result parity while treating timing as advisory.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_kernel.json fresh.json \
+        [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def load_snapshot(path: str) -> Dict[str, Dict[str, float]]:
+    """The per-architecture result entries of one snapshot file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        raise SystemExit(f"{path}: not a bench_kernel snapshot (no results)")
+    return results
+
+
+def compare(
+    baseline: Dict[str, Dict[str, float]],
+    fresh: Dict[str, Dict[str, float]],
+    max_regression: float,
+) -> int:
+    """Print the comparison table; return the number of hard-gate failures."""
+    failures = 0
+    header = (
+        f"{'architecture':<12} {'speedup old':>12} {'speedup new':>12} "
+        f"{'ratio':>7}   {'cycles/s old':>12} {'cycles/s new':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"{name:<12} MISSING from fresh snapshot -> FAIL")
+            failures += 1
+            continue
+        old = baseline[name]
+        new = fresh[name]
+        old_speedup = float(old["speedup"])
+        new_speedup = float(new["speedup"])
+        ratio = new_speedup / old_speedup if old_speedup > 0 else float("inf")
+        old_cps = float(old.get("active_cycles_per_second", 0.0))
+        new_cps = float(new.get("active_cycles_per_second", 0.0))
+        verdict = ""
+        if ratio < 1.0 - max_regression:
+            verdict = "  <-- FAIL (speedup regression)"
+            failures += 1
+        print(
+            f"{name:<12} {old_speedup:>12.2f} {new_speedup:>12.2f} "
+            f"{ratio:>6.2f}x   {old_cps:>12.1f} {new_cps:>12.1f}{verdict}"
+        )
+    print(
+        "\ncycles/s columns are advisory (hardware-dependent); the hard gate "
+        f"is a >{max_regression:.0%} drop in the active/dense speedup ratio."
+    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_kernel.json")
+    parser.add_argument("fresh", help="freshly generated snapshot")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="tolerated fractional speedup drop (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.max_regression < 1.0:
+        parser.error("--max-regression must be in (0, 1)")
+    failures = compare(
+        load_snapshot(args.baseline), load_snapshot(args.fresh), args.max_regression
+    )
+    if failures:
+        print(f"\n{failures} architecture(s) regressed beyond the gate", file=sys.stderr)
+        return 1
+    print("\nbench-trend gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

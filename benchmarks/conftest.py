@@ -18,15 +18,25 @@ import os
 
 import pytest
 
+from repro.experiments.common import get_fidelity
 from repro.experiments.runner import ExperimentRunner
+from repro.traffic.registry import pattern_spec
 
 #: Fidelity used by the benchmark harness; override with
 #: ``REPRO_BENCH_FIDELITY=default`` (or ``paper``) in the environment.
-BENCH_FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "fast")
+#: Validated through the experiment layer's own lookup, so the benches
+#: accept exactly what the CLI accepts.
+BENCH_FIDELITY = get_fidelity(os.environ.get("REPRO_BENCH_FIDELITY", "fast")).name
 
 #: Worker processes used by the benchmark harness; override with
 #: ``REPRO_BENCH_JOBS=8`` in the environment.
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Synthetic traffic pattern for the load-sweep benches (fig2/fig3/fig4);
+#: override with ``REPRO_BENCH_PATTERN=transpose`` etc.  Resolved through
+#: the traffic registry — the same construction path as the CLI's
+#: ``--pattern`` flag — so an unknown name fails loudly at collection.
+BENCH_PATTERN = pattern_spec(os.environ.get("REPRO_BENCH_PATTERN", "uniform")).name
 
 
 @pytest.fixture
@@ -45,6 +55,12 @@ def run_once(benchmark):
 def bench_fidelity():
     """Fidelity level the benchmarks run at."""
     return BENCH_FIDELITY
+
+
+@pytest.fixture
+def bench_pattern():
+    """Registered traffic pattern the load-sweep benches run."""
+    return BENCH_PATTERN
 
 
 @pytest.fixture

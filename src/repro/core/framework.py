@@ -69,14 +69,22 @@ class MultichipSimulation:
     # Single runs.
     # ------------------------------------------------------------------
 
-    def run_traffic(self, traffic: TrafficModel) -> SimulationResult:
-        """Run one simulation under an arbitrary traffic model."""
+    def run_traffic(
+        self, traffic: TrafficModel, fault_plan=None
+    ) -> SimulationResult:
+        """Run one simulation under an arbitrary traffic model.
+
+        ``fault_plan`` optionally injects a deterministic fault schedule
+        (see :mod:`repro.faults`); ``None`` or an empty plan runs the
+        pristine fabric.
+        """
         simulator = Simulator(
             topology=self.system.topology,
             router=self.system.router,
             traffic=traffic,
             network_config=self.network_config,
             simulation_config=self.simulation_config,
+            fault_plan=fault_plan,
         )
         return simulator.run()
 
@@ -86,6 +94,7 @@ class MultichipSimulation:
         memory_access_fraction: float = 0.2,
         seed: int = 1,
         memory_replies: bool = False,
+        fault_plan=None,
     ) -> SimulationResult:
         """Run uniform random traffic at one offered load."""
         traffic = UniformRandomTraffic(
@@ -95,7 +104,7 @@ class MultichipSimulation:
             memory_replies=memory_replies,
             seed=seed,
         )
-        return self.run_traffic(traffic)
+        return self.run_traffic(traffic, fault_plan=fault_plan)
 
     def run_pattern(
         self,
@@ -103,6 +112,7 @@ class MultichipSimulation:
         injection_rate: float,
         memory_access_fraction: float = 0.2,
         seed: int = 1,
+        fault_plan=None,
     ) -> SimulationResult:
         """Run one registered synthetic traffic pattern at one offered load.
 
@@ -119,13 +129,14 @@ class MultichipSimulation:
             memory_access_fraction=memory_access_fraction,
             seed=seed,
         )
-        return self.run_traffic(traffic)
+        return self.run_traffic(traffic, fault_plan=fault_plan)
 
     def run_application(
         self,
         application: str,
         rate_scale: float = 1.0,
         seed: int = 1,
+        fault_plan=None,
     ) -> SimulationResult:
         """Run one PARSEC/SPLASH-2 application profile (SynFull substitute)."""
         traffic = SynfullApplicationTraffic.from_name(
@@ -134,7 +145,7 @@ class MultichipSimulation:
             rate_scale=rate_scale,
             seed=seed,
         )
-        return self.run_traffic(traffic)
+        return self.run_traffic(traffic, fault_plan=fault_plan)
 
     # ------------------------------------------------------------------
     # Sweeps.

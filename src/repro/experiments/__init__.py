@@ -17,6 +17,7 @@ from . import (
     fig4_disintegration,
     fig5_memory_traffic,
     fig6_applications,
+    fig7_resilience,
     runner,
 )
 from .common import FIDELITIES, Fidelity, get_fidelity
@@ -32,6 +33,7 @@ __all__ = [
     "fig4_disintegration",
     "fig5_memory_traffic",
     "fig6_applications",
+    "fig7_resilience",
     "get_fidelity",
     "runner",
 ]

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.experiments fig2 [--fidelity fast|default|paper]
                                      [--jobs N] [--cache-dir DIR] [--no-cache]
+                                     [--faults SCENARIO] [--fault-rate R]
+    python -m repro.experiments fig7 [--faults random-links] [--jobs N]
     python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
 
 or, after installation, ``repro-experiments fig3 --fidelity paper --jobs 8``.
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..faults.scenarios import available_fault_scenarios
 from ..traffic.registry import available_patterns
 from . import (
     fig2_uniform,
@@ -28,22 +31,32 @@ from . import (
     fig4_disintegration,
     fig5_memory_traffic,
     fig6_applications,
+    fig7_resilience,
 )
 from .runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
 #: Experiment name -> runner registry.  Every entry accepts
-#: ``(fidelity, runner, pattern)`` and returns the formatted report text.
+#: ``(fidelity, runner, pattern)`` — plus ``faults`` / ``fault_rate`` for
+#: the fault-capable experiments — and returns the formatted report text.
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig2": fig2_uniform.main,
     "fig3": fig3_latency.main,
     "fig4": fig4_disintegration.main,
     "fig5": fig5_memory_traffic.main,
     "fig6": fig6_applications.main,
+    "fig7": fig7_resilience.main,
 }
 
 #: Experiments whose synthetic workload can be swapped via ``--pattern``
 #: (fig5 sweeps the uniform memory mix, fig6 runs application traffic).
-PATTERN_EXPERIMENTS = ("fig2", "fig3", "fig4")
+PATTERN_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig7")
+
+#: Experiments that accept a fault scenario via ``--faults`` (fig7 always
+#: injects: it *is* the resilience sweep and defaults to random-links).
+FAULT_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig7")
+
+#: Severity used when ``--faults`` is given without ``--fault-rate``.
+DEFAULT_FAULT_RATE = 0.1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +99,28 @@ def build_parser() -> argparse.ArgumentParser:
             "synthetic traffic pattern for the load-sweep figures "
             "(fig2/fig3/fig4); constructed by name from the traffic "
             "registry (default: uniform)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        choices=available_fault_scenarios(),
+        default="none",
+        help=(
+            "fault scenario injected into every simulation task of the "
+            "fault-capable experiments (fig2/fig3/fig4/fig7); constructed "
+            "by name from the fault-scenario registry (default: none; "
+            "fig7 promotes 'none' to 'random-links')"
+        ),
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "fault severity in [0, 1] for --faults (default: "
+            f"{DEFAULT_FAULT_RATE} when --faults is given; fig7 sweeps the "
+            "fidelity's whole fault-rate grid unless this pins one rate)"
         ),
     )
     parser.add_argument(
@@ -140,6 +175,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runner = runner_from_args(args)
     except OSError as error:
         parser.error(f"cannot use cache directory {args.cache_dir!r}: {error}")
+    if args.fault_rate is not None and not 0.0 <= args.fault_rate <= 1.0:
+        parser.error("--fault-rate must be in [0, 1]")
+    if (
+        args.fault_rate is not None
+        and args.faults == "none"
+        and args.experiment not in ("fig7", "all")
+    ):
+        # Without a scenario the rate would be silently ignored (only fig7
+        # promotes 'none' to its default scenario).
+        parser.error("--fault-rate requires --faults (e.g. --faults random-links)")
     if args.experiment == "all":
         names: List[str] = sorted(EXPERIMENTS)
         if args.pattern != "uniform":
@@ -148,6 +193,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"[runner] pattern {args.pattern!r}: running "
                 f"{', '.join(names)} (fig5/fig6 are uniform/application-only)"
             )
+        if args.faults != "none":
+            names = [n for n in names if n in FAULT_EXPERIMENTS]
+            print(
+                f"[runner] faults {args.faults!r}: running "
+                f"{', '.join(names)} (fig5/fig6 run on pristine fabrics)"
+            )
     else:
         names = [args.experiment]
         if args.pattern != "uniform" and args.experiment not in PATTERN_EXPERIMENTS:
@@ -155,8 +206,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"--pattern only applies to {', '.join(PATTERN_EXPERIMENTS)}; "
                 f"{args.experiment} has a fixed workload"
             )
+        if args.faults != "none" and args.experiment not in FAULT_EXPERIMENTS:
+            parser.error(
+                f"--faults only applies to {', '.join(FAULT_EXPERIMENTS)}; "
+                f"{args.experiment} runs on a pristine fabric"
+            )
     for name in names:
-        EXPERIMENTS[name](args.fidelity, runner, pattern=args.pattern)
+        kwargs = {"pattern": args.pattern}
+        if name == "fig7":
+            # fig7 *is* the resilience sweep: it promotes 'none' to its
+            # default scenario and sweeps the fault-rate grid unless one
+            # rate is pinned on the command line.
+            kwargs["faults"] = args.faults
+            kwargs["fault_rate"] = args.fault_rate
+        elif name in FAULT_EXPERIMENTS and args.faults != "none":
+            kwargs["faults"] = args.faults
+            kwargs["fault_rate"] = (
+                args.fault_rate if args.fault_rate is not None else DEFAULT_FAULT_RATE
+            )
+        EXPERIMENTS[name](args.fidelity, runner, **kwargs)
         print()
     print(f"[runner] {runner.summary_line()}")
     return 0

@@ -39,6 +39,9 @@ class Fidelity:
     #: (the paper notes "the interconnection network is not saturated in the
     #: steady-state" for Fig. 6).
     application_rate_scale: float = 0.25
+    #: Fault severities swept by the fig7 resilience experiment (0.0 is the
+    #: pristine baseline every faulted point is compared against).
+    fault_rates: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.3)
     seed: int = 7
 
     @property
@@ -53,6 +56,7 @@ _FAST = Fidelity(
     warmup_cycles=200,
     load_points=(0.0005, 0.001, 0.0015, 0.002),
     applications=("blackscholes", "canneal", "radix"),
+    fault_rates=(0.0, 0.15, 0.3),
 )
 
 _DEFAULT = Fidelity(
@@ -91,6 +95,7 @@ _PAPER = Fidelity(
         "water",
         "barnes",
     ),
+    fault_rates=(0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5),
 )
 
 FIDELITIES: Dict[str, Fidelity] = {f.name: f for f in (_FAST, _DEFAULT, _PAPER)}
@@ -135,3 +140,14 @@ def sweep_architecture(
 def architectures_for_comparison() -> List[Architecture]:
     """All three architectures, in the order the paper's figures list them."""
     return [Architecture.SUBSTRATE, Architecture.INTERPOSER, Architecture.WIRELESS]
+
+
+def faults_suffix(faults: str, fault_rate: float) -> str:
+    """Workload-heading suffix describing the fault setting (\"\" if pristine).
+
+    Shared by every fault-capable figure's ``format_report`` so the fault
+    annotation renders identically everywhere.
+    """
+    if faults == "none":
+        return ""
+    return f", faults={faults}@{fault_rate:g}"

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 from ..core.comparison import ArchitectureMetrics
 from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_table
-from .common import architectures_for_comparison, get_fidelity
+from .common import architectures_for_comparison, faults_suffix, get_fidelity
 from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion used for Fig. 2 ("considered to be 20%").
@@ -27,6 +27,8 @@ class Fig2Result:
     fidelity: str
     memory_access_fraction: float
     pattern: str = "uniform"
+    faults: str = "none"
+    fault_rate: float = 0.0
     metrics: Dict[Architecture, ArchitectureMetrics] = field(default_factory=dict)
 
     def rows(self) -> List[List[object]]:
@@ -66,6 +68,8 @@ def run(
     fidelity: str = "default",
     runner: Optional[ExperimentRunner] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> Fig2Result:
     """Run the Fig. 2 experiment at the requested fidelity.
 
@@ -74,7 +78,8 @@ def run(
     across ``runner.jobs`` worker processes.  ``pattern`` swaps the
     synthetic workload for any registered traffic pattern (transpose,
     bit-reversal, bursty-hotspot, ...), keeping the same sweep and
-    saturation analysis.
+    saturation analysis; ``faults`` / ``fault_rate`` run the whole figure
+    on a degraded fabric (any registered fault scenario).
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
@@ -82,6 +87,8 @@ def run(
         fidelity=level.name,
         memory_access_fraction=MEMORY_ACCESS_FRACTION,
         pattern=pattern,
+        faults=faults,
+        fault_rate=fault_rate,
     )
     configs = {
         architecture: SystemConfig(architecture=architecture)
@@ -94,6 +101,8 @@ def run(
                 level,
                 memory_access_fraction=MEMORY_ACCESS_FRACTION,
                 pattern=pattern,
+                faults=faults,
+                fault_rate=fault_rate,
             )
             for architecture, config in configs.items()
         }
@@ -118,6 +127,7 @@ def format_report(result: Fig2Result) -> str:
         )
     else:
         workload = f"{result.pattern} traffic, 4C4M"
+    workload += faults_suffix(result.faults, result.fault_rate)
     heading = format_heading(
         f"Fig. 2 - {workload} [fidelity={result.fidelity}]"
     )
@@ -128,8 +138,12 @@ def main(
     fidelity: str = "default",
     runner: Optional[ExperimentRunner] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity, runner=runner, pattern=pattern))
+    report = format_report(
+        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+    )
     print(report)
     return report

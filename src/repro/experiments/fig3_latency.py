@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_table
 from ..metrics.saturation import SweepSummary
-from .common import architectures_for_comparison, get_fidelity
+from .common import architectures_for_comparison, faults_suffix, get_fidelity
 from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion used for Fig. 3 (same as Fig. 2).
@@ -29,6 +29,8 @@ class Fig3Result:
     fidelity: str
     loads: List[float]
     pattern: str = "uniform"
+    faults: str = "none"
+    fault_rate: float = 0.0
     sweeps: Dict[Architecture, SweepSummary] = field(default_factory=dict)
 
     def curve(self, architecture: Architecture) -> List[Tuple[float, float]]:
@@ -63,17 +65,26 @@ def run(
     loads: Optional[Sequence[float]] = None,
     runner: Optional[ExperimentRunner] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> Fig3Result:
     """Run the Fig. 3 experiment at the requested fidelity.
 
     Every (architecture, load) pair is an independent task; the whole
     figure is submitted to the runner as one batch.  ``pattern`` swaps the
-    synthetic workload for any registered traffic pattern.
+    synthetic workload for any registered traffic pattern; ``faults`` /
+    ``fault_rate`` run the curves on a degraded fabric.
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
     selected = list(loads) if loads is not None else list(level.load_points)
-    result = Fig3Result(fidelity=level.name, loads=selected, pattern=pattern)
+    result = Fig3Result(
+        fidelity=level.name,
+        loads=selected,
+        pattern=pattern,
+        faults=faults,
+        fault_rate=fault_rate,
+    )
     result.sweeps = active.run_sweep_groups(
         {
             architecture: sweep_tasks(
@@ -82,6 +93,8 @@ def run(
                 memory_access_fraction=MEMORY_ACCESS_FRACTION,
                 loads=selected,
                 pattern=pattern,
+                faults=faults,
+                fault_rate=fault_rate,
             )
             for architecture in architectures_for_comparison()
         }
@@ -96,6 +109,7 @@ def format_report(result: Fig3Result) -> str:
     ]
     table = format_table(headers, result.rows())
     workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
+    workload += faults_suffix(result.faults, result.fault_rate)
     heading = format_heading(
         f"Fig. 3 - average packet latency (cycles) vs injection load, 4C4M{workload} "
         f"[fidelity={result.fidelity}]"
@@ -107,8 +121,12 @@ def main(
     fidelity: str = "default",
     runner: Optional[ExperimentRunner] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity, runner=runner, pattern=pattern))
+    report = format_report(
+        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+    )
     print(report)
     return report

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.comparison import ArchitectureMetrics, GainReport, compare
 from ..core.config import Architecture, SystemConfig, paper_1c4m, paper_4c4m, paper_8c4m
 from ..metrics.report import format_heading, format_percentage, format_table
-from .common import get_fidelity
+from .common import faults_suffix, get_fidelity
 from .runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion of the disintegration study.
@@ -43,6 +43,8 @@ class Fig4Result:
 
     fidelity: str
     pattern: str = "uniform"
+    faults: str = "none"
+    fault_rate: float = 0.0
     gains: Dict[str, GainReport] = field(default_factory=dict)
     metrics: Dict[str, Dict[Architecture, ArchitectureMetrics]] = field(
         default_factory=dict
@@ -71,16 +73,21 @@ def run(
     fidelity: str = "default",
     runner: Optional[ExperimentRunner] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> Fig4Result:
     """Run the Fig. 4 experiment at the requested fidelity.
 
     All (disintegration level × architecture × load point) tasks are
     submitted to the runner as one batch.  ``pattern`` swaps the synthetic
-    workload for any registered traffic pattern.
+    workload for any registered traffic pattern; ``faults`` /
+    ``fault_rate`` run the study on a degraded fabric.
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
-    result = Fig4Result(fidelity=level.name, pattern=pattern)
+    result = Fig4Result(
+        fidelity=level.name, pattern=pattern, faults=faults, fault_rate=fault_rate
+    )
     configs = {
         (label, architecture): _config_for(label, architecture)
         for label, _ in CONFIGURATIONS
@@ -93,6 +100,8 @@ def run(
                 level,
                 memory_access_fraction=MEMORY_ACCESS_FRACTION,
                 pattern=pattern,
+                faults=faults,
+                fault_rate=fault_rate,
             )
             for key, config in configs.items()
         }
@@ -118,6 +127,7 @@ def format_report(result: Fig4Result) -> str:
         result.rows(),
     )
     workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
+    workload += faults_suffix(result.faults, result.fault_rate)
     heading = format_heading(
         f"Fig. 4 - wireless vs interposer gains under disintegration{workload} "
         f"[fidelity={result.fidelity}]"
@@ -129,8 +139,12 @@ def main(
     fidelity: str = "default",
     runner: Optional[ExperimentRunner] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
-    report = format_report(run(fidelity, runner=runner, pattern=pattern))
+    report = format_report(
+        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+    )
     print(report)
     return report

@@ -1,0 +1,203 @@
+"""Fig. 7 — resilience: throughput, latency and energy versus fault rate.
+
+This experiment goes beyond the paper: it sweeps the fault severity of one
+named fault scenario (default: connectivity-preserving ``random-links``)
+and reports how each interconnection architecture degrades.  Three systems
+are compared:
+
+* **mesh** — the single-chip 64-core mesh baseline (no inter-die links),
+* **interposer** — the 4C4M interposer system,
+* **wireless** — the 4C4M wireless system at a 1-WI-per-8-cores density,
+  so every chip carries two WIs and a transceiver loss has an in-chip
+  wireless fallback (at the paper's 1-per-16 density every WI is an
+  articulation point and ``hub-transceiver-loss`` has nothing safe to
+  kill).
+
+Every (architecture × fault rate) pair is one independent task at a fixed
+mid-range offered load, run through the parallel runner and the result
+cache like every other figure; the ``rate = 0`` column is the pristine
+baseline, bit-identical to a fault-free run of the same task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import Architecture, SystemConfig, paper_4c4m
+from ..faults.scenarios import DEFAULT_SCENARIO
+from ..metrics.report import format_heading, format_table
+from ..metrics.saturation import LoadPointSummary
+from .common import get_fidelity
+from .runner import ExperimentRunner, uniform_task
+
+#: Memory-access proportion (same as the fig2/fig3 uniform workload).
+MEMORY_ACCESS_FRACTION = 0.2
+
+#: Fixed offered load of every resilience point [packets/core/cycle]:
+#: roughly half the mesh baseline's saturation load, so degradation shows
+#: up as lost throughput/latency/energy rather than as a saturated network
+#: drowning out the faults.
+FIG7_LOAD = 0.001
+
+#: WI density of the wireless system in this figure (see module docstring).
+FIG7_CORES_PER_WI = 8
+
+
+def fig7_systems() -> Dict[str, SystemConfig]:
+    """The architectures of the resilience sweep, in report order."""
+    return {
+        "mesh": SystemConfig(
+            architecture=Architecture.SUBSTRATE, num_chips=1, cores_per_chip=64
+        ),
+        "interposer": paper_4c4m(Architecture.INTERPOSER),
+        "wireless": replace(
+            paper_4c4m(Architecture.WIRELESS), cores_per_wi=FIG7_CORES_PER_WI
+        ),
+    }
+
+
+@dataclass
+class Fig7Result:
+    """Per-architecture degradation curves over the fault-rate sweep."""
+
+    fidelity: str
+    scenario: str
+    fault_rates: List[float]
+    pattern: str = "uniform"
+    load: float = FIG7_LOAD
+    #: architecture label -> [(fault rate, point summary)] in rate order.
+    curves: Dict[str, List[Tuple[float, LoadPointSummary]]] = field(
+        default_factory=dict
+    )
+
+    def baseline(self, label: str) -> LoadPointSummary:
+        """The pristine (lowest-rate) point of one architecture."""
+        return self.curves[label][0][1]
+
+    def throughput_retention(self, label: str) -> float:
+        """Worst-case accepted-throughput fraction versus the baseline."""
+        base = self.baseline(label).accepted_flits_per_core_per_cycle
+        if base <= 0:
+            return 1.0
+        return min(
+            point.accepted_flits_per_core_per_cycle / base
+            for _, point in self.curves[label]
+        )
+
+    def rows(self) -> List[List[object]]:
+        """One row per (architecture, fault rate) with the headline metrics."""
+        rows = []
+        for label, curve in self.curves.items():
+            for rate, point in curve:
+                rows.append(
+                    [
+                        label,
+                        rate,
+                        point.bandwidth_gbps_per_core,
+                        point.average_latency_cycles,
+                        point.system_packet_energy_nj,
+                        point.delivery_ratio,
+                        point.links_failed + point.transceivers_failed,
+                        point.packets_rerouted,
+                        point.packets_dropped_unroutable,
+                    ]
+                )
+        return rows
+
+
+def run(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+    faults: str = DEFAULT_SCENARIO,
+    fault_rate: Optional[float] = None,
+) -> Fig7Result:
+    """Run the resilience sweep at the requested fidelity.
+
+    ``faults`` selects the scenario to sweep (``none`` is promoted to the
+    default scenario — a resilience sweep of a pristine fabric would be a
+    flat line).  ``fault_rate`` restricts the sweep to the baseline plus
+    that single severity; by default the fidelity's ``fault_rates`` grid is
+    swept.  All (architecture × rate) tasks are one runner batch.
+    """
+    level = get_fidelity(fidelity)
+    active = runner if runner is not None else ExperimentRunner()
+    if faults in (None, "none"):
+        faults = DEFAULT_SCENARIO
+    if fault_rate is not None:
+        rates = sorted({0.0, fault_rate})
+    else:
+        rates = sorted(set(level.fault_rates))
+    systems = fig7_systems()
+
+    tasks = {
+        (label, rate): uniform_task(
+            config,
+            level,
+            load=FIG7_LOAD,
+            memory_access_fraction=MEMORY_ACCESS_FRACTION,
+            pattern=pattern,
+            faults=faults if rate > 0 else "none",
+            fault_rate=rate,
+        )
+        for label, config in systems.items()
+        for rate in rates
+    }
+    results = active.run(list(tasks.values()))
+
+    result = Fig7Result(
+        fidelity=level.name,
+        scenario=faults,
+        fault_rates=list(rates),
+        pattern=pattern,
+    )
+    for label in systems:
+        result.curves[label] = [
+            (rate, results[tasks[(label, rate)]]) for rate in rates
+        ]
+    return result
+
+
+def format_report(result: Fig7Result) -> str:
+    """Text report: the degradation table plus per-architecture retention."""
+    table = format_table(
+        [
+            "Architecture",
+            "Fault rate",
+            "BW/core (Gbps)",
+            "Avg latency (cyc)",
+            "Energy/pkt (nJ)",
+            "Delivery ratio",
+            "Components failed",
+            "Rerouted",
+            "Dropped",
+        ],
+        result.rows(),
+    )
+    workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
+    heading = format_heading(
+        f"Fig. 7 - resilience under '{result.scenario}' faults{workload} "
+        f"(load={result.load:g}) [fidelity={result.fidelity}]"
+    )
+    retention = "\n".join(
+        f"  {label}: worst-case throughput retention "
+        f"{result.throughput_retention(label):.1%}"
+        for label in result.curves
+    )
+    return f"{heading}\n{table}\n{retention}"
+
+
+def main(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+    faults: str = DEFAULT_SCENARIO,
+    fault_rate: Optional[float] = None,
+) -> str:
+    """Run and format the experiment (used by the CLI and benchmarks)."""
+    report = format_report(
+        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+    )
+    print(report)
+    return report

@@ -2,8 +2,9 @@
 
 Every figure experiment decomposes into *independent, deterministically
 seeded simulation tasks* — one cycle-accurate run of one system
-configuration under one traffic setting (architecture × load point, or
-architecture × application).  This module defines that task unit
+configuration under one traffic setting and one fault scenario
+(architecture × load point, architecture × application, or — for the fig7
+resilience sweep — architecture × fault rate).  This module defines that task unit
 (:class:`SimulationTask`), executes batches of tasks through
 :func:`repro.parallel.executor.run_tasks` (inline or across a process
 pool), and memoises each task's result as JSON in a
@@ -34,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.config import SystemConfig
 from ..core.framework import MultichipSimulation
+from ..faults.scenarios import create_fault_plan, scenario_spec
 from ..metrics.report import format_simulator_throughput
 from ..metrics.saturation import LoadPointSummary, SweepSummary
 from ..noc.engine import SimulationConfig
@@ -44,7 +46,9 @@ from ..traffic.rng import derive_seed
 
 #: Bump when the payload schema or simulation semantics change, so stale
 #: cache entries from older code versions are never reused.
-TASK_SCHEMA_VERSION = 2
+#: v3: fault-injection fields (``faults``, ``fault_rate``) joined the task
+#: and the cached payload gained the resilience counters.
+TASK_SCHEMA_VERSION = 3
 
 #: Default on-disk location of the per-task result cache (relative to the
 #: working directory; see EXPERIMENTS.md).
@@ -61,8 +65,14 @@ class SimulationTask:
     given memory-access fraction; ``"application"`` runs one PARSEC/SPLASH-2
     profile (``application``) scaled by ``rate_scale``.  The legacy kind
     name ``"uniform"`` is accepted as an alias of ``"synthetic"``.
-    Instances are frozen (usable as dict keys) and picklable (shippable to
-    worker processes).
+
+    ``faults`` names a registered fault scenario
+    (:mod:`repro.faults.scenarios`) applied to the run at severity
+    ``fault_rate``; the fault plan's seed is derived from the task seed, so
+    the injected faults are part of the task's deterministic content.  The
+    default ``"none"`` runs the pristine fabric and is bit-identical to a
+    pre-fault-subsystem task.  Instances are frozen (usable as dict keys)
+    and picklable (shippable to worker processes).
     """
 
     kind: str
@@ -75,6 +85,8 @@ class SimulationTask:
     application: str = ""
     rate_scale: float = 1.0
     pattern: str = "uniform"
+    faults: str = "none"
+    fault_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind == "uniform":
@@ -89,6 +101,9 @@ class SimulationTask:
                 raise ValueError("synthetic tasks need a traffic pattern name")
         if self.kind == "application" and not self.application:
             raise ValueError("application tasks need an application name")
+        scenario_spec(self.faults)  # raises UnknownScenarioError early
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
 
     @property
     def label(self) -> str:
@@ -99,14 +114,16 @@ class SimulationTask:
                 detail = f"pattern={self.pattern} {detail}"
         else:
             detail = f"app={self.application}"
+        if self.faults != "none":
+            detail = f"{detail} faults={self.faults}@{self.fault_rate:g}"
         return f"{self.config.name} {detail}"
 
     def cache_key(self) -> str:
         """Stable content hash identifying this task's result.
 
         Covers the schema version, the full system configuration and every
-        traffic/run-length parameter, so any change that could change the
-        simulation output changes the key.
+        traffic/run-length/fault parameter, so any change that could change
+        the simulation output changes the key.
         """
         return stable_hash(
             {
@@ -121,8 +138,14 @@ class SimulationTask:
                 "application": self.application,
                 "rate_scale": self.rate_scale,
                 "pattern": self.pattern,
+                "faults": self.faults,
+                "fault_rate": self.fault_rate,
             }
         )
+
+    def fault_plan_seed(self) -> int:
+        """Seed of this task's fault plan, derived from the task seed."""
+        return derive_seed(self.seed, "faults", self.faults, self.fault_rate)
 
     def with_seed(self, seed: int) -> "SimulationTask":
         """The same task with a different RNG seed."""
@@ -136,13 +159,16 @@ def uniform_task(
     memory_access_fraction: float = 0.2,
     seed: Optional[int] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> SimulationTask:
     """One synthetic-traffic task at one offered load.
 
     ``fidelity`` is any object with ``cycles``, ``warmup_cycles`` and
     ``seed`` attributes (normally a :class:`repro.experiments.common.Fidelity`).
     ``pattern`` selects any registered traffic pattern (default: uniform
-    random traffic, the paper's synthetic workload).
+    random traffic, the paper's synthetic workload); ``faults`` /
+    ``fault_rate`` select a registered fault scenario and its severity.
     """
     return SimulationTask(
         kind="synthetic",
@@ -153,6 +179,8 @@ def uniform_task(
         memory_access_fraction=memory_access_fraction,
         load=load,
         pattern=pattern,
+        faults=faults,
+        fault_rate=fault_rate,
     )
 
 
@@ -162,6 +190,8 @@ def application_task(
     application: str,
     rate_scale: Optional[float] = None,
     seed: Optional[int] = None,
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> SimulationTask:
     """One application-traffic (SynFull-substitute) task."""
     if rate_scale is None:
@@ -174,6 +204,8 @@ def application_task(
         seed=fidelity.seed if seed is None else seed,
         application=application,
         rate_scale=rate_scale,
+        faults=faults,
+        fault_rate=fault_rate,
     )
 
 
@@ -183,6 +215,8 @@ def sweep_tasks(
     memory_access_fraction: float = 0.2,
     loads: Optional[Sequence[float]] = None,
     pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
 ) -> List[SimulationTask]:
     """The per-load-point tasks of one synthetic load sweep.
 
@@ -197,6 +231,8 @@ def sweep_tasks(
             load=load,
             memory_access_fraction=memory_access_fraction,
             pattern=pattern,
+            faults=faults,
+            fault_rate=fault_rate,
         )
         for load in selected
     ]
@@ -230,12 +266,22 @@ def execute_task(task: SimulationTask) -> Dict[str, object]:
         task.config,
         SimulationConfig(cycles=task.cycles, warmup_cycles=task.warmup_cycles),
     )
+    fault_plan = None
+    if task.faults != "none":
+        fault_plan = create_fault_plan(
+            task.faults,
+            simulation.system.topology,
+            fault_rate=task.fault_rate,
+            seed=task.fault_plan_seed(),
+            cycles=task.cycles,
+        )
     if task.kind == "synthetic":
         result = simulation.run_pattern(
             task.pattern,
             injection_rate=task.load,
             memory_access_fraction=task.memory_access_fraction,
             seed=task.seed,
+            fault_plan=fault_plan,
         )
         offered = task.load
     else:
@@ -243,6 +289,7 @@ def execute_task(task: SimulationTask) -> Dict[str, object]:
             task.application,
             rate_scale=task.rate_scale,
             seed=task.seed,
+            fault_plan=fault_plan,
         )
         offered = result.offered_load_packets_per_core_per_cycle
     return LoadPointSummary.from_result(offered, result).as_dict()

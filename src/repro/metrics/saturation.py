@@ -159,6 +159,14 @@ class LoadPointSummary:
     system_packet_energy_nj: float
     packets_delivered: int
     delivery_ratio: float
+    # Resilience counters (all zero on fault-free runs; carried through the
+    # result cache so the fig7 sweep can report them from cached points).
+    fault_events_applied: int = 0
+    links_failed: int = 0
+    transceivers_failed: int = 0
+    packets_rerouted: int = 0
+    packets_dropped_unroutable: int = 0
+    partitions_reported: int = 0
 
     @classmethod
     def from_result(
@@ -177,6 +185,12 @@ class LoadPointSummary:
             system_packet_energy_nj=result.system_packet_energy_nj(),
             packets_delivered=result.packets_delivered,
             delivery_ratio=result.delivery_ratio(),
+            fault_events_applied=result.fault_events_applied,
+            links_failed=result.links_failed,
+            transceivers_failed=result.transceivers_failed,
+            packets_rerouted=result.packets_rerouted,
+            packets_dropped_unroutable=result.packets_dropped_unroutable,
+            partitions_reported=result.partitions_reported,
         )
 
     def acceptance_ratio(self) -> float:

@@ -13,13 +13,16 @@ wall-clock self-throughput) into the :class:`SimulationResult`.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..energy import EnergyAccountant
 from ..routing.base import BaseRouter
 from ..topology.graph import TopologyGraph
 from ..traffic.base import TrafficModel
 from .config import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
 from .kernel import (
     SCHEDULERS,
     SimulationConfig,
@@ -48,12 +51,17 @@ class Simulator:
         traffic: TrafficModel,
         network_config: Optional[NetworkConfig] = None,
         simulation_config: Optional[SimulationConfig] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.topology = topology
         self.router = router
         self.traffic = traffic
         self.network_config = network_config or NetworkConfig()
         self.simulation_config = simulation_config or SimulationConfig()
+        #: Optional deterministic fault plan (see :mod:`repro.faults`); an
+        #: empty or absent plan leaves the run bit-identical to a simulator
+        #: without the fault subsystem.
+        self.fault_plan = fault_plan
 
     def run(self) -> SimulationResult:
         """Execute the configured number of cycles and return the results."""
@@ -79,6 +87,12 @@ class Simulator:
             include_static_energy=net_config.include_static_energy,
         )
 
+        injector = None
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            from ..faults.injector import FaultInjector
+
+            injector = FaultInjector(self.fault_plan, network, self.router, result)
+
         started = time.perf_counter()
         kernel = SimulationKernel(
             network=network,
@@ -89,10 +103,20 @@ class Simulator:
             config=config,
             net_config=net_config,
             scheduler=make_scheduler(config.scheduler),
+            fault_injector=injector,
         )
-        state = kernel.run()
+        try:
+            state = kernel.run()
+        finally:
+            if injector is not None:
+                # The topology and router outlive this run; a faulted run
+                # must leave no trace on the next one.
+                injector.restore()
         result.wall_clock_seconds = time.perf_counter() - started
 
+        result.flits_residual_end = network.total_buffered_flits() + sum(
+            len(entries) for entries in state.arrivals.values()
+        )
         accountant.record_static(
             cycles=state.cycle + 1,
             total_switch_static_mw=network.total_switch_static_power_mw,

@@ -22,7 +22,7 @@ Two implementations exist:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..energy import EnergyAccountant
 from ..wireless.channel import assign_channels
@@ -91,7 +91,24 @@ class Fabric:
 
 
 class WiredFabric(Fabric):
-    """Point-to-point wired links: fixed downstream, always grantable."""
+    """Point-to-point wired links: fixed downstream, always grantable.
+
+    Fault injection can take individual links out of service: a failed link
+    blocks *head* flits (so no new packet enters it and routing recovery can
+    redirect them) while body flits of packets already committed to the hop
+    drain through — wormhole switching cannot truncate a packet mid-flight
+    without dropping flits, so failures are packet-atomic and every injected
+    flit still reaches an ejection port.
+    """
+
+    def __init__(self) -> None:
+        #: Directed (src switch, dst switch) hops currently failed.
+        self.failed_pairs: Set[Tuple[int, int]] = set()
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Take the (bidirectional) link between two switches out of service."""
+        self.failed_pairs.add((a, b))
+        self.failed_pairs.add((b, a))
 
     def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
         downstream = output.downstream_port
@@ -101,6 +118,14 @@ class WiredFabric(Fabric):
                 f"{output.switch.switch_id} has no downstream port"
             )
         return downstream
+
+    def may_send(
+        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
+    ) -> bool:
+        """Grant unless the hop is failed and the flit would commit a packet."""
+        if not self.failed_pairs or not flit.is_head:
+            return True
+        return (src_switch_id, dst_switch_id) not in self.failed_pairs
 
 
 class WirelessFabric(Fabric, MacAdapter):
@@ -122,6 +147,11 @@ class WirelessFabric(Fabric, MacAdapter):
         ordered_ids = sorted(self._switches)
         self._accountant: Optional[EnergyAccountant] = None
         self._flit_hops = 0
+        #: WIs whose transceiver has died (fault injection).  A dead WI
+        #: reports no pending traffic, accepts nothing, grants no new
+        #: packets and is permanently power-gated; in-flight bursts drain
+        #: (transceiver failures are packet-atomic, like link failures).
+        self.dead_wis: Set[int] = set()
 
         spec = TransceiverSpec(
             data_rate_gbps=config.technology.wireless_data_rate_gbps,
@@ -178,6 +208,8 @@ class WirelessFabric(Fabric, MacAdapter):
 
     def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
         """Traffic waiting for the wireless port of one WI switch."""
+        if wi_switch_id in self.dead_wis:
+            return []
         switch = self._switches[wi_switch_id]
         entries = []
         for vc, dst_switch, packet_id, buffered, remaining in switch.wireless_pending():
@@ -208,6 +240,8 @@ class WirelessFabric(Fabric, MacAdapter):
         while the burst is in the air, so a transmission may announce one
         extra buffer window on top of the space that is free right now.
         """
+        if dst_switch in self.dead_wis:
+            return 0
         switch = self._switches.get(dst_switch)
         if switch is None or switch.wireless_input is None:
             return 0
@@ -248,6 +282,13 @@ class WirelessFabric(Fabric, MacAdapter):
         """Wireless hops land on the destination WI's wireless input port."""
         return self.wireless_input_port(dst_switch_id)
 
+    def fail_transceiver(self, wi_switch_id: int) -> None:
+        """Take one WI's transceiver out of service (fault injection)."""
+        if wi_switch_id not in self._switches:
+            raise FabricError(f"switch {wi_switch_id} has no wireless interface")
+        self.dead_wis.add(wi_switch_id)
+        self.transceivers[wi_switch_id].set_state(TransceiverState.SLEEPING)
+
     def update(self, cycle: int) -> None:
         """Advance every channel's MAC and the transceiver power states."""
         for mac in self.macs:
@@ -257,6 +298,10 @@ class WirelessFabric(Fabric, MacAdapter):
             receivers = mac.intended_receivers() if transmitter is not None else set()
             for wi_id in mac.wi_switch_ids:
                 transceiver = self.transceivers[wi_id]
+                if wi_id in self.dead_wis:
+                    transceiver.set_state(TransceiverState.SLEEPING)
+                    transceiver.tick()
+                    continue
                 if wi_id == transmitter:
                     transceiver.set_state(TransceiverState.TRANSMITTING)
                 elif wi_id in receivers:
@@ -271,6 +316,9 @@ class WirelessFabric(Fabric, MacAdapter):
         self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
     ) -> bool:
         """Whether the MAC grants this flit transmission right now."""
+        if self.dead_wis and flit.is_head:
+            if src_switch_id in self.dead_wis or dst_switch_id in self.dead_wis:
+                return False
         mac = self._mac_of.get(src_switch_id)
         if mac is None:
             return False

@@ -21,6 +21,11 @@ Each simulated cycle executes five explicit phases, in order:
    fabric or the ejection port, perform credit-equivalent space reservation
    downstream, and charge energy.
 
+Runs carrying a non-empty fault plan prepend a :class:`FaultPhase` that
+applies due fault events and triggers routing recovery (see
+:mod:`repro.faults.injector`) before anything else moves in the cycle;
+fault-free runs execute exactly the five phases above.
+
 The injection and allocation phases take their per-cycle work lists from a
 :class:`Scheduler`.  The :class:`DenseScheduler` visits every switch every
 cycle — a faithful transliteration of the original monolithic engine loop —
@@ -50,7 +55,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..energy import EnergyAccountant
-from ..routing.base import BaseRouter
+from ..routing.base import BaseRouter, RoutingError
 from ..traffic.base import TrafficModel, TrafficRequest
 from .config import NetworkConfig
 from .flit import Flit
@@ -144,6 +149,15 @@ class Scheduler:
     def after_injection(self, switch: Switch, has_work: bool) -> None:
         """The injection phase finished visiting ``switch`` this cycle."""
 
+    def on_fault(self, switch: Switch) -> None:
+        """A fault-recovery pass touched ``switch`` (topology changed).
+
+        Schedulers that skip idle switches must re-examine it: a head flit
+        that was blocked on a failed component may have been rerouted onto a
+        sendable output, so the switch needs a fresh visit even though no
+        buffer or queue event fired.
+        """
+
 
 class DenseScheduler(Scheduler):
     """Visit every switch every cycle (the original engine's behaviour)."""
@@ -207,6 +221,14 @@ class ActiveSetScheduler(Scheduler):
         if not has_work:
             self._inject_active.discard(switch.switch_id)
 
+    def on_fault(self, switch: Switch) -> None:
+        sid = switch.switch_id
+        if self._buffered.get(sid, 0) > 0:
+            self._alloc_active.add(sid)
+        # Let the next injection pass re-derive whether the switch has
+        # source work; an extra visit self-corrects via after_injection.
+        self._inject_active.add(sid)
+
 
 def make_scheduler(name: str) -> Scheduler:
     """Instantiate a scheduler by its :class:`SimulationConfig` name."""
@@ -249,6 +271,10 @@ class KernelState:
         self.stalled = False
         self.last_progress_cycle = 0
         self.next_packet_id = 0
+        #: Whether this run carries a fault plan (set by the kernel).  Only
+        #: then may traffic generation encounter unreachable destinations,
+        #: which are dropped with explicit accounting instead of raising.
+        self.faults_active = False
         self.source_queues: Dict[int, Deque[Packet]] = {
             endpoint_id: deque() for endpoint_id in network.endpoint_switch
         }
@@ -290,7 +316,18 @@ class KernelState:
         if src_switch.switch_id == dst_switch.switch_id:
             route = [src_switch.switch_id]
         else:
-            route = self.router.route(src_switch.switch_id, dst_switch.switch_id)
+            try:
+                route = self.router.route(src_switch.switch_id, dst_switch.switch_id)
+            except RoutingError:
+                if not self.faults_active:
+                    raise
+                # Fault-induced partition: the destination island is
+                # unreachable, so the request is dropped *with accounting*.
+                # It counts as generated so delivery_ratio weighs this loss
+                # path the same as a packet purged after queueing.
+                self.result.packets_generated += 1
+                self.result.packets_dropped_unroutable += 1
+                return
         length = request.length_flits or self.net_config.packet_length_flits
         packet = Packet(
             packet_id=self.next_packet_id,
@@ -489,6 +526,7 @@ class KernelState:
         self.scheduler.on_flit_drained(switch)
         self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
         packet.record_ejection(flit, cycle)
+        self.result.flits_ejected_total += 1
         if cycle >= self.config.warmup_cycles:
             self.result.flits_ejected_measured += 1
         self.last_progress_cycle = cycle
@@ -551,6 +589,26 @@ class Phase:
 
     def run(self, cycle: int) -> None:
         raise NotImplementedError
+
+
+class FaultPhase(Phase):
+    """Apply due fault events and recover routing around them.
+
+    Present only when the run carries a non-empty fault plan, so fault-free
+    simulations execute exactly the same five-phase pipeline (and produce
+    bit-identical results) as before the fault subsystem existed.  Runs
+    first in the cycle: a component that dies at cycle *c* is gone before
+    any flit moves in cycle *c*.
+    """
+
+    name = "faults"
+
+    def __init__(self, state: KernelState, injector) -> None:
+        super().__init__(state)
+        self.injector = injector
+
+    def run(self, cycle: int) -> None:
+        self.injector.advance(cycle, self.state)
 
 
 class ArrivalPhase(Phase):
@@ -629,6 +687,7 @@ class SimulationKernel:
         config: SimulationConfig,
         net_config: NetworkConfig,
         scheduler: Optional[Scheduler] = None,
+        fault_injector=None,
     ) -> None:
         self.scheduler = scheduler or make_scheduler(config.scheduler)
         switches = [network.switches[sid] for sid in sorted(network.switches)]
@@ -651,6 +710,9 @@ class SimulationKernel:
             FabricPhase(self.state),
             AllocationPhase(self.state),
         ]
+        if fault_injector is not None:
+            self.state.faults_active = True
+            self.phases.insert(0, FaultPhase(self.state, fault_injector))
 
     def run(self) -> KernelState:
         """Execute the configured number of cycles and return the state."""

@@ -32,6 +32,7 @@ class SimulationResult:
     packets_delivered_measured: int = 0
     flits_injected: int = 0
     flits_ejected_measured: int = 0
+    flits_ejected_total: int = 0
     flit_hops: int = 0
     wireless_flit_hops: int = 0
 
@@ -46,6 +47,29 @@ class SimulationResult:
     transceiver_sleep_fraction: float = 0.0
     stalled: bool = False
     offered_load_packets_per_core_per_cycle: float = 0.0
+
+    # Fault injection and resilience (all zero on fault-free runs).
+    fault_scenario: str = "none"
+    fault_rate: float = 0.0
+    fault_events_applied: int = 0
+    links_failed: int = 0
+    links_degraded: int = 0
+    transceivers_failed: int = 0
+    #: Packets whose route was rebuilt around a fault (queued or in flight).
+    packets_rerouted: int = 0
+    #: Packets removed because no in-service path to their destination
+    #: remained; every one is counted here — never a silent drop.
+    packets_dropped_unroutable: int = 0
+    flits_dropped_unroutable: int = 0
+    #: Recovery passes that found the in-service topology partitioned.
+    partitions_reported: int = 0
+    #: Recovery passes that fell back to spanning-tree routing because the
+    #: shortest-path recovery set had a channel-dependency cycle.
+    tree_fallback_recoveries: int = 0
+    #: Flits still buffered or in flight when the run ended (conservation:
+    #: ``flits_injected == flits_ejected_total + flits_residual_end +
+    #: flits_dropped_unroutable`` holds for every run, faulted or not).
+    flits_residual_end: int = 0
     #: Wall-clock duration of the kernel loop [s] — the simulator's own
     #: cost, not a property of the simulated system, so it is excluded
     #: from equality comparisons (it differs run to run even for

@@ -11,7 +11,13 @@ from .dijkstra import ShortestPathForest, all_pairs_distance
 from .forwarding_table import ForwardingTable, TableRouter
 from .router import MinimalHopRouter, ShortestPathRouter
 from .tree import SpanningTreeRouter
-from .validation import link_kinds_on_route, validate_route, wireless_hop_count
+from .validation import (
+    find_channel_dependency_cycle,
+    link_kinds_on_route,
+    routes_are_deadlock_free,
+    validate_route,
+    wireless_hop_count,
+)
 from .xy import RegionGridIndex, is_xy_ordered, manhattan_distance, xy_path
 
 __all__ = [
@@ -26,8 +32,10 @@ __all__ = [
     "SpanningTreeRouter",
     "TableRouter",
     "all_pairs_distance",
+    "find_channel_dependency_cycle",
     "is_xy_ordered",
     "link_kinds_on_route",
+    "routes_are_deadlock_free",
     "manhattan_distance",
     "validate_route",
     "wireless_hop_count",

@@ -52,6 +52,7 @@ class BaseRouter(abc.ABC):
         self._link_weights = dict(DEFAULT_LINK_WEIGHTS)
         if link_weights:
             self._link_weights.update(link_weights)
+        self._link_penalties: Dict[int, float] = {}
         self._cache: Dict[Tuple[int, int], List[int]] = {}
 
     @property
@@ -65,8 +66,31 @@ class BaseRouter(abc.ABC):
         return dict(self._link_weights)
 
     def link_weight(self, link: LinkSpec) -> float:
-        """Cost of one hop over ``link``."""
-        return self._link_weights[link.kind]
+        """Cost of one hop over ``link`` (kind cost times any fault penalty)."""
+        weight = self._link_weights[link.kind]
+        penalty = self._link_penalties.get(link.link_id)
+        if penalty is not None:
+            weight *= penalty
+        return weight
+
+    def set_link_penalty(self, link_id: int, factor: float) -> None:
+        """Multiply one link's routing cost (adaptive rerouting around
+        degraded links).  Dropping to ``1.0`` removes the penalty.  Cached
+        routes are invalidated so subsequent routes see the new costs.
+        """
+        if factor <= 0:
+            raise RoutingError(f"link penalty must be positive, got {factor}")
+        if factor == 1.0:
+            self._link_penalties.pop(link_id, None)
+        else:
+            self._link_penalties[link_id] = factor
+        self.clear_cache()
+
+    def clear_link_penalties(self) -> None:
+        """Remove every per-link penalty (end-of-run restore)."""
+        if self._link_penalties:
+            self._link_penalties.clear()
+            self.clear_cache()
 
     def route(self, src_switch: int, dst_switch: int) -> List[int]:
         """Switch sequence from ``src_switch`` to ``dst_switch`` inclusive."""

@@ -162,6 +162,11 @@ class TableRouter(BaseRouter):
                 raise RoutingError("destination tree contains a cycle")
         return path
 
+    def clear_cache(self) -> None:
+        """Drop cached routes and destination trees (after topology change)."""
+        super().clear_cache()
+        self._trees.clear()
+
     def to_forwarding_table(self) -> ForwardingTable:
         """Materialise the (conflict-free) forwarding table."""
         table = ForwardingTable.build(self)

@@ -93,11 +93,27 @@ class ShortestPathRouter(BaseRouter):
     def _extend_with_run(
         self, result: List[int], path: List[int], start: int, end: int
     ) -> None:
-        """Append the canonical form of ``path[start..end]`` (skipping its head)."""
+        """Append the canonical form of ``path[start..end]`` (skipping its head).
+
+        The canonical X-then-Y rewrite is only applied when every link it
+        would use is in service; when fault injection has disabled a mesh
+        link on the XY path, the Dijkstra-computed run — which already avoids
+        disabled links — is kept verbatim.  On a healthy topology the rewrite
+        always applies, so fault-free routes are unchanged.
+        """
         if end <= start:
             return
-        canonical = xy_path(self._graph, self._grid_index, path[start], path[end])
-        result.extend(canonical[1:])
+        try:
+            canonical = xy_path(self._graph, self._grid_index, path[start], path[end])
+        except RoutingError:
+            canonical = None
+        if canonical is not None and all(
+            self._graph.find_link(a, b) is not None
+            for a, b in zip(canonical, canonical[1:])
+        ):
+            result.extend(canonical[1:])
+        else:
+            result.extend(path[start + 1 : end + 1])
 
 
 class MinimalHopRouter(ShortestPathRouter):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..topology.graph import LinkKind, TopologyGraph
 from .base import RoutingError
@@ -52,3 +52,62 @@ def link_kinds_on_route(graph: TopologyGraph, route: Sequence[int]) -> List[Link
             raise RoutingError(f"route uses missing link ({a}, {b})")
         kinds.append(link.kind)
     return kinds
+
+
+#: A directed channel: the (src switch, dst switch) direction of one link.
+Channel = Tuple[int, int]
+
+
+def find_channel_dependency_cycle(
+    routes: Iterable[Sequence[int]],
+) -> Optional[List[Channel]]:
+    """A cyclic channel dependency among the given routes, or ``None``.
+
+    Wormhole routing deadlocks exactly when the *channel dependency graph* —
+    one node per directed link, one edge per consecutive hop pair some route
+    uses — contains a cycle (Dally & Seitz).  This builds that graph from
+    the route set and searches it with an iterative DFS; the returned value
+    is the offending channel sequence (closed: first == last), so recovery
+    code and tests can report precisely which dependency loop would deadlock.
+    """
+    dependencies: Dict[Channel, Set[Channel]] = {}
+    for route in routes:
+        for i in range(len(route) - 2):
+            upstream: Channel = (route[i], route[i + 1])
+            downstream: Channel = (route[i + 1], route[i + 2])
+            dependencies.setdefault(upstream, set()).add(downstream)
+            dependencies.setdefault(downstream, set())
+    # Iterative DFS with colouring: 0 unvisited, 1 on stack, 2 done.
+    colour: Dict[Channel, int] = {channel: 0 for channel in dependencies}
+    for start in sorted(dependencies):
+        if colour[start] != 0:
+            continue
+        stack: List[Tuple[Channel, Iterable[Channel]]] = [
+            (start, iter(sorted(dependencies[start])))
+        ]
+        colour[start] = 1
+        path = [start]
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = colour.get(child, 0)
+                if state == 1:
+                    cycle_start = path.index(child)
+                    return path[cycle_start:] + [child]
+                if state == 0:
+                    colour[child] = 1
+                    path.append(child)
+                    stack.append((child, iter(sorted(dependencies[child]))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = 2
+                path.pop()
+                stack.pop()
+    return None
+
+
+def routes_are_deadlock_free(routes: Iterable[Sequence[int]]) -> bool:
+    """Whether the route set has an acyclic channel dependency graph."""
+    return find_channel_dependency_cycle(routes) is None

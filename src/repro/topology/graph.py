@@ -144,6 +144,7 @@ class TopologyGraph:
         self._links: Dict[int, LinkSpec] = {}
         self._adjacency: Dict[int, List[int]] = {}
         self._switch_endpoints: Dict[int, List[int]] = {}
+        self._disabled_links: set = set()
         self._next_switch_id = 0
         self._next_endpoint_id = 0
         self._next_link_id = 0
@@ -228,7 +229,7 @@ class TopologyGraph:
             raise TopologyError(f"cannot link switch {src} to itself")
         if src not in self._switches or dst not in self._switches:
             raise TopologyError(f"unknown switch in link ({src}, {dst})")
-        if self.find_link(src, dst) is not None:
+        if self.find_link(src, dst, include_disabled=True) is not None:
             raise TopologyError(f"duplicate link between {src} and {dst}")
         link = LinkSpec(
             link_id=self._next_link_id,
@@ -246,6 +247,40 @@ class TopologyGraph:
     def set_wireless(self, switch_id: int, has_wireless: bool = True) -> None:
         """Mark a switch as carrying a wireless interface."""
         self.switch(switch_id).has_wireless = has_wireless
+
+    # ------------------------------------------------------------------
+    # Fault support: disabling links.
+    # ------------------------------------------------------------------
+
+    def disable_link(self, link_id: int) -> None:
+        """Take a link out of service (fault injection).
+
+        Disabled links disappear from :meth:`neighbors` and
+        :meth:`find_link`, so routing and connectivity queries treat the
+        topology as if the link did not exist; the physical structure (and
+        the simulator ports built from it) is untouched.  Use
+        :meth:`enable_link` / :meth:`enable_all_links` to restore service.
+        """
+        self.link(link_id)  # raises TopologyError for unknown links
+        self._disabled_links.add(link_id)
+
+    def enable_link(self, link_id: int) -> None:
+        """Return a disabled link to service."""
+        self.link(link_id)
+        self._disabled_links.discard(link_id)
+
+    def enable_all_links(self) -> None:
+        """Return every disabled link to service (end-of-run restore)."""
+        self._disabled_links.clear()
+
+    def link_enabled(self, link_id: int) -> bool:
+        """Whether a link is currently in service."""
+        return link_id not in self._disabled_links
+
+    @property
+    def disabled_links(self) -> List[int]:
+        """Ids of all currently disabled links, sorted."""
+        return sorted(self._disabled_links)
 
     # ------------------------------------------------------------------
     # Queries.
@@ -279,9 +314,17 @@ class TopologyGraph:
         except KeyError:
             raise TopologyError(f"unknown link {link_id}") from None
 
-    def find_link(self, a: int, b: int) -> Optional[LinkSpec]:
-        """The link between switches ``a`` and ``b``, or ``None``."""
+    def find_link(
+        self, a: int, b: int, include_disabled: bool = False
+    ) -> Optional[LinkSpec]:
+        """The *in-service* link between switches ``a`` and ``b``, or ``None``.
+
+        ``include_disabled`` also finds links taken out of service by fault
+        injection (used for structural queries on the physical topology).
+        """
         for link_id in self._adjacency.get(a, ()):
+            if not include_disabled and link_id in self._disabled_links:
+                continue
             link = self._links[link_id]
             if link.other(a) == b:
                 return link
@@ -318,9 +361,15 @@ class TopologyGraph:
         return len(self._endpoints)
 
     def neighbors(self, switch_id: int) -> List[Tuple[int, LinkSpec]]:
-        """(neighbor switch id, link) pairs adjacent to a switch."""
+        """(neighbor switch id, link) pairs adjacent to a switch.
+
+        Links taken out of service by fault injection are excluded, so
+        routing and connectivity computations automatically avoid them.
+        """
         result = []
         for link_id in self._adjacency.get(switch_id, ()):
+            if link_id in self._disabled_links:
+                continue
             link = self._links[link_id]
             result.append((link.other(switch_id), link))
         return result
