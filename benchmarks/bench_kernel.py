@@ -1,6 +1,6 @@
 """Kernel micro-benchmark: active-set versus dense scheduling.
 
-Runs one mid-load uniform point per architecture (the single-chip mesh
+Runs two uniform load points per architecture (the single-chip mesh
 baseline plus the paper's three multichip systems) under both kernel
 schedulers, verifies they agree bit for bit, and writes a perf snapshot to
 ``BENCH_kernel.json`` so the kernel's wall-clock trajectory is tracked
@@ -9,12 +9,18 @@ across changes.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--cycles N] [--load L]
+                                                     [--saturation-load L]
                                                      [--output PATH]
 
-The default load (0.0002 packets/core/cycle) is about 10 % of the mesh
+The default mid load (0.0002 packets/core/cycle) is about 10 % of the mesh
 baseline's saturation load (~0.002 from the fig2/fig3 sweeps) — squarely in
 the low/mid-load region that dominates every figure sweep, where the
-active-set scheduler's wake sets pay off most.
+active-set scheduler's wake sets pay off most.  The near-saturation point
+(default 0.0018, 90 % of mesh saturation) keeps the congested regime
+honest: there almost every switch is awake every cycle, so it measures the
+raw per-flit cost of the array-backed data plane rather than the wake-set
+bookkeeping, and a regression that only hurts busy switches cannot hide
+behind the quiet mid-load numbers.
 """
 
 from __future__ import annotations
@@ -30,13 +36,18 @@ from repro.core.framework import MultichipSimulation
 from repro.metrics.report import format_simulator_throughput, format_table
 from repro.noc.engine import SimulationConfig
 
-#: Offered load of the benchmark point [packets/core/cycle]; ~10 % of the
-#: mesh baseline's saturation load (acceptance criterion: <= 30 %).
+#: Offered load of the mid-load benchmark point [packets/core/cycle]; ~10 %
+#: of the mesh baseline's saturation load (acceptance criterion: <= 30 %).
 DEFAULT_LOAD = 0.0002
 
 #: Approximate saturation load of the mesh baseline under uniform traffic
 #: with the default 64-flit packets (from the fig2/fig3 load sweeps).
 MESH_SATURATION_LOAD = 0.002
+
+#: Offered load of the near-saturation benchmark point (90 % of the mesh
+#: baseline's saturation load): the congested regime where wake sets stop
+#: helping and the per-flit data-plane cost dominates.
+DEFAULT_SATURATION_LOAD = 0.0018
 
 DEFAULT_CYCLES = 2000
 
@@ -89,8 +100,8 @@ def fingerprint(result) -> tuple:
     )
 
 
-def run_benchmark(load: float, cycles: int, repeats: int = 1) -> Dict[str, object]:
-    """Benchmark every architecture and assemble the snapshot payload.
+def bench_load_point(load: float, cycles: int, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Benchmark one offered load across every architecture.
 
     ``repeats`` runs each (architecture, scheduler) point several times and
     keeps the fastest wall-clock — best-of-N is the standard defence
@@ -99,8 +110,6 @@ def run_benchmark(load: float, cycles: int, repeats: int = 1) -> Dict[str, objec
     Results are bit-identical across repeats (asserted), so only timing is
     affected.
     """
-    if repeats < 1:
-        raise ValueError("repeats must be at least 1")
     entries: Dict[str, Dict[str, float]] = {}
     for name, config in benchmark_configs().items():
         dense_result, dense_s = run_once(config, load, cycles, "dense")
@@ -129,25 +138,44 @@ def run_benchmark(load: float, cycles: int, repeats: int = 1) -> Dict[str, objec
             ),
             "packets_delivered": active_result.packets_delivered,
         }
+    return entries
+
+
+def run_benchmark(
+    load: float,
+    cycles: int,
+    repeats: int = 1,
+    saturation_load: float = DEFAULT_SATURATION_LOAD,
+) -> Dict[str, object]:
+    """Benchmark both load points and assemble the snapshot payload."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    entries = bench_load_point(load, cycles, repeats)
+    saturation_entries = bench_load_point(saturation_load, cycles, repeats)
     return {
         "benchmark": "bench_kernel",
         "description": (
-            "one mid-load uniform point per architecture, dense vs "
-            "active-set scheduler (identical results, different wall-clock)"
+            "one mid-load and one near-saturation uniform point per "
+            "architecture, dense vs active-set scheduler (identical "
+            "results, different wall-clock)"
         ),
         "load_packets_per_core_per_cycle": load,
         "load_fraction_of_mesh_saturation": round(load / MESH_SATURATION_LOAD, 3),
+        "saturation_load_packets_per_core_per_cycle": saturation_load,
+        "saturation_load_fraction_of_mesh_saturation": round(
+            saturation_load / MESH_SATURATION_LOAD, 3
+        ),
         "cycles": cycles,
         "python": platform.python_version(),
         "results": entries,
+        "results_saturation": saturation_entries,
         "mesh_speedup": entries["mesh"]["speedup"],
     }
 
 
-def format_report(snapshot: Dict[str, object]) -> str:
-    """Human-readable table of the snapshot."""
+def _point_table(cycles: int, entries: Dict[str, Dict[str, float]]) -> str:
     rows = []
-    for name, entry in snapshot["results"].items():
+    for name, entry in entries.items():
         rows.append(
             [
                 name,
@@ -155,7 +183,7 @@ def format_report(snapshot: Dict[str, object]) -> str:
                 entry["active_seconds"],
                 f"{entry['speedup']:.2f}x",
                 format_simulator_throughput(
-                    snapshot["cycles"], entry["active_seconds"]
+                    cycles, entry["active_seconds"]
                 ).split(": ")[1],
             ]
         )
@@ -165,10 +193,38 @@ def format_report(snapshot: Dict[str, object]) -> str:
     )
 
 
+def format_report(snapshot: Dict[str, object]) -> str:
+    """Human-readable tables of the snapshot (both load points)."""
+    cycles = snapshot["cycles"]
+    parts = [
+        f"mid load ({snapshot['load_fraction_of_mesh_saturation']:.0%} of "
+        "mesh saturation):",
+        _point_table(cycles, snapshot["results"]),
+    ]
+    saturation = snapshot.get("results_saturation")
+    if saturation:
+        parts.append(
+            f"\nnear saturation "
+            f"({snapshot['saturation_load_fraction_of_mesh_saturation']:.0%} "
+            "of mesh saturation):"
+        )
+        parts.append(_point_table(cycles, saturation))
+    return "\n".join(parts)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES)
     parser.add_argument("--load", type=float, default=DEFAULT_LOAD)
+    parser.add_argument(
+        "--saturation-load",
+        type=float,
+        default=DEFAULT_SATURATION_LOAD,
+        help=(
+            "offered load of the near-saturation point "
+            f"(default: {DEFAULT_SATURATION_LOAD})"
+        ),
+    )
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     parser.add_argument(
         "--repeats",
@@ -178,7 +234,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    snapshot = run_benchmark(args.load, args.cycles, repeats=args.repeats)
+    snapshot = run_benchmark(
+        args.load,
+        args.cycles,
+        repeats=args.repeats,
+        saturation_load=args.saturation_load,
+    )
     print(format_report(snapshot))
     mesh_speedup = snapshot["mesh_speedup"]
     print(

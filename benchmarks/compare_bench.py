@@ -2,21 +2,26 @@
 
 The CI ``bench-trend`` job regenerates ``BENCH_kernel.json`` with
 ``benchmarks/bench_kernel.py`` and runs this script against the committed
-snapshot.  The **hard gate** is the per-architecture active-vs-dense
-*speedup ratio*: it is a same-machine, same-run quotient, so it transfers
-across hosts (unlike absolute wall-clock), and a drop means the active-set
-scheduler is doing relatively more work per simulated cycle — exactly the
-regression the gate exists to catch.  A fresh speedup more than
-``--max-regression`` (default 25 %) below the committed one fails the job.
+snapshot.  Two hard gates, applied per architecture and per load point
+(mid-load ``results`` and near-saturation ``results_saturation``):
 
-Absolute cycles/s numbers are printed as an **advisory** delta only —
-runner hardware varies — mirroring how ``bench_kernel.py`` itself gates on
-result parity while treating timing as advisory.
+* **speedup ratio** — the per-architecture active-vs-dense quotient is a
+  same-machine, same-run ratio, so it transfers across hosts (unlike
+  absolute wall-clock), and a drop means the active-set scheduler is doing
+  relatively more work per simulated cycle.  A fresh speedup more than
+  ``--max-regression`` (default 25 %) below the committed one fails.
+* **absolute throughput** — the pooled data plane is expected to hold its
+  ``active_cycles_per_second``; a fresh value more than
+  ``--max-cps-regression`` (default 50 %) below the committed snapshot
+  fails.  The wide default absorbs runner-hardware variance while still
+  catching the regression class the ratio cannot see: both schedulers
+  getting uniformly slower (e.g. the per-flit path growing allocations
+  back), which leaves the ratio flat.
 
 Usage::
 
     python benchmarks/compare_bench.py BENCH_kernel.json fresh.json \
-        [--max-regression 0.25]
+        [--max-regression 0.25] [--max-cps-regression 0.5]
 """
 
 from __future__ import annotations
@@ -24,37 +29,45 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict
+from typing import Dict, Mapping
 
 DEFAULT_MAX_REGRESSION = 0.25
+DEFAULT_MAX_CPS_REGRESSION = 0.5
+
+#: Snapshot keys holding per-architecture result sections, with labels.
+RESULT_SECTIONS = (
+    ("results", "mid load"),
+    ("results_saturation", "near saturation"),
+)
 
 
-def load_snapshot(path: str) -> Dict[str, Dict[str, float]]:
-    """The per-architecture result entries of one snapshot file."""
+def load_snapshot(path: str) -> Mapping[str, object]:
+    """One snapshot file's full payload."""
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    results = payload.get("results")
-    if not isinstance(results, dict) or not results:
+    if not isinstance(payload.get("results"), dict) or not payload["results"]:
         raise SystemExit(f"{path}: not a bench_kernel snapshot (no results)")
-    return results
+    return payload
 
 
-def compare(
+def compare_section(
+    label: str,
     baseline: Dict[str, Dict[str, float]],
     fresh: Dict[str, Dict[str, float]],
     max_regression: float,
+    max_cps_regression: float,
 ) -> int:
-    """Print the comparison table; return the number of hard-gate failures."""
+    """Print one section's comparison table; return the hard-gate failures."""
     failures = 0
     header = (
-        f"{'architecture':<12} {'speedup old':>12} {'speedup new':>12} "
-        f"{'ratio':>7}   {'cycles/s old':>12} {'cycles/s new':>12}"
+        f"{label:<16} {'speedup old':>12} {'speedup new':>12} "
+        f"{'ratio':>7}   {'cycles/s old':>12} {'cycles/s new':>12} {'ratio':>7}"
     )
     print(header)
     print("-" * len(header))
     for name in sorted(baseline):
         if name not in fresh:
-            print(f"{name:<12} MISSING from fresh snapshot -> FAIL")
+            print(f"{name:<16} MISSING from fresh snapshot -> FAIL")
             failures += 1
             continue
         old = baseline[name]
@@ -64,17 +77,48 @@ def compare(
         ratio = new_speedup / old_speedup if old_speedup > 0 else float("inf")
         old_cps = float(old.get("active_cycles_per_second", 0.0))
         new_cps = float(new.get("active_cycles_per_second", 0.0))
+        cps_ratio = new_cps / old_cps if old_cps > 0 else float("inf")
         verdict = ""
         if ratio < 1.0 - max_regression:
-            verdict = "  <-- FAIL (speedup regression)"
+            verdict += "  <-- FAIL (speedup regression)"
+            failures += 1
+        if cps_ratio < 1.0 - max_cps_regression:
+            verdict += "  <-- FAIL (cycles/s regression)"
             failures += 1
         print(
-            f"{name:<12} {old_speedup:>12.2f} {new_speedup:>12.2f} "
-            f"{ratio:>6.2f}x   {old_cps:>12.1f} {new_cps:>12.1f}{verdict}"
+            f"{name:<16} {old_speedup:>12.2f} {new_speedup:>12.2f} "
+            f"{ratio:>6.2f}x   {old_cps:>12.1f} {new_cps:>12.1f} "
+            f"{cps_ratio:>6.2f}x{verdict}"
         )
+    return failures
+
+
+def compare(
+    baseline: Mapping[str, object],
+    fresh: Mapping[str, object],
+    max_regression: float,
+    max_cps_regression: float,
+) -> int:
+    """Compare every result section; return the total hard-gate failures."""
+    failures = 0
+    for key, label in RESULT_SECTIONS:
+        base_section = baseline.get(key)
+        if not isinstance(base_section, dict) or not base_section:
+            continue  # the committed snapshot predates this section
+        fresh_section = fresh.get(key)
+        if not isinstance(fresh_section, dict):
+            print(f"section {key!r} MISSING from fresh snapshot -> FAIL")
+            failures += 1
+            continue
+        failures += compare_section(
+            label, base_section, fresh_section, max_regression, max_cps_regression
+        )
+        print()
     print(
-        "\ncycles/s columns are advisory (hardware-dependent); the hard gate "
-        f"is a >{max_regression:.0%} drop in the active/dense speedup ratio."
+        "hard gates per architecture and load point: "
+        f">{max_regression:.0%} drop of the active/dense speedup ratio, "
+        f">{max_cps_regression:.0%} drop of active cycles/s vs the committed "
+        "snapshot."
     )
     return failures
 
@@ -89,14 +133,29 @@ def main(argv=None) -> int:
         default=DEFAULT_MAX_REGRESSION,
         help="tolerated fractional speedup drop (default: 0.25)",
     )
+    parser.add_argument(
+        "--max-cps-regression",
+        type=float,
+        default=DEFAULT_MAX_CPS_REGRESSION,
+        help=(
+            "tolerated fractional drop of active cycles/s versus the "
+            "committed snapshot (default: 0.5; generous because runner "
+            "hardware varies)"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0.0 < args.max_regression < 1.0:
         parser.error("--max-regression must be in (0, 1)")
+    if not 0.0 < args.max_cps_regression < 1.0:
+        parser.error("--max-cps-regression must be in (0, 1)")
     failures = compare(
-        load_snapshot(args.baseline), load_snapshot(args.fresh), args.max_regression
+        load_snapshot(args.baseline),
+        load_snapshot(args.fresh),
+        args.max_regression,
+        args.max_cps_regression,
     )
     if failures:
-        print(f"\n{failures} architecture(s) regressed beyond the gate", file=sys.stderr)
+        print(f"\n{failures} hard-gate failure(s)", file=sys.stderr)
         return 1
     print("\nbench-trend gate passed")
     return 0

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments fig2 [--fidelity fast|default|paper]
                                      [--jobs N] [--cache-dir DIR] [--no-cache]
                                      [--faults SCENARIO] [--fault-rate R]
+                                     [--profile]
     python -m repro.experiments fig7 [--faults random-links] [--jobs N]
     python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
 
@@ -149,6 +150,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the result cache: neither read nor write cached tasks",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "time each kernel phase in every simulated task and print an "
+            "aggregated per-phase wall-clock table after the experiment; "
+            "profiled runs bypass the result cache so the timings always "
+            "reflect real simulation work"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         "-q",
         action="store_true",
@@ -164,6 +175,7 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
         show_progress=not args.quiet,
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -225,6 +237,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.fault_rate if args.fault_rate is not None else DEFAULT_FAULT_RATE
             )
         EXPERIMENTS[name](args.fidelity, runner, **kwargs)
+        print()
+    if args.profile:
+        print("[runner] per-phase kernel wall clock (all simulated tasks):")
+        print(runner.phase_report())
         print()
     print(f"[runner] {runner.summary_line()}")
     return 0

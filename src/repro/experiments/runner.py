@@ -36,7 +36,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..core.config import SystemConfig
 from ..core.framework import MultichipSimulation
 from ..faults.scenarios import create_fault_plan, scenario_spec
-from ..metrics.report import format_simulator_throughput
+from ..metrics.report import format_simulator_throughput, format_table
 from ..metrics.saturation import LoadPointSummary, SweepSummary
 from ..noc.engine import SimulationConfig
 from ..parallel.cache import ResultCache
@@ -254,17 +254,24 @@ def replicated_tasks(task: SimulationTask, replicas: int) -> List[SimulationTask
     ]
 
 
-def execute_task(task: SimulationTask) -> Dict[str, object]:
+def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, object]:
     """Run one task and return its JSON-serialisable result payload.
 
     This is the function shipped to worker processes; it rebuilds the
     system from the task's configuration, runs the cycle-accurate
     simulator, and summarises the run as a
-    :class:`repro.metrics.saturation.LoadPointSummary` dict.
+    :class:`repro.metrics.saturation.LoadPointSummary` dict.  With
+    ``profile`` set the kernel times each phase and the payload carries a
+    ``phase_seconds`` entry (the CLI's ``--profile`` table; profiled runs
+    bypass the result cache, so the timings always come from real work).
     """
     simulation = MultichipSimulation.from_config(
         task.config,
-        SimulationConfig(cycles=task.cycles, warmup_cycles=task.warmup_cycles),
+        SimulationConfig(
+            cycles=task.cycles,
+            warmup_cycles=task.warmup_cycles,
+            profile_phases=profile,
+        ),
     )
     fault_plan = None
     if task.faults != "none":
@@ -292,7 +299,16 @@ def execute_task(task: SimulationTask) -> Dict[str, object]:
             fault_plan=fault_plan,
         )
         offered = result.offered_load_packets_per_core_per_cycle
-    return LoadPointSummary.from_result(offered, result).as_dict()
+    payload = LoadPointSummary.from_result(offered, result).as_dict()
+    if profile:
+        # Extra key; LoadPointSummary.from_dict ignores unknown fields.
+        payload["phase_seconds"] = dict(result.phase_seconds)
+    return payload
+
+
+def _execute_task_profiled(task: SimulationTask) -> Dict[str, object]:
+    """Module-level (picklable) profiling variant of :func:`execute_task`."""
+    return execute_task(task, profile=True)
 
 
 def assemble_sweep(
@@ -334,10 +350,17 @@ class ExperimentRunner:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         show_progress: bool = False,
+        profile: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        #: Per-phase kernel profiling (the CLI's ``--profile``): every task
+        #: runs with phase timing enabled and the per-task timings are
+        #: accumulated into :attr:`phase_seconds`.  Profiling bypasses the
+        #: result cache in both directions — cached payloads carry no
+        #: timings, and timed payloads must come from real simulation work.
+        self.profile = profile
         self.cache: Optional[ResultCache] = (
-            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+            ResultCache(cache_dir) if (cache_dir and use_cache and not profile) else None
         )
         self.show_progress = show_progress
         self.cache_hits = 0
@@ -345,6 +368,7 @@ class ExperimentRunner:
         self.tasks_executed = 0
         self.wall_clock_seconds = 0.0
         self.simulated_cycles = 0
+        self.phase_seconds: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Execution.
@@ -384,7 +408,7 @@ class ExperimentRunner:
 
         started = time.perf_counter()
         payloads = run_tasks(
-            execute_task,
+            _execute_task_profiled if self.profile else execute_task,
             pending,
             jobs=self.jobs,
             progress=self._on_task_done if self.show_progress else None,
@@ -393,6 +417,8 @@ class ExperimentRunner:
             self.wall_clock_seconds += time.perf_counter() - started
             self.simulated_cycles += sum(task.cycles for task in pending)
         for task, payload in zip(pending, payloads):
+            for name, seconds in payload.get("phase_seconds", {}).items():
+                self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
             if self.cache is not None:
                 self.cache.put(
                     task.cache_key(),
@@ -472,6 +498,23 @@ class ExperimentRunner:
         if throughput:
             line = f"{line}\n[runner] {throughput}"
         return line
+
+    def phase_report(self) -> str:
+        """Aggregated per-phase wall-clock table of the profiled tasks.
+
+        Seconds are summed over every executed task (across worker
+        processes when ``jobs > 1``), so the share column attributes the
+        simulation cost to kernel phases regardless of parallelism.
+        """
+        if not self.phase_seconds:
+            return "no phase timings recorded (run with profiling enabled)"
+        total = sum(self.phase_seconds.values())
+        rows = []
+        for name, seconds in sorted(self.phase_seconds.items(), key=lambda item: -item[1]):
+            share = seconds / total if total > 0 else 0.0
+            rows.append([name, f"{seconds:.3f}", f"{share:.1%}"])
+        rows.append(["total", f"{total:.3f}", "100.0%"])
+        return format_table(["Kernel phase", "seconds", "share"], rows)
 
     def throughput_line(self) -> Optional[str]:
         """Simulator self-throughput over the executed (uncached) tasks.

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from ..noc.pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK
 from ..routing.base import BaseRouter, RoutingError
 from ..topology.graph import LinkKind, TopologyGraph
 from .plan import FaultEvent, FaultKind, FaultPlan
@@ -48,7 +49,6 @@ from .recovery import AUDIT_SWITCH_LIMIT, RecoveryReport, recover_routing
 if TYPE_CHECKING:  # pragma: no cover
     from ..noc.kernel import KernelState
     from ..noc.network import Network
-    from ..noc.packet import Packet
     from ..noc.stats import SimulationResult
 
 __all__ = ["AUDIT_SWITCH_LIMIT", "FaultInjectionError", "FaultInjector"]
@@ -121,7 +121,7 @@ class FaultInjector:
             self.base_router.set_link_penalty(link_id, 1.0)
         self._penalised_by_us.clear()
         self.base_router.clear_cache()
-        self.network.wired_fabric.failed_pairs.clear()
+        self.network.wired_fabric.clear_failures()
         if self.network.wireless_fabric is not None:
             self.network.wireless_fabric.dead_wis.clear()
 
@@ -211,12 +211,8 @@ class FaultInjector:
             )
         if event.routing_penalty > 1.0:
             for link in self.graph.links:
-                if link.kind == LinkKind.WIRELESS and self.graph.link_enabled(
-                    link.link_id
-                ):
-                    self.base_router.set_link_penalty(
-                        link.link_id, event.routing_penalty
-                    )
+                if link.kind == LinkKind.WIRELESS and self.graph.link_enabled(link.link_id):
+                    self.base_router.set_link_penalty(link.link_id, event.routing_penalty)
                     self._penalised_by_us.add(link.link_id)
         self.result.links_degraded += 1
 
@@ -241,8 +237,7 @@ class FaultInjector:
         self._reroute_queued(state, report, force=provider_changed)
         self._reroute_in_flight(state, report, force=provider_changed)
 
-    def _route_broken(self, packet: "Packet", from_hop: int) -> bool:
-        route = packet.route
+    def _route_broken(self, route, from_hop: int) -> bool:
         for a, b in zip(route[from_hop:], route[from_hop + 1 :]):
             if self.graph.find_link(a, b) is None:
                 return True
@@ -251,37 +246,44 @@ class FaultInjector:
     def _reroute_queued(
         self, state: "KernelState", report: RecoveryReport, force: bool = False
     ) -> None:
-        """Recompute routes of packets still waiting in their source queues."""
+        """Recompute routes of packets still waiting in their source queues.
+
+        Source queues hold packet-pool handles; a dropped packet's handle is
+        returned to the pool so the conservation contract
+        (``allocated == freed + live``) survives faulted runs.
+        """
+        pool = state.pool
         for endpoint_id in sorted(state.source_queues):
             queue = state.source_queues[endpoint_id]
             if not queue:
                 continue
             kept = []
-            for packet in queue:
-                broken = self._route_broken(packet, 0)
+            for handle in queue:
+                route = pool.route[handle]
+                broken = self._route_broken(route, 0)
                 if not force and not broken:
-                    kept.append(packet)
+                    kept.append(handle)
                     continue
+                src_switch = pool.src_switch[handle]
+                dst_switch = pool.dst_switch[handle]
                 new_route = None
-                if not report.partitioned or report.same_component(
-                    packet.src_switch, packet.dst_switch
-                ):
+                if not report.partitioned or report.same_component(src_switch, dst_switch):
                     try:
-                        new_route = self.router.route(
-                            packet.src_switch, packet.dst_switch
-                        )
+                        new_route = self.router.route(src_switch, dst_switch)
                     except RoutingError:
                         new_route = None
                 if new_route is None:
                     if broken:
                         self.result.packets_dropped_unroutable += 1
+                        pool.free(handle)
                     else:
-                        kept.append(packet)  # old route is still usable
+                        kept.append(handle)  # old route is still usable
                     continue
-                if list(new_route) != list(packet.route):
-                    packet.route = list(new_route)
+                if list(new_route) != list(route):
+                    pool.route[handle] = list(new_route)
+                    state.compile_route_ports(handle)
                     self.result.packets_rerouted += 1
-                kept.append(packet)
+                kept.append(handle)
             if len(kept) != len(queue):
                 queue.clear()
                 queue.extend(kept)
@@ -290,37 +292,42 @@ class FaultInjector:
         self, state: "KernelState", report: RecoveryReport, force: bool = False
     ) -> None:
         """Splice fresh paths into packets already travelling the network."""
-        packets: Dict[int, "Packet"] = {}
+        pool = state.pool
+        pool_pid = pool.pid
+        packets: Dict[int, int] = {}  # packet id -> pool handle
         head_vcs: Dict[int, Tuple[object, object]] = {}
         for switch_id in sorted(self.network.switches):
             switch = self.network.switches[switch_id]
-            for port in switch.input_ports.values():
+            for port in switch.input_port_list or switch.input_ports.values():
                 for vc in port.vcs:
-                    if not vc.buffer:
+                    if not vc.count:
                         continue
-                    front = vc.buffer[0]
-                    packets[front.packet.packet_id] = front.packet
-                    if front.is_head:
-                        head_vcs[front.packet.packet_id] = (vc, switch)
+                    front = vc.buf[vc.head]
+                    handle = front >> FLIT_INDEX_BITS
+                    packets[pool_pid[handle]] = handle
+                    if not front & FLIT_INDEX_MASK:  # head flit in front
+                        head_vcs[pool_pid[handle]] = (vc, switch)
         for entries in state.arrivals.values():
             for _, flit in entries:
-                packets[flit.packet.packet_id] = flit.packet
+                handle = flit >> FLIT_INDEX_BITS
+                packets[pool_pid[handle]] = handle
 
         for packet_id in sorted(packets):
-            packet = packets[packet_id]
-            if packet.head_hop >= len(packet.route) - 1:
+            handle = packets[packet_id]
+            route = pool.route[handle]
+            head_hop = pool.head_hop[handle]
+            if head_hop >= len(route) - 1:
                 continue  # head already at (or ejecting into) its destination
-            broken = self._route_broken(packet, packet.head_hop)
+            broken = self._route_broken(route, head_hop)
             if not force and not broken:
                 continue
-            current = packet.route[packet.head_hop]
-            prefix = list(packet.route[: packet.head_hop])
+            current = route[head_hop]
+            dst_switch = pool.dst_switch[handle]
+            prefix = list(route[:head_hop])
             new_tail = None
-            if not report.partitioned or report.same_component(
-                current, packet.dst_switch
-            ):
+            if not report.partitioned or report.same_component(current, dst_switch):
                 try:
-                    new_tail = self.router.route(current, packet.dst_switch)
+                    new_tail = self.router.route(current, dst_switch)
                 except RoutingError:
                     new_tail = None
             # A recovery path that re-enters an already-traversed switch
@@ -335,12 +342,13 @@ class FaultInjector:
                     # from the previous provider would void the recovery
                     # set's deadlock-freedom argument.  Remove the packet
                     # *with accounting* — counted, never silent.
-                    self._purge_packet(packet, state)
+                    self._purge_packet(handle, state)
                 continue
             new_route = prefix + list(new_tail)
-            if new_route == list(packet.route):
+            if new_route == list(route):
                 continue
-            packet.route = new_route
+            pool.route[handle] = new_route
+            state.compile_route_ports(handle)
             self.result.packets_rerouted += 1
             holder = head_vcs.get(packet_id)
             if holder is not None:
@@ -348,14 +356,16 @@ class FaultInjector:
                 vc.reset_routing()
                 state.scheduler.on_fault(switch)
 
-    def _purge_packet(self, packet: "Packet", state: "KernelState") -> None:
+    def _purge_packet(self, handle: int, state: "KernelState") -> None:
         """Remove a stranded packet from the network, counting every flit."""
+        pool = state.pool
+        packet_id = pool.pid[handle]
         removed = 0
         for cycle_key in sorted(state.arrivals):
             entries = state.arrivals[cycle_key]
             kept = []
             for target_vc, flit in entries:
-                if flit.packet is packet:
+                if flit >> FLIT_INDEX_BITS == handle:
                     target_vc.in_flight -= 1
                     removed += 1
                 else:
@@ -367,22 +377,20 @@ class FaultInjector:
                     del state.arrivals[cycle_key]
         for switch_id in sorted(self.network.switches):
             switch = self.network.switches[switch_id]
-            for port in switch.input_ports.values():
+            for port in switch.input_port_list or switch.input_ports.values():
                 for vc in port.vcs:
-                    if vc.source_packet is packet:
+                    if vc.source_packet == handle:
                         vc.source_packet = None
                         vc.source_flits_emitted = 0
-                    if vc.allocated_packet_id != packet.packet_id:
+                    if vc.allocated_packet_id != packet_id:
                         continue
-                    for _ in range(len(vc.buffer)):
-                        state.scheduler.on_flit_drained(switch)
-                        removed += 1
-                    vc.buffer.clear()
+                    removed += vc.clear_buffer()
                     vc.in_flight = 0
                     vc.release()
                     state.scheduler.on_fault(switch)
         for queue in state.source_queues.values():
-            if packet in queue:
-                queue.remove(packet)
+            if handle in queue:
+                queue.remove(handle)
         self.result.packets_dropped_unroutable += 1
         self.result.flits_dropped_unroutable += removed
+        pool.free(handle)

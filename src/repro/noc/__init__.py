@@ -20,6 +20,7 @@ from .kernel import (
 from .link import LinkCharacteristics, WirelessLinkSettings, characterize_link
 from .network import Network, NetworkBuildError
 from .packet import Packet
+from .pool import FlitPool, PacketPool, PacketView
 from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
 from .stats import SimulationResult
 from .switch import Switch, SwitchConfigError
@@ -31,6 +32,7 @@ __all__ = [
     "Fabric",
     "FabricError",
     "Flit",
+    "FlitPool",
     "FlitType",
     "InputPort",
     "LOCAL_PORT",
@@ -40,6 +42,8 @@ __all__ = [
     "NetworkConfig",
     "OutputPort",
     "Packet",
+    "PacketPool",
+    "PacketView",
     "Scheduler",
     "SimulationConfig",
     "SimulationKernel",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .pool import MAX_PACKET_LENGTH_FLITS
 from ..energy.technology import (
     DEFAULT_PACKET_LENGTH_FLITS,
     DEFAULT_TECHNOLOGY,
@@ -94,6 +95,15 @@ class NetworkConfig:
             raise ValueError("buffer_depth_flits must be positive")
         if self.packet_length_flits <= 0:
             raise ValueError("packet_length_flits must be positive")
+        if self.packet_length_flits > MAX_PACKET_LENGTH_FLITS:
+            # The packed flit representation reserves FLIT_INDEX_BITS for
+            # the flit index; reject oversized packets at configuration
+            # time instead of mid-run at the first enqueue.
+            raise ValueError(
+                "packet_length_flits must be at most "
+                f"{MAX_PACKET_LENGTH_FLITS} (the packed flit index "
+                f"ceiling), got {self.packet_length_flits}"
+            )
         if self.injection_width_flits <= 0:
             raise ValueError("injection_width_flits must be positive")
         if self.ejection_width_per_endpoint <= 0:

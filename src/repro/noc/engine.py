@@ -28,7 +28,6 @@ from .kernel import (
     SimulationConfig,
     SimulationKernel,
     SimulationStallError,
-    make_scheduler,
 )
 from .network import Network
 from .stats import SimulationResult
@@ -94,6 +93,9 @@ class Simulator:
             injector = FaultInjector(self.fault_plan, network, self.router, result)
 
         started = time.perf_counter()
+        # The kernel instantiates its own scheduler from the configuration —
+        # a single construction path shared by every caller (CLI, benches,
+        # tests), so no facade-side duplicate can drift.
         kernel = SimulationKernel(
             network=network,
             router=self.router,
@@ -102,7 +104,6 @@ class Simulator:
             result=result,
             config=config,
             net_config=net_config,
-            scheduler=make_scheduler(config.scheduler),
             fault_injector=injector,
         )
         try:
@@ -114,9 +115,7 @@ class Simulator:
                 injector.restore()
         result.wall_clock_seconds = time.perf_counter() - started
 
-        result.flits_residual_end = network.total_buffered_flits() + sum(
-            len(entries) for entries in state.arrivals.values()
-        )
+        result.flits_residual_end = state.residual_flits()
         accountant.record_static(
             cycles=state.cycle + 1,
             total_switch_static_mw=network.total_switch_static_power_mw,

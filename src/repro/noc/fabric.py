@@ -1,18 +1,30 @@
 """The unified fabric interface: wired links and the wireless channel.
 
 A :class:`Fabric` is the transmission medium behind a set of output ports.
-The simulation kernel talks to every medium through the same five
-questions — *where does this hop land?* (:meth:`Fabric.resolve_downstream`),
-*may this flit go now?* (:meth:`Fabric.may_send`), *a flit just went*
-(:meth:`Fabric.on_flit_sent`), *advance your per-cycle state*
+The simulation kernel talks to every medium through the same questions —
+*where does this hop land?* (:meth:`Fabric.resolve_downstream`), *may this
+flit go now?* (:meth:`Fabric.grants`), *a flit just went*
+(:meth:`Fabric.notify_sent`), *advance your per-cycle state*
 (:meth:`Fabric.update`) and *settle your end-of-run accounting*
 (:meth:`Fabric.finalize`) — so the kernel never special-cases the wireless
 channel inline and the MAC protocols never reach into the kernel.
 
+The hot-path methods (:meth:`grants`, :meth:`notify_sent`) are
+handle-based: they take the globally unique packet id and the head/tail
+booleans the kernel already derived from the packet pool, so no flit or
+packet object exists on the send path.  The legacy object-based spellings
+(:meth:`may_send`, :meth:`on_flit_sent`) remain as thin wrappers for unit
+tests and external callers.  Two class flags let the kernel skip the calls
+entirely where they would be no-ops: ``always_grants`` (no admission
+control right now — true for an unfailed wired fabric) and
+``tracks_sends`` (the medium needs the sent notification — only the
+wireless fabric does).
+
 Two implementations exist:
 
 * :class:`WiredFabric` — point-to-point links with a fixed downstream port;
-  every send is allowed, nothing needs per-cycle updates.
+  every send is allowed unless fault injection failed the hop, nothing
+  needs per-cycle updates.
 * :class:`WirelessFabric` — the shared-medium state of the deployed
   wireless interfaces: channel assignment, one MAC instance per channel,
   and the transceiver power states.  The destination (and therefore the
@@ -34,8 +46,7 @@ from ..wireless.mac import (
     TokenMac,
 )
 from ..wireless.transceiver import Transceiver, TransceiverSpec, TransceiverState
-from .flit import Flit
-from .packet import Packet
+from .pool import PacketPool
 from .port import InputPort, OutputPort
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,28 +71,53 @@ class Fabric:
     #: phase stays free for them.
     needs_update: bool = False
 
+    #: Whether :meth:`grants` can currently refuse a send.  While ``False``
+    #: the kernel skips the call entirely (the pristine wired fast path);
+    #: fabrics flip it when admission control becomes live (a failed link,
+    #: or always for the MAC-arbitrated wireless medium).
+    always_grants: bool = True
+
+    #: Whether the kernel must call :meth:`notify_sent` for every flit that
+    #: goes onto this medium.
+    tracks_sends: bool = False
+
     def bind_accountant(self, accountant: EnergyAccountant) -> None:
         """Attach the energy accountant of the current simulation run."""
+
+    def bind_pool(self, pool: PacketPool) -> None:
+        """Attach the packet pool of the current simulation run."""
 
     def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
         """The input port a hop over ``output`` towards ``dst_switch_id`` lands on."""
         raise NotImplementedError
 
-    def may_send(
-        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
+    def grants(
+        self, src_switch_id: int, packet_id: int, dst_switch_id: int, is_head: bool
     ) -> bool:
         """Whether the medium grants this flit transmission right now."""
         return True
 
-    def on_flit_sent(
+    def notify_sent(
         self,
         src_switch_id: int,
-        packet: Packet,
+        packet_id: int,
         dst_switch_id: int,
-        flit: Flit,
+        is_tail: bool,
         cycle: int,
     ) -> None:
         """Notification that a flit went onto the medium this cycle."""
+
+    # Legacy object-based spellings (unit tests, external callers).
+
+    def may_send(self, src_switch_id: int, packet, dst_switch_id: int, flit) -> bool:
+        """Object-API wrapper around :meth:`grants`."""
+        return self.grants(src_switch_id, packet.packet_id, dst_switch_id, flit.is_head)
+
+    def on_flit_sent(
+        self, src_switch_id: int, packet, dst_switch_id: int, flit, cycle: int
+    ) -> None:
+        """Object-API wrapper around :meth:`notify_sent`."""
+        self.notify_sent(src_switch_id, packet.packet_id, dst_switch_id, flit.is_tail, cycle)
 
     def update(self, cycle: int) -> None:
         """Advance per-cycle medium state (MAC arbitration, power states)."""
@@ -104,11 +140,20 @@ class WiredFabric(Fabric):
     def __init__(self) -> None:
         #: Directed (src switch, dst switch) hops currently failed.
         self.failed_pairs: Set[Tuple[int, int]] = set()
+        #: Kernel fast-path flag: True until the first link failure, so the
+        #: pristine-fabric inner loop never calls :meth:`grants`.
+        self.always_grants = True
 
     def fail_link(self, a: int, b: int) -> None:
         """Take the (bidirectional) link between two switches out of service."""
         self.failed_pairs.add((a, b))
         self.failed_pairs.add((b, a))
+        self.always_grants = False
+
+    def clear_failures(self) -> None:
+        """Return every failed hop to service (end-of-run restore)."""
+        self.failed_pairs.clear()
+        self.always_grants = True
 
     def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
         downstream = output.downstream_port
@@ -119,11 +164,11 @@ class WiredFabric(Fabric):
             )
         return downstream
 
-    def may_send(
-        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
+    def grants(
+        self, src_switch_id: int, packet_id: int, dst_switch_id: int, is_head: bool
     ) -> bool:
         """Grant unless the hop is failed and the flit would commit a packet."""
-        if not self.failed_pairs or not flit.is_head:
+        if not self.failed_pairs or not is_head:
             return True
         return (src_switch_id, dst_switch_id) not in self.failed_pairs
 
@@ -133,6 +178,8 @@ class WirelessFabric(Fabric, MacAdapter):
 
     is_wireless = True
     needs_update = True
+    always_grants = False
+    tracks_sends = True
 
     def __init__(
         self,
@@ -146,6 +193,7 @@ class WirelessFabric(Fabric, MacAdapter):
         self._switches: Dict[int, "Switch"] = {s.switch_id: s for s in switches}
         ordered_ids = sorted(self._switches)
         self._accountant: Optional[EnergyAccountant] = None
+        self._pool: Optional[PacketPool] = None
         self._flit_hops = 0
         #: WIs whose transceiver has died (fault injection).  A dead WI
         #: reports no pending traffic, accepts nothing, grants no new
@@ -210,17 +258,25 @@ class WirelessFabric(Fabric, MacAdapter):
         """Traffic waiting for the wireless port of one WI switch."""
         if wi_switch_id in self.dead_wis:
             return []
+        pool = self._pool
+        if pool is None:
+            raise FabricError(
+                "wireless fabric has no packet pool bound; the kernel must "
+                "call bind_pool() before the first MAC update"
+            )
         switch = self._switches[wi_switch_id]
         entries = []
-        for vc, dst_switch, packet_id, buffered, remaining in switch.wireless_pending():
-            front = vc.front()
+        pool_pid = pool.pid
+        pool_length = pool.length_flits
+        for vc, dst_switch, handle, buffered, remaining in switch.wireless_pending(pool):
+            length = pool_length[handle]
             entries.append(
                 PendingTransmission(
                     dst_switch=dst_switch,
-                    packet_id=packet_id,
+                    packet_id=pool_pid[handle],
                     buffered_flits=buffered,
-                    packet_length_flits=front.packet.length_flits,
-                    front_is_head=front.is_head,
+                    packet_length_flits=length,
+                    front_is_head=remaining == length,
                     remaining_flits=remaining,
                 )
             )
@@ -264,6 +320,10 @@ class WirelessFabric(Fabric, MacAdapter):
         """Attach the energy accountant of the current simulation run."""
         self._accountant = accountant
 
+    def bind_pool(self, pool: PacketPool) -> None:
+        """Attach the packet pool of the current simulation run."""
+        self._pool = pool
+
     @property
     def wi_switch_ids(self) -> List[int]:
         """Ids of all WI switches, in sequence order."""
@@ -273,9 +333,7 @@ class WirelessFabric(Fabric, MacAdapter):
         """The wireless input port of a destination WI switch."""
         switch = self._switches.get(dst_switch_id)
         if switch is None or switch.wireless_input is None:
-            raise FabricError(
-                f"switch {dst_switch_id} has no wireless interface"
-            )
+            raise FabricError(f"switch {dst_switch_id} has no wireless interface")
         return switch.wireless_input
 
     def resolve_downstream(self, output: OutputPort, dst_switch_id: int) -> InputPort:
@@ -312,39 +370,35 @@ class WirelessFabric(Fabric, MacAdapter):
                     transceiver.set_state(TransceiverState.IDLE)
                 transceiver.tick()
 
-    def may_send(
-        self, src_switch_id: int, packet: Packet, dst_switch_id: int, flit: Flit
+    def grants(
+        self, src_switch_id: int, packet_id: int, dst_switch_id: int, is_head: bool
     ) -> bool:
         """Whether the MAC grants this flit transmission right now."""
-        if self.dead_wis and flit.is_head:
+        if self.dead_wis and is_head:
             if src_switch_id in self.dead_wis or dst_switch_id in self.dead_wis:
                 return False
         mac = self._mac_of.get(src_switch_id)
         if mac is None:
             return False
-        return mac.may_send(src_switch_id, packet.packet_id, dst_switch_id, flit.is_head)
+        return mac.may_send(src_switch_id, packet_id, dst_switch_id, is_head)
 
-    def on_flit_sent(
+    def notify_sent(
         self,
         src_switch_id: int,
-        packet: Packet,
+        packet_id: int,
         dst_switch_id: int,
-        flit: Flit,
+        is_tail: bool,
         cycle: int,
     ) -> None:
         """Notify the owning MAC that a flit went on the air."""
         self._flit_hops += 1
         mac = self._mac_of.get(src_switch_id)
         if mac is not None:
-            mac.on_flit_sent(
-                src_switch_id, packet.packet_id, dst_switch_id, flit.is_tail, cycle
-            )
+            mac.on_flit_sent(src_switch_id, packet_id, dst_switch_id, is_tail, cycle)
 
     def finalize(self, result: "SimulationResult", accountant: EnergyAccountant) -> None:
         """Charge transceiver static energy and publish the MAC statistics."""
-        accountant.add_transceiver_static_energy(
-            self.total_transceiver_static_energy_pj()
-        )
+        accountant.add_transceiver_static_energy(self.total_transceiver_static_energy_pj())
         result.mac_statistics = self.mac_statistics()
         result.transceiver_sleep_fraction = self.average_sleep_fraction()
         result.wireless_flit_hops = self._flit_hops

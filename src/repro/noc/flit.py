@@ -59,9 +59,7 @@ def flit_type_for(index: int, packet_length: int) -> FlitType:
     if packet_length <= 0:
         raise ValueError(f"packet_length must be positive, got {packet_length}")
     if index < 0 or index >= packet_length:
-        raise ValueError(
-            f"index {index} outside packet of length {packet_length}"
-        )
+        raise ValueError(f"index {index} outside packet of length {packet_length}")
     if packet_length == 1:
         return FlitType.HEAD_TAIL
     if index == 0:

@@ -26,6 +26,16 @@ applies due fault events and triggers routing recovery (see
 :mod:`repro.faults.injector`) before anything else moves in the cycle;
 fault-free runs execute exactly the five phases above.
 
+The data plane is array-backed (see :mod:`repro.noc.pool`): packets live in
+a :class:`~repro.noc.pool.PacketPool` of parallel arrays addressed by
+integer handles, flits are packed ``(handle, index)`` integers, VC buffers
+are fixed-capacity rings of those integers, and per-packet routes are
+compiled once into dense per-hop output-port tables.  The hot phase bodies
+below inline the ring and pool arithmetic — no flit or packet object is
+created, hashed, or attribute-chased anywhere on the per-flit path.  The
+legacy object API remains at the boundary: traffic delivery callbacks
+receive a :class:`~repro.noc.pool.PacketView`.
+
 The injection and allocation phases take their per-cycle work lists from a
 :class:`Scheduler`.  The :class:`DenseScheduler` visits every switch every
 cycle — a faithful transliteration of the original monolithic engine loop —
@@ -52,15 +62,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..energy import EnergyAccountant
 from ..routing.base import BaseRouter, RoutingError
 from ..traffic.base import TrafficModel, TrafficRequest
 from .config import NetworkConfig
-from .flit import Flit
 from .network import Network
-from .packet import Packet
+from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketPool, PacketView
 from .stats import SimulationResult
 from .switch import Switch
 from .virtual_channel import VirtualChannel
@@ -86,6 +96,11 @@ class SimulationConfig:
     #: or ``"dense"`` (visit every switch every cycle, the reference
     #: behaviour of the original engine).  Results are bit-identical.
     scheduler: str = "active"
+    #: When set, the kernel times each phase per cycle and publishes the
+    #: accumulated per-phase wall clock as ``SimulationResult.phase_seconds``
+    #: (see the experiment CLI's ``--profile``).  Off by default: the timed
+    #: loop costs two clock reads per phase per cycle.
+    profile_phases: bool = False
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:
@@ -98,9 +113,7 @@ class SimulationConfig:
             raise ValueError("max_source_queue_packets must be positive")
         if self.scheduler not in SCHEDULERS:
             known = ", ".join(SCHEDULERS)
-            raise ValueError(
-                f"unknown scheduler {self.scheduler!r}; known: {known}"
-            )
+            raise ValueError(f"unknown scheduler {self.scheduler!r}; known: {known}")
 
 
 # ----------------------------------------------------------------------
@@ -135,10 +148,13 @@ class Scheduler:
         raise NotImplementedError
 
     def on_flit_buffered(self, switch: Switch) -> None:
-        """A flit entered one of ``switch``'s VC buffers."""
+        """A flit entered one of ``switch``'s VC buffers.
 
-    def on_flit_drained(self, switch: Switch) -> None:
-        """A flit left one of ``switch``'s VC buffers."""
+        There is no per-flit drain notification: buffer occupancy is read
+        from the switch's ``occupied`` VC set (maintained by the kernel's
+        ring operations) when the visit finishes (:meth:`after_allocation`),
+        so draining costs the schedulers nothing per flit.
+        """
 
     def on_packet_queued(self, switch: Switch) -> None:
         """A packet joined a source queue of one of ``switch``'s endpoints."""
@@ -190,7 +206,6 @@ class ActiveSetScheduler(Scheduler):
 
     def bind(self, switches: List[Switch], injecting: List[Switch]) -> None:
         self._switch_of = {s.switch_id: s for s in switches}
-        self._buffered: Dict[int, int] = {s.switch_id: 0 for s in switches}
         self._alloc_active: set = set()
         self._inject_active: set = set()
 
@@ -203,18 +218,15 @@ class ActiveSetScheduler(Scheduler):
         return [switch_of[sid] for sid in sorted(self._inject_active)]
 
     def on_flit_buffered(self, switch: Switch) -> None:
-        sid = switch.switch_id
-        self._buffered[sid] += 1
-        self._alloc_active.add(sid)
-
-    def on_flit_drained(self, switch: Switch) -> None:
-        self._buffered[switch.switch_id] -= 1
+        self._alloc_active.add(switch.switch_id)
 
     def on_packet_queued(self, switch: Switch) -> None:
         self._inject_active.add(switch.switch_id)
 
     def after_allocation(self, switch: Switch) -> None:
-        if self._buffered[switch.switch_id] == 0:
+        # The switch's occupied-VC set is authoritative: empty means the
+        # dense pass would find nothing here either, so the switch sleeps.
+        if not switch.occupied:
             self._alloc_active.discard(switch.switch_id)
 
     def after_injection(self, switch: Switch, has_work: bool) -> None:
@@ -222,12 +234,11 @@ class ActiveSetScheduler(Scheduler):
             self._inject_active.discard(switch.switch_id)
 
     def on_fault(self, switch: Switch) -> None:
-        sid = switch.switch_id
-        if self._buffered.get(sid, 0) > 0:
-            self._alloc_active.add(sid)
+        if switch.occupied:
+            self._alloc_active.add(switch.switch_id)
         # Let the next injection pass re-derive whether the switch has
         # source work; an extra visit self-corrects via after_injection.
-        self._inject_active.add(sid)
+        self._inject_active.add(switch.switch_id)
 
 
 def make_scheduler(name: str) -> Scheduler:
@@ -246,7 +257,13 @@ def make_scheduler(name: str) -> Scheduler:
 
 
 class KernelState:
-    """Mutable per-run state shared by the kernel's phases."""
+    """Mutable per-run state shared by the kernel's phases.
+
+    Owns the run's :class:`~repro.noc.pool.PacketPool`; source queues hold
+    packet handles, arrival events hold ``(target VC, flit integer)``
+    pairs, and the phase bodies below manipulate the VC rings and pool
+    arrays directly.
+    """
 
     def __init__(
         self,
@@ -267,6 +284,7 @@ class KernelState:
         self.config = config
         self.net_config = net_config
         self.scheduler = scheduler
+        self.pool = PacketPool()
         self.cycle = 0
         self.stalled = False
         self.last_progress_cycle = 0
@@ -275,11 +293,22 @@ class KernelState:
         #: then may traffic generation encounter unreachable destinations,
         #: which are dropped with explicit accounting instead of raising.
         self.faults_active = False
-        self.source_queues: Dict[int, Deque[Packet]] = {
+        self.source_queues: Dict[int, Deque[int]] = {
             endpoint_id: deque() for endpoint_id in network.endpoint_switch
         }
-        self.arrivals: Dict[int, List[Tuple[VirtualChannel, Flit]]] = {}
+        self.arrivals: Dict[int, List[Tuple[VirtualChannel, int]]] = {}
         self.switch_energy_pj = network.switch_dynamic_energy_pj_per_flit
+        # Hot-loop caches.  The pooled arrays are stable list objects (the
+        # pool grows them in place with ``extend``) and the breakdown is a
+        # run-constant object behind an accountant property, so caching the
+        # references here keeps the per-visit preludes to one attribute
+        # load each.
+        pool = self.pool
+        self._pid = pool.pid
+        self._length_flits = pool.length_flits
+        self._head_hop = pool.head_hop
+        self._energy = pool.energy_pj
+        self.breakdown = accountant.breakdown
 
     # ------------------------------------------------------------------
     # Phase 1: arrivals.
@@ -291,8 +320,17 @@ class KernelState:
             return
         scheduler = self.scheduler
         for vc, flit in due:
-            vc.deliver(flit)
-            scheduler.on_flit_buffered(vc.port.switch)
+            # Inline VirtualChannel.deliver on the ring.
+            if vc.in_flight <= 0:
+                raise RuntimeError("deliver() without a matching reserve()")
+            vc.in_flight -= 1
+            count = vc.count
+            vc.buf[(vc.head + count) % vc.capacity] = flit
+            vc.count = count + 1
+            switch = vc.port.switch
+            if not count:
+                switch.occupied.add(vc.ordinal)
+            scheduler.on_flit_buffered(switch)
         self.last_progress_cycle = cycle
 
     # ------------------------------------------------------------------
@@ -304,7 +342,7 @@ class KernelState:
             self.enqueue_request(request, cycle)
 
     def enqueue_request(self, request: TrafficRequest, cycle: int) -> None:
-        """Turn a traffic request into a routed packet in its source queue."""
+        """Turn a traffic request into a routed, pooled packet record."""
         self.result.packets_offered += 1
         queue = self.source_queues.get(request.src_endpoint)
         if queue is None:
@@ -329,8 +367,8 @@ class KernelState:
                 self.result.packets_dropped_unroutable += 1
                 return
         length = request.length_flits or self.net_config.packet_length_flits
-        packet = Packet(
-            packet_id=self.next_packet_id,
+        handle = self.pool.alloc(
+            pid=self.next_packet_id,
             src_endpoint=request.src_endpoint,
             dst_endpoint=request.dst_endpoint,
             src_switch=src_switch.switch_id,
@@ -344,61 +382,88 @@ class KernelState:
             traffic_class=request.traffic_class,
         )
         self.next_packet_id += 1
-        queue.append(packet)
+        self.compile_route_ports(handle)
+        queue.append(handle)
         self.result.packets_generated += 1
         self.scheduler.on_packet_queued(src_switch)
+
+    def compile_route_ports(self, handle: int) -> None:
+        """Compile a pooled packet's route into its per-hop output ports.
+
+        ``route_ports[i]`` is the output port at switch ``route[i]`` towards
+        ``route[i + 1]``, so the allocation inner loop indexes a dense list
+        instead of resolving the neighbour dictionary per head flit.  Fault
+        recovery re-calls this after splicing a packet's route.
+        """
+        route = self.pool.route[handle]
+        switches = self.network.switches
+        self.pool.route_ports[handle] = [
+            switches[route[i]].output_towards(route[i + 1])
+            for i in range(len(route) - 1)
+        ]
 
     # ------------------------------------------------------------------
     # Phase 3: injection.
     # ------------------------------------------------------------------
 
     def inject(self, switch: Switch, cycle: int) -> None:
+        pool = self.pool
+        pool_length = pool.length_flits
+        scheduler = self.scheduler
+        result = self.result
         budget = switch.injection_width
         local = switch.local_input
         # Continue serialising packets already owning a local VC.
         for vc in local.vcs:
             if budget == 0:
                 return
-            packet = vc.source_packet
-            if packet is None:
+            handle = vc.source_packet
+            if handle is None:
                 continue
-            if len(vc.buffer) + vc.in_flight >= vc.capacity:
+            count = vc.count
+            if count + vc.in_flight >= vc.capacity:
                 continue
-            flit = packet.make_flit(vc.source_flits_emitted)
-            vc.buffer.append(flit)
-            self.scheduler.on_flit_buffered(switch)
-            vc.source_flits_emitted += 1
-            self.result.flits_injected += 1
+            index = vc.source_flits_emitted
+            vc.buf[(vc.head + count) % vc.capacity] = (handle << FLIT_INDEX_BITS) | index
+            vc.count = count + 1
+            if not count:
+                switch.occupied.add(vc.ordinal)
+            scheduler.on_flit_buffered(switch)
+            vc.source_flits_emitted = index + 1
+            result.flits_injected += 1
             budget -= 1
             self.last_progress_cycle = cycle
-            if vc.source_flits_emitted >= packet.length_flits:
+            if index + 1 >= pool_length[handle]:
                 vc.source_packet = None
                 vc.source_flits_emitted = 0
         if budget == 0:
             return
         # Start injecting new packets from the attached endpoints.
+        source_queues = self.source_queues
         for endpoint_id in switch.endpoints:
             if budget == 0:
                 return
-            queue = self.source_queues.get(endpoint_id)
+            queue = source_queues.get(endpoint_id)
             if not queue:
                 continue
             vc = local.find_free_vc()
             if vc is None:
                 return
-            packet = queue.popleft()
-            packet.injection_cycle = cycle
-            vc.allocated_packet_id = packet.packet_id
-            vc.source_packet = packet
-            vc.source_flits_emitted = 0
-            flit = packet.make_flit(0)
-            vc.buffer.append(flit)
-            self.scheduler.on_flit_buffered(switch)
+            handle = queue.popleft()
+            pool.injection_cycle[handle] = cycle
+            vc.allocated_packet_id = pool.pid[handle]
+            vc.source_packet = handle
+            # A free VC is empty by definition, so this is a 0 -> 1 flit
+            # transition: the VC joins the occupied set.
+            vc.buf[vc.head] = handle << FLIT_INDEX_BITS
+            vc.count = 1
+            switch.occupied.add(vc.ordinal)
+            scheduler.on_flit_buffered(switch)
             vc.source_flits_emitted = 1
-            self.result.flits_injected += 1
+            result.flits_injected += 1
             budget -= 1
             self.last_progress_cycle = cycle
-            if vc.source_flits_emitted >= packet.length_flits:
+            if pool_length[handle] <= 1:
                 vc.source_packet = None
                 vc.source_flits_emitted = 0
 
@@ -407,8 +472,9 @@ class KernelState:
         for vc in switch.local_input.vcs:
             if vc.source_packet is not None:
                 return True
+        source_queues = self.source_queues
         for endpoint_id in switch.endpoints:
-            if self.source_queues.get(endpoint_id):
+            if source_queues.get(endpoint_id):
                 return True
         return False
 
@@ -417,137 +483,258 @@ class KernelState:
     # ------------------------------------------------------------------
 
     def allocate(self, switch: Switch, cycle: int) -> None:
-        requests: Dict[object, List[VirtualChannel]] = {}
-        for port in switch.input_ports.values():
-            for vc in port.vcs:
-                if not vc.buffer:
-                    continue
-                if vc.current_output is None:
-                    self._assign_output(switch, vc)
-                requests.setdefault(vc.current_output, []).append(vc)
-        if not requests:
-            return
-        for output, vcs in requests.items():
-            if output.is_ejection:
-                self._serve_ejection(switch, output, vcs, cycle)
-                continue
-            if not output.is_available(cycle):
-                continue
-            eligible = [vc for vc in vcs if self._can_send(switch, vc, output, cycle)]
-            if not eligible:
-                continue
-            winner = switch.select_round_robin(output, eligible)
-            self._send(switch, winner, output, cycle)
+        """Arbitrate this switch's output ports and move the winning flits.
 
-    def _assign_output(self, switch: Switch, vc: VirtualChannel) -> None:
-        flit = vc.buffer[0]
-        packet = flit.packet
-        if not flit.is_head:
-            raise RuntimeError(
-                f"VC {vc!r} has no routing state but its front flit is not a head"
-            )
-        if switch.switch_id == packet.dst_switch:
-            vc.current_output = switch.ejection_port
+        One inlined pass over the compiled VC table: request collection
+        (per-output scratch lists instead of a hashed dict), downstream VC
+        lookup, flow-control and fabric admission, round-robin winner
+        selection, and the send itself (ring pop, downstream reservation,
+        arrival scheduling, energy attribution) all happen here on packed
+        flit integers and pool arrays.  The structure and ordering mirror
+        the historical ``_can_send``/``_send`` helpers exactly — the
+        per-output processing order is first-request order, eligibility is
+        evaluated in VC-table order, and every float is accumulated in the
+        same sequence — so results are bit-identical to the object-based
+        engine, several times faster.
+        """
+        occupied = switch.occupied
+        if not occupied:
+            return
+        req_outputs = None
+        assign = self._assign_output
+        vc_by_ordinal = switch.vc_by_ordinal
+        for ordinal in sorted(occupied):
+            vc = vc_by_ordinal[ordinal]
+            output = vc.current_output
+            if output is None:
+                output = assign(switch, vc)
+            scratch = output.request_scratch
+            if not scratch:
+                if req_outputs is None:
+                    req_outputs = [output]
+                else:
+                    req_outputs.append(output)
+            scratch.append(vc)
+        if req_outputs is None:
+            return
+        pool_pid = self._pid
+        pool_length = self._length_flits
+        pool_head_hop = self._head_hop
+        pool_energy = self._energy
+        breakdown = self.breakdown
+        arrivals = self.arrivals
+        switch_energy = self.switch_energy_pj
+        result = self.result
+        rr_modulus = switch.rr_modulus
+        switch_id = switch.switch_id
+        try:
+            for output in req_outputs:
+                vcs = output.request_scratch
+                if output.is_ejection:
+                    self._serve_ejection(switch, output, vcs, cycle)
+                    continue
+                if output.busy_until > cycle:
+                    continue
+                fabric = output.fabric
+                check_grant = not fabric.always_grants
+                eligible = None
+                for vc in vcs:
+                    downstream = vc.downstream_port
+                    if downstream is None:
+                        continue
+                    flit = vc.buf[vc.head]
+                    handle = flit >> FLIT_INDEX_BITS
+                    pid = pool_pid[handle]
+                    target = None
+                    for tvc in downstream.vcs:
+                        if tvc.allocated_packet_id == pid:
+                            target = tvc
+                            break
+                    if target is None:
+                        if flit & FLIT_INDEX_MASK:
+                            continue  # body flit without an owned VC downstream
+                        for tvc in downstream.vcs:
+                            if (
+                                tvc.allocated_packet_id is None
+                                and tvc.count == 0
+                                and tvc.in_flight == 0
+                            ):
+                                target = tvc
+                                break
+                        if target is None:
+                            continue
+                    if target.count + target.in_flight >= target.capacity:
+                        continue
+                    if check_grant and not fabric.grants(
+                        switch_id,
+                        pid,
+                        vc.downstream_switch,
+                        not flit & FLIT_INDEX_MASK,
+                    ):
+                        continue
+                    vc.send_target = target
+                    if eligible is None:
+                        eligible = [vc]
+                    else:
+                        eligible.append(vc)
+                if eligible is None:
+                    continue
+                # Round-robin winner (inline Switch.select_round_robin).
+                if len(eligible) == 1:
+                    winner = eligible[0]
+                else:
+                    pointer = output.rr_pointer
+                    winner = None
+                    best_rank = rr_modulus
+                    for vc in eligible:
+                        rank = (vc.ordinal - pointer) % rr_modulus
+                        if rank < best_rank:
+                            winner = vc
+                            best_rank = rank
+                output.rr_pointer = (winner.ordinal + 1) % rr_modulus
+                # Send the winner's front flit (inline ring pop + reserve).
+                target = winner.send_target
+                downstream_switch = winner.downstream_switch
+                head = winner.head
+                flit = winner.buf[head]
+                winner.head = (head + 1) % winner.capacity
+                winner.count -= 1
+                if not winner.count:
+                    occupied.discard(winner.ordinal)
+                handle = flit >> FLIT_INDEX_BITS
+                index = flit & FLIT_INDEX_MASK
+                is_head = index == 0
+                is_tail = index == pool_length[handle] - 1
+                if is_tail:
+                    winner.allocated_packet_id = None
+                    winner.current_output = None
+                    winner.downstream_port = None
+                    winner.downstream_switch = None
+                pid = pool_pid[handle]
+                owner = target.allocated_packet_id
+                if is_head:
+                    if owner is not None and owner != pid:
+                        raise RuntimeError(
+                            f"VC already allocated to packet {owner}, cannot "
+                            f"accept head of packet {pid}"
+                        )
+                    target.allocated_packet_id = pid
+                elif owner != pid:
+                    raise RuntimeError(f"body flit of packet {pid} sent to VC owned by {owner}")
+                target.in_flight += 1
+                link = output.link
+                arrival_cycle = cycle + link.latency_cycles
+                entry = arrivals.get(arrival_cycle)
+                if entry is None:
+                    arrivals[arrival_cycle] = [(target, flit)]
+                else:
+                    entry.append((target, flit))
+                output.busy_until = cycle + link.cycles_per_flit
+                breakdown.switch_dynamic_pj += switch_energy
+                pool_energy[handle] += switch_energy
+                link_energy = link.energy_pj_per_flit
+                if fabric.is_wireless:
+                    breakdown.wireless_pj += link_energy
+                else:
+                    breakdown.link_pj += link_energy
+                pool_energy[handle] += link_energy
+                result.flit_hops += 1
+                if fabric.tracks_sends:
+                    fabric.notify_sent(switch_id, pid, downstream_switch, is_tail, cycle)
+                if is_head:
+                    pool_head_hop[handle] += 1
+                self.last_progress_cycle = cycle
+        finally:
+            for output in req_outputs:
+                output.request_scratch.clear()
+
+    def _assign_output(self, switch: Switch, vc: VirtualChannel):
+        """Route the head flit at the front of ``vc`` (first visit only)."""
+        pool = self.pool
+        flit = vc.buf[vc.head]
+        handle = flit >> FLIT_INDEX_BITS
+        if flit & FLIT_INDEX_MASK:
+            raise RuntimeError(f"VC {vc!r} has no routing state but its front flit is not a head")
+        if switch.switch_id == pool.dst_switch[handle]:
+            output = switch.ejection_port
+            vc.current_output = output
             vc.downstream_port = None
             vc.downstream_switch = None
-            return
-        expected = packet.route[packet.head_hop]
+            return output
+        hop = pool.head_hop[handle]
+        route = pool.route[handle]
+        expected = route[hop]
         if expected != switch.switch_id:
             raise RuntimeError(
-                f"packet {packet.packet_id} head expected at switch {expected} "
+                f"packet {pool.pid[handle]} head expected at switch {expected} "
                 f"but found at {switch.switch_id}"
             )
-        next_switch = packet.route[packet.head_hop + 1]
-        output = switch.output_towards(next_switch)
+        output = pool.route_ports[handle][hop]
+        next_switch = route[hop + 1]
         vc.current_output = output
         vc.downstream_switch = next_switch
-        vc.downstream_port = output.fabric.resolve_downstream(output, next_switch)
+        downstream = output.downstream_port
+        if downstream is None:
+            downstream = output.fabric.resolve_downstream(output, next_switch)
+        vc.downstream_port = downstream
+        return output
 
     def _serve_ejection(self, switch: Switch, output, vcs, cycle: int) -> None:
         budget = output.width
-        candidates = [vc for vc in vcs if vc.buffer]
+        candidates = [vc for vc in vcs if vc.count]
         while budget > 0 and candidates:
             winner = switch.select_round_robin(output, candidates)
             self._eject(switch, winner, cycle)
             candidates.remove(winner)
             budget -= 1
 
-    def _can_send(self, switch: Switch, vc: VirtualChannel, output, cycle: int) -> bool:
-        flit = vc.buffer[0]
-        packet = flit.packet
-        downstream = vc.downstream_port
-        if downstream is None:
-            return False
-        target = downstream.find_vc_for_packet(packet.packet_id)
-        if target is None:
-            if not flit.is_head:
-                return False
-            target = downstream.find_free_vc()
-            if target is None:
-                return False
-        if not target.has_space():
-            return False
-        return output.fabric.may_send(
-            switch.switch_id, packet, vc.downstream_switch, flit
-        )
-
-    def _send(self, switch: Switch, vc: VirtualChannel, output, cycle: int) -> None:
-        front = vc.buffer[0]
-        packet = front.packet
-        downstream = vc.downstream_port
-        downstream_switch = vc.downstream_switch
-        target = downstream.find_vc_for_packet(packet.packet_id)
-        if target is None:
-            target = downstream.find_free_vc()
-        if target is None or not target.has_space():
-            raise RuntimeError("send() called without a valid downstream VC")
-        flit = vc.pop()
-        self.scheduler.on_flit_drained(switch)
-        target.reserve(packet.packet_id, flit.is_head)
-        arrival_cycle = cycle + output.link.latency_cycles
-        self.arrivals.setdefault(arrival_cycle, []).append((target, flit))
-        output.occupy(cycle)
-
-        fabric = output.fabric
-        self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
-        self.accountant.record_link_traversal(
-            packet, output.link.energy_pj_per_flit, wireless=fabric.is_wireless
-        )
-        self.result.flit_hops += 1
-        fabric.on_flit_sent(switch.switch_id, packet, downstream_switch, flit, cycle)
-        if flit.is_head:
-            packet.head_hop += 1
-        self.last_progress_cycle = cycle
-
     def _eject(self, switch: Switch, vc: VirtualChannel, cycle: int) -> None:
-        front = vc.buffer[0]
-        packet = front.packet
-        flit = vc.pop()
-        self.scheduler.on_flit_drained(switch)
-        self.accountant.record_switch_traversal(packet, self.switch_energy_pj)
-        packet.record_ejection(flit, cycle)
-        self.result.flits_ejected_total += 1
+        pool = self.pool
+        head = vc.head
+        flit = vc.buf[head]
+        vc.head = (head + 1) % vc.capacity
+        vc.count -= 1
+        if not vc.count:
+            switch.occupied.discard(vc.ordinal)
+        handle = flit >> FLIT_INDEX_BITS
+        index = flit & FLIT_INDEX_MASK
+        is_tail = index == pool.length_flits[handle] - 1
+        if is_tail:
+            vc.release()
+        switch_energy = self.switch_energy_pj
+        self.breakdown.switch_dynamic_pj += switch_energy
+        pool.energy_pj[handle] += switch_energy
+        pool.flits_ejected[handle] += 1
+        result = self.result
+        result.flits_ejected_total += 1
         if cycle >= self.config.warmup_cycles:
-            self.result.flits_ejected_measured += 1
+            result.flits_ejected_measured += 1
         self.last_progress_cycle = cycle
-        if not flit.is_tail:
+        if not is_tail:
             return
-        self.result.packets_delivered += 1
-        if packet.measured:
-            self.result.packets_delivered_measured += 1
-            self.result.latencies_cycles.append(packet.latency_cycles)
-            if packet.network_latency_cycles is not None:
-                self.result.network_latencies_cycles.append(
-                    packet.network_latency_cycles
-                )
-            self.result.packet_energies_pj.append(packet.energy_pj)
-            self.result.packet_hops.append(packet.hop_count)
-        for reply in self.traffic.on_packet_delivered(packet, cycle):
+        pool.ejection_cycle[handle] = cycle
+        result.packets_delivered += 1
+        if pool.measured[handle]:
+            result.packets_delivered_measured += 1
+            result.latencies_cycles.append(cycle - pool.generation_cycle[handle])
+            injection = pool.injection_cycle[handle]
+            if injection is not None:
+                result.network_latencies_cycles.append(cycle - injection)
+            result.packet_energies_pj.append(pool.energy_pj[handle])
+            result.packet_hops.append(len(pool.route[handle]) - 1)
+        for reply in self.traffic.on_packet_delivered(PacketView(pool, handle), cycle):
             self.enqueue_request(reply, cycle)
+        pool.free(handle)
 
     # ------------------------------------------------------------------
-    # Watchdog.
+    # Watchdog / accounting helpers.
     # ------------------------------------------------------------------
+
+    def residual_flits(self) -> int:
+        """Flits still buffered or mid-traversal (end-of-run conservation)."""
+        return self.network.total_buffered_flits() + sum(
+            len(entries) for entries in self.arrivals.values()
+        )
 
     def anchor_watchdog(self, cycle: int) -> None:
         """Restart the stall countdown (warm-up boundary, phase change)."""
@@ -703,6 +890,8 @@ class SimulationKernel:
             net_config=net_config,
             scheduler=self.scheduler,
         )
+        for fabric in network.fabrics:
+            fabric.bind_pool(self.state.pool)
         self.phases: List[Phase] = [
             ArrivalPhase(self.state),
             GenerationPhase(self.state),
@@ -719,6 +908,12 @@ class SimulationKernel:
         state = self.state
         config = state.config
         phases = self.phases
+        profile = config.profile_phases
+        phase_seconds = state.result.phase_seconds
+        if profile:
+            for phase in phases:
+                phase_seconds.setdefault(phase.name, 0.0)
+        phase_runs = [phase.run for phase in phases]
         phase_token = state.traffic.phase_token()
         # Progress level at the last phase-change anchor.  A phase change
         # only re-anchors the watchdog when some flit made progress since
@@ -730,8 +925,14 @@ class SimulationKernel:
             state.cycle = cycle
             if cycle == config.warmup_cycles:
                 state.anchor_watchdog(cycle)
-            for phase in phases:
-                phase.run(cycle)
+            if profile:
+                for phase in phases:
+                    started = perf_counter()
+                    phase.run(cycle)
+                    phase_seconds[phase.name] += perf_counter() - started
+            else:
+                for run in phase_runs:
+                    run(cycle)
             token = state.traffic.phase_token()
             if token != phase_token:
                 phase_token = token

@@ -48,6 +48,14 @@ class Network:
         self._build_switches()
         self._build_wired_links()
         self.wireless_fabric: Optional[WirelessFabric] = self._build_wireless()
+        #: Dense network-wide port tables, indexed by ``port_id`` (assigned
+        #: in ascending switch-id order, construction order within a
+        #: switch).  The kernel and the fault injector address ports through
+        #: these indices; the per-switch keyed dictionaries remain for
+        #: construction and neighbour lookup.
+        self.input_port_table: List = []
+        self.output_port_table: List = []
+        self._compile_port_tables()
         self._profile_power()
 
     # ------------------------------------------------------------------
@@ -106,9 +114,7 @@ class Network:
             cycles_per_flit=self.config.wireless.cycles_per_flit,
             extra_latency_cycles=self.config.wireless.extra_latency_cycles,
         )
-        pseudo_link = LinkSpec(
-            link_id=-1, src=-1, dst=-2, kind=LinkKind.WIRELESS, length_mm=0.0
-        )
+        pseudo_link = LinkSpec(link_id=-1, src=-1, dst=-2, kind=LinkKind.WIRELESS, length_mm=0.0)
         characteristics = characterize_link(
             pseudo_link,
             technology=self.config.technology,
@@ -124,6 +130,18 @@ class Network:
         for switch in wi_switches:
             switch.wireless_output.fabric = fabric
         return fabric
+
+    def _compile_port_tables(self) -> None:
+        """Assign dense integer port ids and freeze per-switch tables."""
+        for switch_id in sorted(self.switches):
+            switch = self.switches[switch_id]
+            switch.compile_tables()
+            for port in switch.input_port_list:
+                port.port_id = len(self.input_port_table)
+                self.input_port_table.append(port)
+            for port in switch.output_port_list:
+                port.port_id = len(self.output_port_table)
+                self.output_port_table.append(port)
 
     def _profile_power(self) -> None:
         total = 0.0
@@ -170,9 +188,7 @@ class Network:
         return sum(switch.buffered_flits() for switch in self.switches.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        wireless = (
-            len(self.wireless_fabric.wi_switch_ids) if self.wireless_fabric else 0
-        )
+        wireless = len(self.wireless_fabric.wi_switch_ids) if self.wireless_fabric else 0
         return (
             f"Network(switches={len(self.switches)}, "
             f"endpoints={len(self.endpoint_switch)}, wireless_interfaces={wireless})"

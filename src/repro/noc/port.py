@@ -11,6 +11,11 @@ Input ports own the VC buffers; output ports own the channel occupancy state
 input port.  The wireless output port has no fixed downstream — the
 destination WI differs per packet — so its downstream is resolved per packet
 by the simulator via the wireless fabric.
+
+Every port carries a network-wide dense integer ``port_id`` (assigned by
+the network builder when it compiles the per-switch port tables), so the
+kernel and the fault injector can address ports by index instead of by the
+string/neighbour keys, which remain for construction and debugging only.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ WIRELESS_PORT = "wi"
 class InputPort:
     """An input port with its virtual-channel buffers."""
 
-    __slots__ = ("switch", "key", "vcs")
+    __slots__ = ("switch", "key", "port_id", "vcs")
 
     def __init__(
         self,
@@ -46,6 +51,8 @@ class InputPort:
             raise ValueError(f"num_vcs must be positive, got {num_vcs}")
         self.switch = switch
         self.key = key
+        #: Network-wide dense index (assigned by the network builder).
+        self.port_id = -1
         self.vcs: List[VirtualChannel] = [
             VirtualChannel(self, i, ordinal_base + i, buffer_depth)
             for i in range(num_vcs)
@@ -61,14 +68,14 @@ class InputPort:
     def find_free_vc(self) -> Optional[VirtualChannel]:
         """An unallocated, empty VC, if any."""
         for vc in self.vcs:
-            if vc.is_free:
+            if vc.allocated_packet_id is None and vc.count == 0 and vc.in_flight == 0:
                 return vc
         return None
 
     @property
     def buffered_flits(self) -> int:
         """Total flits currently buffered at this port."""
-        return sum(len(vc.buffer) for vc in self.vcs)
+        return sum(vc.count for vc in self.vcs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"InputPort(switch={self.switch.switch_id}, key={self.key!r})"
@@ -80,6 +87,7 @@ class OutputPort:
     __slots__ = (
         "switch",
         "key",
+        "port_id",
         "link",
         "fabric",
         "downstream_switch",
@@ -89,6 +97,7 @@ class OutputPort:
         "is_ejection",
         "is_wireless",
         "width",
+        "request_scratch",
     )
 
     def __init__(
@@ -106,6 +115,8 @@ class OutputPort:
             raise ValueError(f"width must be positive, got {width}")
         self.switch = switch
         self.key = key
+        #: Network-wide dense index (assigned by the network builder).
+        self.port_id = -1
         self.link = link
         #: The :class:`~repro.noc.fabric.Fabric` this port transmits over
         #: (set by the network builder; ``None`` for ejection ports, whose
@@ -120,6 +131,11 @@ class OutputPort:
         #: Flits the port can move per cycle (ejection ports of memory-stack
         #: switches serve several vaults concurrently).
         self.width = width
+        #: Per-cycle allocation scratch: the VCs requesting this port in the
+        #: current allocation visit.  Living on the port (instead of a dict
+        #: keyed by port objects) keeps the inner loop free of hashing; the
+        #: kernel clears it before leaving the switch.
+        self.request_scratch: List[VirtualChannel] = []
 
     def is_available(self, cycle: int) -> bool:
         """Whether the channel is free to start a new flit this cycle."""

@@ -75,6 +75,12 @@ class SimulationResult:
     #: from equality comparisons (it differs run to run even for
     #: bit-identical simulations).
     wall_clock_seconds: float = field(default=0.0, compare=False)
+    #: Per-phase wall clock [s], filled only when the run was executed with
+    #: ``SimulationConfig(profile_phases=True)`` (the CLI's ``--profile``).
+    #: Keys are the kernel phase names (arrival, generation, injection,
+    #: fabric, allocation, and faults on faulted runs).  Simulator-side
+    #: cost, so excluded from equality comparisons like the wall clock.
+    phase_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
 
     # ------------------------------------------------------------------
     # Derived metrics.
@@ -127,9 +133,7 @@ class SimulationResult:
         if not self.include_static_energy:
             return dynamic
         packets = max(1, self.packets_delivered_measured)
-        measured_fraction = (
-            self.measurement_cycles / self.cycles if self.cycles else 1.0
-        )
+        measured_fraction = self.measurement_cycles / self.cycles if self.cycles else 1.0
         return dynamic + self.energy.static_pj * measured_fraction / packets
 
     def average_packet_energy_nj(self) -> float:
@@ -148,12 +152,8 @@ class SimulationResult:
         """
         if self.flits_ejected_measured == 0:
             return 0.0
-        packets_equivalent = self.flits_ejected_measured / max(
-            1, self.nominal_packet_length_flits
-        )
-        measured_fraction = (
-            self.measurement_cycles / self.cycles if self.cycles else 1.0
-        )
+        packets_equivalent = self.flits_ejected_measured / max(1, self.nominal_packet_length_flits)
+        measured_fraction = self.measurement_cycles / self.cycles if self.cycles else 1.0
         energy = self.energy.dynamic_pj * measured_fraction
         if self.include_static_energy:
             energy += self.energy.static_pj * measured_fraction
@@ -183,24 +183,18 @@ class SimulationResult:
         """Accepted traffic: flits ejected per core per measurement cycle."""
         if self.measurement_cycles == 0 or self.num_cores == 0:
             return 0.0
-        return self.flits_ejected_measured / (
-            self.measurement_cycles * self.num_cores
-        )
+        return self.flits_ejected_measured / (self.measurement_cycles * self.num_cores)
 
     def bandwidth_gbps_per_core(self) -> float:
         """Accepted bandwidth per core [Gb/s]."""
         flits_per_cycle = self.accepted_flits_per_core_per_cycle()
-        return (
-            flits_per_cycle * self.flit_width_bits * self.clock_frequency_hz / 1e9
-        )
+        return flits_per_cycle * self.flit_width_bits * self.clock_frequency_hz / 1e9
 
     def accepted_packets_per_core_per_cycle(self) -> float:
         """Accepted packet rate per core per cycle (measured window)."""
         if self.measurement_cycles == 0 or self.num_cores == 0:
             return 0.0
-        return self.packets_delivered_measured / (
-            self.measurement_cycles * self.num_cores
-        )
+        return self.packets_delivered_measured / (self.measurement_cycles * self.num_cores)
 
     def delivery_ratio(self) -> float:
         """Delivered packets / generated packets over the whole run."""

@@ -6,6 +6,14 @@ characterisation (see :mod:`repro.noc.link`); the switch object holds the
 structural state — ports, VC buffers, arbitration pointers — and the small
 amount of per-cycle logic that does not need a global view (route lookup for
 a VC's current packet, round-robin winner selection).
+
+Ports are registered during construction through the keyed dictionaries
+(``input_ports`` / ``output_ports``) and then *compiled* once by the
+network builder (:meth:`Switch.compile_tables`) into dense tables — flat
+port lists and a flat VC tuple in deterministic construction order — that
+the simulation kernel iterates without dictionary views or hashing.  The
+keyed dictionaries stay authoritative for construction, lookup by
+neighbour id, and debugging.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..topology.graph import SwitchSpec
 from .link import LinkCharacteristics
+from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketPool
 from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
 from .virtual_channel import VirtualChannel
 
@@ -55,6 +64,20 @@ class Switch:
         self.wireless_output: Optional[OutputPort] = None
         #: Endpoint ids attached to this switch (filled by the network builder).
         self.endpoints: List[int] = []
+        #: Dense tables compiled by :meth:`compile_tables`.
+        self.input_port_list: List[InputPort] = []
+        self.output_port_list: List[OutputPort] = []
+        self.vc_list: Tuple[VirtualChannel, ...] = ()
+        #: Ordinal -> VC table (``vc_by_ordinal[vc.ordinal] is vc``).
+        self.vc_by_ordinal: Tuple[VirtualChannel, ...] = ()
+        #: Ordinals of the VCs currently holding at least one flit.  Every
+        #: buffer transition (0 -> 1 flit, last flit out) updates this set,
+        #: so the allocation phase visits exactly the occupied VCs — in
+        #: ascending ordinal order, which equals the historical full-table
+        #: scan order — instead of scanning every (mostly empty) buffer.
+        self.occupied: set = set()
+        #: Modulus of the round-robin rank arithmetic (``max(1, #VCs)``).
+        self.rr_modulus = 1
 
     # ------------------------------------------------------------------
     # Construction (called by the network builder).
@@ -62,9 +85,7 @@ class Switch:
 
     def _add_input_port(self, key, buffer_depth: Optional[int] = None) -> InputPort:
         if key in self.input_ports:
-            raise SwitchConfigError(
-                f"switch {self.switch_id} already has input port {key!r}"
-            )
+            raise SwitchConfigError(f"switch {self.switch_id} already has input port {key!r}")
         depth = buffer_depth if buffer_depth is not None else self.buffer_depth
         port = InputPort(self, key, self.num_vcs, depth, self._ordinal_base)
         self._ordinal_base += self.num_vcs
@@ -98,9 +119,7 @@ class Switch:
     ) -> Tuple[InputPort, OutputPort]:
         """Add the WI port pair (shared by all wireless destinations)."""
         if self.wireless_input is not None:
-            raise SwitchConfigError(
-                f"switch {self.switch_id} already has a wireless port"
-            )
+            raise SwitchConfigError(f"switch {self.switch_id} already has a wireless port")
         self.wireless_input = self._add_input_port(WIRELESS_PORT, buffer_depth)
         self.wireless_output = OutputPort(
             self,
@@ -110,6 +129,23 @@ class Switch:
         )
         self.output_ports[WIRELESS_PORT] = self.wireless_output
         return self.wireless_input, self.wireless_output
+
+    def compile_tables(self) -> None:
+        """Freeze the dense port/VC tables the kernel iterates.
+
+        Called by the network builder once every port exists.  List order
+        matches the keyed dictionaries' insertion order (local port first,
+        then neighbours in link-construction order, then the WI port), so
+        compiled iteration is bit-identical to the historical dict-view
+        iteration.
+        """
+        self.input_port_list = list(self.input_ports.values())
+        self.output_port_list = list(self.output_ports.values())
+        self.vc_list = tuple(vc for port in self.input_port_list for vc in port.vcs)
+        # Ordinals are assigned densely in port-construction order, so the
+        # vc_list is already ordinal-sorted and doubles as the lookup table.
+        self.vc_by_ordinal = self.vc_list
+        self.rr_modulus = max(1, self._ordinal_base)
 
     # ------------------------------------------------------------------
     # Per-cycle helpers used by the engine.
@@ -122,10 +158,9 @@ class Switch:
 
     def all_vcs(self) -> List[VirtualChannel]:
         """All VC buffers of the switch (every input port)."""
-        vcs: List[VirtualChannel] = []
-        for port in self.input_ports.values():
-            vcs.extend(port.vcs)
-        return vcs
+        if self.vc_list:
+            return list(self.vc_list)
+        return [vc for port in self.input_ports.values() for vc in port.vcs]
 
     def output_towards(self, next_switch_id: int) -> OutputPort:
         """The output port a packet must take to reach ``next_switch_id``.
@@ -144,12 +179,14 @@ class Switch:
 
     def buffered_flits(self) -> int:
         """Total flits buffered anywhere in this switch."""
-        return sum(port.buffered_flits for port in self.input_ports.values())
+        return sum(vc.count for vc in self.all_vcs())
 
-    def wireless_pending(self) -> List[Tuple[VirtualChannel, int, int, int, int]]:
+    def wireless_pending(
+        self, pool: PacketPool
+    ) -> List[Tuple[VirtualChannel, int, int, int, int]]:
         """Traffic currently waiting for the wireless port.
 
-        Returns ``(vc, destination_switch, packet_id, buffered_flits,
+        Returns ``(vc, destination_switch, packet_handle, buffered_flits,
         remaining_flits)`` for every VC whose current packet leaves this
         switch over the WI port; ``remaining_flits`` counts the buffered
         flits plus those of the same packet still streaming towards this
@@ -158,33 +195,26 @@ class Switch:
         if self.wireless_output is None:
             return []
         pending = []
-        for port in self.input_ports.values():
-            for vc in port.vcs:
-                if not vc.buffer:
+        pool_length = pool.length_flits
+        pool_route = pool.route
+        pool_head_hop = pool.head_hop
+        pool_dst_switch = pool.dst_switch
+        for vc in self.vc_list or self.all_vcs():
+            if not vc.count:
+                continue
+            front = vc.buf[vc.head]
+            handle = front >> FLIT_INDEX_BITS
+            remaining = pool_length[handle] - (front & FLIT_INDEX_MASK)
+            if vc.current_output is None:
+                # Head flit not yet processed: peek at the route.
+                if self.switch_id == pool_dst_switch[handle]:
                     continue
-                front = vc.buffer[0]
-                packet = front.packet
-                remaining = packet.length_flits - front.index
-                if vc.current_output is None:
-                    # Head flit not yet processed: peek at the route.
-                    if self.switch_id == packet.dst_switch:
-                        continue
-                    next_switch = packet.route[packet.head_hop + 1]
-                    if self.output_ports.get(next_switch) is not None:
-                        continue  # wired hop
-                    pending.append(
-                        (vc, next_switch, packet.packet_id, len(vc.buffer), remaining)
-                    )
-                elif vc.current_output is self.wireless_output:
-                    pending.append(
-                        (
-                            vc,
-                            vc.downstream_switch,
-                            packet.packet_id,
-                            len(vc.buffer),
-                            remaining,
-                        )
-                    )
+                next_switch = pool_route[handle][pool_head_hop[handle] + 1]
+                if self.output_ports.get(next_switch) is not None:
+                    continue  # wired hop
+                pending.append((vc, next_switch, handle, vc.count, remaining))
+            elif vc.current_output is self.wireless_output:
+                pending.append((vc, vc.downstream_switch, handle, vc.count, remaining))
         return pending
 
     def select_round_robin(
@@ -193,15 +223,16 @@ class Switch:
         """Pick the next winner for an output port among eligible VCs."""
         if not candidates:
             raise SwitchConfigError("select_round_robin called with no candidates")
-        total = self._ordinal_base
+        total = max(1, self._ordinal_base)
         best = None
         best_rank = None
+        pointer = output.rr_pointer
         for vc in candidates:
-            rank = (vc.ordinal - output.rr_pointer) % max(1, total)
+            rank = (vc.ordinal - pointer) % total
             if best_rank is None or rank < best_rank:
                 best = vc
                 best_rank = rank
-        output.rr_pointer = (best.ordinal + 1) % max(1, total)
+        output.rr_pointer = (best.ordinal + 1) % total
         return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -8,17 +8,26 @@ credit-based wormhole flow control.  Instead of mirroring credit counters at
 the upstream switch, the simulator tracks ``in_flight`` reservations on the
 downstream VC itself, which is equivalent and keeps the bookkeeping in one
 place.
+
+The buffer is a fixed-capacity ring of flit handles (see
+:mod:`repro.noc.pool`): a preallocated list of ``capacity`` slots plus a
+``head`` cursor and a ``count``.  The simulation kernel inlines the ring
+arithmetic directly (read ``buf[head]``, advance ``head``, bump ``count``)
+so the per-flit hot path never crosses a method boundary; the methods on
+this class are the readable spelling of the same operations, used by unit
+tests and by cold paths (fault recovery, MAC planning).  The ring stores
+whatever it is given — packed integer flit handles from the kernel, or
+legacy :class:`~repro.noc.flit.Flit` objects from the unit tests — because
+it never interprets the stored values except in :meth:`pop`'s tail check,
+which only object flits need (the kernel performs its own pooled tail
+arithmetic before touching the ring).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Optional, TYPE_CHECKING
-
-from .flit import Flit
+from typing import List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .packet import Packet
     from .port import InputPort, OutputPort
 
 
@@ -30,12 +39,15 @@ class VirtualChannel:
         "index",
         "ordinal",
         "capacity",
-        "buffer",
+        "buf",
+        "head",
+        "count",
         "in_flight",
         "allocated_packet_id",
         "current_output",
         "downstream_port",
         "downstream_switch",
+        "send_target",
         "source_packet",
         "source_flits_emitted",
     )
@@ -48,10 +60,14 @@ class VirtualChannel:
         #: Switch-wide unique ordinal used for round-robin arbitration.
         self.ordinal = ordinal
         self.capacity = capacity
-        self.buffer: Deque[Flit] = deque()
+        #: Fixed-capacity ring storage; ``buf[head]`` is the front flit,
+        #: ``buf[(head + count - 1) % capacity]`` the most recent arrival.
+        self.buf: List[object] = [None] * capacity
+        self.head = 0
+        self.count = 0
         #: Flits sent towards this VC but not yet arrived (reserve buffer space).
         self.in_flight = 0
-        #: Packet currently owning this VC (set at head allocation).
+        #: Packet id currently owning this VC (set at head allocation).
         self.allocated_packet_id: Optional[int] = None
         #: Output port the current packet takes out of this switch.
         self.current_output: Optional["OutputPort"] = None
@@ -60,9 +76,13 @@ class VirtualChannel:
         #: Switch id of the next hop (needed for wireless ports whose
         #: destination differs per packet).
         self.downstream_switch: Optional[int] = None
-        #: Injection state (local/source VCs only): packet being serialised
-        #: into this VC and how many of its flits have been emitted.
-        self.source_packet: Optional["Packet"] = None
+        #: Downstream VC picked during the eligibility scan of the current
+        #: allocation visit (kernel scratch; meaningless between visits).
+        self.send_target: Optional["VirtualChannel"] = None
+        #: Injection state (local/source VCs only): pool handle of the
+        #: packet being serialised into this VC and how many of its flits
+        #: have been emitted.
+        self.source_packet: Optional[int] = None
         self.source_flits_emitted = 0
 
     # ------------------------------------------------------------------
@@ -72,20 +92,29 @@ class VirtualChannel:
     @property
     def occupancy(self) -> int:
         """Buffered plus in-flight flits (the space already spoken for)."""
-        return len(self.buffer) + self.in_flight
+        return self.count + self.in_flight
 
     def has_space(self) -> bool:
         """Whether one more flit may be sent towards this VC."""
-        return self.occupancy < self.capacity
+        return self.count + self.in_flight < self.capacity
 
     @property
     def is_free(self) -> bool:
         """Whether the VC can be allocated to a new packet."""
-        return self.allocated_packet_id is None and self.occupancy == 0
+        return self.allocated_packet_id is None and self.count == 0 and self.in_flight == 0
+
+    @property
+    def buffer(self) -> List[object]:
+        """The buffered flits in FIFO order (a snapshot, not live storage).
+
+        Cold-path/diagnostic accessor; the kernel reads the ring directly.
+        """
+        buf, head, capacity = self.buf, self.head, self.capacity
+        return [buf[(head + i) % capacity] for i in range(self.count)]
 
     def reserve(self, packet_id: int, is_head: bool) -> None:
         """Reserve space for a flit that has just been sent towards this VC."""
-        if not self.has_space():
+        if self.count + self.in_flight >= self.capacity:
             raise RuntimeError("reserve() called on a full virtual channel")
         if is_head:
             if self.allocated_packet_id is not None and self.allocated_packet_id != packet_id:
@@ -101,23 +130,49 @@ class VirtualChannel:
             )
         self.in_flight += 1
 
-    def deliver(self, flit: Flit) -> None:
+    def deliver(self, flit) -> None:
         """A previously reserved flit arrives into the buffer."""
         if self.in_flight <= 0:
             raise RuntimeError("deliver() without a matching reserve()")
         self.in_flight -= 1
-        self.buffer.append(flit)
+        self.buf[(self.head + self.count) % self.capacity] = flit
+        self.count += 1
+        if self.count == 1:
+            self.port.switch.occupied.add(self.ordinal)
 
-    def front(self) -> Optional[Flit]:
+    def front(self):
         """The flit at the head of the buffer, or ``None`` if empty."""
-        return self.buffer[0] if self.buffer else None
+        return self.buf[self.head] if self.count else None
 
-    def pop(self) -> Flit:
-        """Remove and return the front flit, releasing state on a tail."""
-        flit = self.buffer.popleft()
+    def pop(self):
+        """Remove and return the front flit, releasing state on a tail.
+
+        Object-API spelling: the tail check reads ``flit.is_tail``, so it
+        only works for :class:`~repro.noc.flit.Flit` objects.  The kernel
+        inlines the ring pop and performs the tail arithmetic against the
+        packet pool instead.
+        """
+        if not self.count:
+            raise IndexError("pop from an empty virtual channel")
+        head = self.head
+        flit = self.buf[head]
+        self.buf[head] = None
+        self.head = (head + 1) % self.capacity
+        self.count -= 1
+        if not self.count:
+            self.port.switch.occupied.discard(self.ordinal)
         if flit.is_tail:
             self.release()
         return flit
+
+    def clear_buffer(self) -> int:
+        """Drop every buffered flit (fault purge); returns how many."""
+        dropped = self.count
+        self.buf = [None] * self.capacity
+        self.head = 0
+        self.count = 0
+        self.port.switch.occupied.discard(self.ordinal)
+        return dropped
 
     def release(self) -> None:
         """Release ownership and per-packet routing state."""

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..topology.graph import TopologyGraph
 from .base import TrafficModel, TrafficRequest
-from .rng import bernoulli, choose_other, make_rng
+from .rng import choose_other, make_rng
 
 
 class UniformRandomTraffic(TrafficModel):
@@ -64,7 +64,16 @@ class UniformRandomTraffic(TrafficModel):
         self._rng = make_rng(self._seed)
 
     def generate(self, cycle: int) -> Iterator[TrafficRequest]:
-        """Bernoulli trial per core; memory or core destination per the mix."""
+        """Bernoulli trial per core; memory or core destination per the mix.
+
+        The per-core Bernoulli trial is the one piece of per-cycle work that
+        scales with the system size even at zero accepted load, so the coin
+        flips are inlined (one bound ``random()`` call against a hoisted
+        threshold) instead of going through :func:`repro.traffic.rng.bernoulli`
+        per core.  The draw sequence is bit-identical to the helper: a
+        probability of exactly 0 or 1 consumes no draw, anything else
+        consumes one ``random()`` per trial.
+        """
         rate = self._injection_rate
         if rate <= 0:
             return
@@ -72,10 +81,15 @@ class UniformRandomTraffic(TrafficModel):
         # generation opportunity per cycle (the paper's load axis tops out
         # at 1 packet/core/cycle).
         probability = min(1.0, rate)
+        random = self._rng.random
+        always = probability >= 1.0
+        memory_fraction = self._memory_fraction
         for core in self._cores:
-            if not bernoulli(self._rng, probability):
+            if not always and random() >= probability:
                 continue
-            if self._memory_fraction > 0 and bernoulli(self._rng, self._memory_fraction):
+            if memory_fraction > 0 and (
+                memory_fraction >= 1.0 or random() < memory_fraction
+            ):
                 destination = self._rng.choice(self._memory_vaults)
                 yield TrafficRequest(
                     src_endpoint=core,

@@ -1,0 +1,289 @@
+"""Array-backed data-plane tests: pools, flit packing, views, handle leaks.
+
+The pooled core's contract (see :mod:`repro.noc.pool`):
+
+* flit handles pack ``(packet handle, index)`` losslessly and derive
+  head/tail arithmetically;
+* :class:`PacketView` mirrors the legacy ``Packet`` attribute surface over
+  the pooled arrays;
+* **no handle ever leaks** — after any run (including faulted runs with
+  purged packets), the pool's books (``allocated == freed + live``, free
+  list + live = capacity) reconcile exactly with the handles reachable
+  from the simulation state (source queues, VC rings, serialisation state,
+  in-flight arrivals), and the flit-conservation counters of the fault
+  subsystem still hold.  Property-tested over load, seed, and fault
+  scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.architectures import build_system
+from repro.core.config import Architecture
+from repro.energy import EnergyAccountant
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import create_fault_plan
+from repro.noc.engine import SimulationConfig
+from repro.noc.kernel import SimulationKernel
+from repro.noc.network import Network
+from repro.noc.pool import (
+    FLIT_INDEX_BITS,
+    FLIT_INDEX_MASK,
+    MAX_PACKET_LENGTH_FLITS,
+    FlitPool,
+    PacketPool,
+)
+from repro.noc.stats import SimulationResult
+from repro.testing import small_system_config
+from repro.traffic.registry import create_pattern
+
+
+def _alloc(pool, pid=0, length=4, route=(0, 1)):
+    return pool.alloc(
+        pid=pid,
+        src_endpoint=0,
+        dst_endpoint=1,
+        src_switch=route[0],
+        dst_switch=route[-1],
+        length_flits=length,
+        generation_cycle=0,
+        route=list(route),
+        is_memory_access=False,
+        is_reply=False,
+        measured=True,
+        traffic_class="data",
+    )
+
+
+class TestFlitPacking:
+    def test_roundtrip(self):
+        pool = PacketPool()
+        handle = _alloc(pool, length=7)
+        flits = pool.flits
+        for index in range(7):
+            flit = FlitPool.handle(handle, index)
+            assert FlitPool.packet_of(flit) == handle
+            assert FlitPool.index_of(flit) == index
+            assert FlitPool.is_head(flit) == (index == 0)
+            assert flits.is_tail(flit) == (index == 6)
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        pool = PacketPool()
+        handle = _alloc(pool, length=1)
+        flit = FlitPool.handle(handle, 0)
+        assert FlitPool.is_head(flit)
+        assert pool.flits.is_tail(flit)
+
+    def test_packing_constants_consistent(self):
+        assert FLIT_INDEX_MASK == (1 << FLIT_INDEX_BITS) - 1
+        assert MAX_PACKET_LENGTH_FLITS == FLIT_INDEX_MASK + 1
+
+    def test_overlong_packet_rejected(self):
+        pool = PacketPool()
+        with pytest.raises(ValueError):
+            _alloc(pool, length=MAX_PACKET_LENGTH_FLITS + 1)
+        with pytest.raises(ValueError):
+            _alloc(pool, length=0)
+
+    def test_bad_route_rejected(self):
+        pool = PacketPool()
+        with pytest.raises(ValueError):
+            pool.alloc(
+                pid=0,
+                src_endpoint=0,
+                dst_endpoint=1,
+                src_switch=0,
+                dst_switch=2,
+                length_flits=4,
+                generation_cycle=0,
+                route=[0, 1],
+                is_memory_access=False,
+                is_reply=False,
+                measured=True,
+                traffic_class="data",
+            )
+
+
+class TestPacketPoolLifecycle:
+    def test_alloc_free_recycles_handles(self):
+        pool = PacketPool()
+        first = _alloc(pool, pid=1)
+        pool.free(first)
+        second = _alloc(pool, pid=2)
+        assert second == first  # LIFO recycling
+        assert pool.allocated_total == 2
+        assert pool.freed_total == 1
+        assert pool.live_count == 1
+        assert len(pool.free_list) + pool.live_count == pool.capacity
+
+    def test_pids_survive_handle_recycling(self):
+        pool = PacketPool()
+        first = _alloc(pool, pid=11)
+        pool.free(first)
+        second = _alloc(pool, pid=12)
+        assert pool.pid[second] == 12
+
+    def test_view_mirrors_legacy_packet_surface(self):
+        pool = PacketPool()
+        handle = _alloc(pool, pid=9, length=3, route=(0, 1, 4))
+        view = pool.view(handle)
+        assert view.packet_id == 9
+        assert view.length_flits == 3
+        assert view.route == [0, 1, 4]
+        assert view.hop_count == 2
+        assert view.next_switch_after(1) == 4
+        assert not view.delivered
+        assert view.latency_cycles is None
+        view.add_energy(2.5)
+        view.add_energy(1.5)
+        assert view.energy_pj == 4.0
+        pool.ejection_cycle[handle] = 50
+        pool.injection_cycle[handle] = 5
+        assert view.delivered
+        assert view.latency_cycles == 50
+        assert view.network_latency_cycles == 45
+        with pytest.raises(ValueError):
+            view.next_switch_after(4)
+        with pytest.raises(ValueError):
+            view.next_switch_after(99)
+
+
+def _run_kernel(architecture, rate, seed, cycles, faults=None, fault_rate=0.0):
+    """Run one simulation through the kernel, returning (state, result)."""
+    config = small_system_config(architecture)
+    system = build_system(config)
+    network = Network(system.topology, config.network)
+    accountant = EnergyAccountant(technology=config.network.technology)
+    for fabric in network.fabrics:
+        fabric.bind_accountant(accountant)
+    result = SimulationResult(
+        cycles=cycles, warmup_cycles=cycles // 4, num_cores=8
+    )
+    traffic = create_pattern(
+        "uniform",
+        system.topology,
+        injection_rate=rate,
+        memory_access_fraction=0.25,
+        seed=seed,
+    )
+    injector = None
+    if faults is not None and faults != "none":
+        plan = create_fault_plan(
+            faults,
+            system.topology,
+            fault_rate=fault_rate,
+            seed=seed,
+            cycles=cycles,
+        )
+        if not plan.is_empty:
+            injector = FaultInjector(plan, network, system.router, result)
+    kernel = SimulationKernel(
+        network=network,
+        router=system.router,
+        traffic=traffic,
+        accountant=accountant,
+        result=result,
+        config=SimulationConfig(cycles=cycles, warmup_cycles=cycles // 4),
+        net_config=config.network,
+        fault_injector=injector,
+    )
+    traffic.reset()
+    try:
+        state = kernel.run()
+    finally:
+        if injector is not None:
+            injector.restore()
+    result.flits_residual_end = state.residual_flits()
+    return state, result
+
+
+def reachable_handles(state):
+    """Every pool handle reachable from the live simulation state."""
+    reachable = set()
+    for queue in state.source_queues.values():
+        reachable.update(queue)
+    for switch in state.network.switches.values():
+        for port in switch.input_port_list:
+            for vc in port.vcs:
+                if vc.source_packet is not None:
+                    reachable.add(vc.source_packet)
+                for flit in vc.buffer:
+                    reachable.add(flit >> FLIT_INDEX_BITS)
+    for entries in state.arrivals.values():
+        for _, flit in entries:
+            reachable.add(flit >> FLIT_INDEX_BITS)
+    return reachable
+
+
+def assert_no_handle_leaks(state, result):
+    """The pool's books reconcile exactly with the reachable handles."""
+    pool = state.pool
+    # Books are internally consistent.
+    assert pool.allocated_total == pool.freed_total + pool.live_count
+    assert len(pool.free_list) + pool.live_count == pool.capacity
+    assert len(set(pool.free_list)) == len(pool.free_list)
+    # Every live handle is reachable from the simulation state and every
+    # reachable handle is live: nothing leaked, nothing freed early.
+    assert set(pool.live_handles()) == reachable_handles(state)
+    # The pool never allocates more records than packets that entered a
+    # source queue.
+    assert pool.allocated_total <= result.packets_generated
+    # PR 3's flit-conservation counters still hold over the pooled core.
+    assert result.flits_injected == (
+        result.flits_ejected_total
+        + result.flits_residual_end
+        + result.flits_dropped_unroutable
+    )
+
+
+class TestHandleConservation:
+    def test_clean_run_frees_every_delivered_packet(self):
+        state, result = _run_kernel(Architecture.SUBSTRATE, 0.03, seed=3, cycles=400)
+        assert result.packets_delivered > 0
+        assert state.pool.freed_total == result.packets_delivered
+        assert_no_handle_leaks(state, result)
+
+    def test_wireless_run_reconciles(self):
+        state, result = _run_kernel(Architecture.WIRELESS, 0.05, seed=5, cycles=400)
+        assert result.packets_delivered > 0
+        assert_no_handle_leaks(state, result)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rate=st.sampled_from([0.0, 0.01, 0.05, 0.15]),
+        seed=st.integers(min_value=0, max_value=10_000),
+        faults=st.sampled_from(["none", "random-links"]),
+        fault_rate=st.sampled_from([0.1, 0.3]),
+    )
+    def test_property_pool_never_leaks_handles(self, rate, seed, faults, fault_rate):
+        """Property: free list + live + delivered reconcile on every run.
+
+        Sweeps load (idle through congested), seed, and fault injection
+        (including runs that purge packets and drop queued handles), and
+        checks the full reconciliation after each: pool books consistent,
+        live handles exactly the reachable ones, flit conservation intact.
+        """
+        state, result = _run_kernel(
+            Architecture.SUBSTRATE,
+            rate,
+            seed=seed,
+            cycles=300,
+            faults=faults,
+            fault_rate=fault_rate,
+        )
+        assert_no_handle_leaks(state, result)
+
+
+class TestConfigCeiling:
+    def test_oversized_packet_length_rejected_at_config_time(self):
+        """A jumbo packet config fails at construction, not mid-run."""
+        from repro.noc.config import NetworkConfig
+
+        with pytest.raises(ValueError, match="packed flit index"):
+            NetworkConfig(packet_length_flits=MAX_PACKET_LENGTH_FLITS + 1)
+        # The ceiling itself is a valid configuration.
+        config = NetworkConfig(packet_length_flits=MAX_PACKET_LENGTH_FLITS)
+        assert config.packet_length_flits == MAX_PACKET_LENGTH_FLITS
