@@ -21,6 +21,13 @@ honest: there almost every switch is awake every cycle, so it measures the
 raw per-flit cost of the array-backed data plane rather than the wake-set
 bookkeeping, and a regression that only hurts busy switches cannot hide
 behind the quiet mid-load numbers.
+
+A third, wireless-heavy point saturates the token MAC: the 4C4M wireless
+system (the interposer comparison configuration of Figs. 2/3) at the
+near-saturation load under ``mac="token"``, where whole-packet buffering
+and token rotation keep the MAC arbitration and the per-WI pending scans
+hot every cycle.  It pins the cost of the handle-based wireless data plane
+the way the mid/saturation points pin the wired one.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ import argparse
 import json
 import platform
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import Architecture, SystemConfig, paper_4c4m
 from repro.core.framework import MultichipSimulation
@@ -63,6 +70,13 @@ def benchmark_configs() -> Dict[str, SystemConfig]:
         "substrate": paper_4c4m(Architecture.SUBSTRATE),
         "interposer": paper_4c4m(Architecture.INTERPOSER),
         "wireless": paper_4c4m(Architecture.WIRELESS),
+    }
+
+
+def wireless_token_configs() -> Dict[str, SystemConfig]:
+    """The wireless-heavy point: token-MAC arbitration at saturation."""
+    return {
+        "wireless-token": paper_4c4m(Architecture.WIRELESS).with_wireless(mac="token"),
     }
 
 
@@ -100,10 +114,15 @@ def fingerprint(result) -> tuple:
     )
 
 
-def bench_load_point(load: float, cycles: int, repeats: int) -> Dict[str, Dict[str, float]]:
-    """Benchmark one offered load across every architecture.
+def bench_load_point(
+    load: float,
+    cycles: int,
+    repeats: int,
+    configs: Optional[Dict[str, SystemConfig]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Benchmark one offered load across a set of configurations.
 
-    ``repeats`` runs each (architecture, scheduler) point several times and
+    ``repeats`` runs each (configuration, scheduler) point several times and
     keeps the fastest wall-clock — best-of-N is the standard defence
     against scheduler noise on shared machines, and it is what the CI
     bench-trend gate uses so a single GC pause cannot fail the build.
@@ -111,7 +130,9 @@ def bench_load_point(load: float, cycles: int, repeats: int) -> Dict[str, Dict[s
     affected.
     """
     entries: Dict[str, Dict[str, float]] = {}
-    for name, config in benchmark_configs().items():
+    if configs is None:
+        configs = benchmark_configs()
+    for name, config in configs.items():
         dense_result, dense_s = run_once(config, load, cycles, "dense")
         active_result, active_s = run_once(config, load, cycles, "active")
         for _ in range(repeats - 1):
@@ -152,12 +173,16 @@ def run_benchmark(
         raise ValueError("repeats must be at least 1")
     entries = bench_load_point(load, cycles, repeats)
     saturation_entries = bench_load_point(saturation_load, cycles, repeats)
+    wireless_entries = bench_load_point(
+        saturation_load, cycles, repeats, configs=wireless_token_configs()
+    )
     return {
         "benchmark": "bench_kernel",
         "description": (
             "one mid-load and one near-saturation uniform point per "
-            "architecture, dense vs active-set scheduler (identical "
-            "results, different wall-clock)"
+            "architecture plus a token-MAC wireless saturation point, "
+            "dense vs active-set scheduler (identical results, different "
+            "wall-clock)"
         ),
         "load_packets_per_core_per_cycle": load,
         "load_fraction_of_mesh_saturation": round(load / MESH_SATURATION_LOAD, 3),
@@ -169,6 +194,7 @@ def run_benchmark(
         "python": platform.python_version(),
         "results": entries,
         "results_saturation": saturation_entries,
+        "results_wireless_token": wireless_entries,
         "mesh_speedup": entries["mesh"]["speedup"],
     }
 
@@ -209,6 +235,10 @@ def format_report(snapshot: Dict[str, object]) -> str:
             "of mesh saturation):"
         )
         parts.append(_point_table(cycles, saturation))
+    wireless_token = snapshot.get("results_wireless_token")
+    if wireless_token:
+        parts.append("\ntoken-MAC wireless saturation (4C4M, mac=token):")
+        parts.append(_point_table(cycles, wireless_token))
     return "\n".join(parts)
 
 

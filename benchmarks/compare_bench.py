@@ -38,6 +38,7 @@ DEFAULT_MAX_CPS_REGRESSION = 0.5
 RESULT_SECTIONS = (
     ("results", "mid load"),
     ("results_saturation", "near saturation"),
+    ("results_wireless_token", "token-MAC wireless saturation"),
 )
 
 

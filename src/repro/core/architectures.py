@@ -35,6 +35,7 @@ from ..topology import (
     apply_substrate_overlay,
     apply_wireless_overlay,
     build_multichip_base,
+    channel_assignment,
     wireless_area_overhead_mm2,
 )
 from .config import Architecture, SystemConfig
@@ -67,6 +68,26 @@ class BuiltSystem:
     def num_wireless_interfaces(self) -> int:
         """Number of deployed WIs (0 for the wired architectures)."""
         return len(self.topology.wireless_switches)
+
+    @property
+    def num_wireless_channels(self) -> int:
+        """Configured orthogonal wireless channels (0 without WIs)."""
+        if not self.topology.wireless_switches:
+            return 0
+        return self.config.network.wireless.num_channels
+
+    def wireless_channel_assignment(self) -> Dict[int, List[int]]:
+        """Planned channel → WI grouping of this system (empty if wired).
+
+        Matches the wireless fabric's round-robin channel plan, so reports
+        built from the topology describe exactly the per-channel MAC
+        domains the simulator will arbitrate.
+        """
+        if not self.topology.wireless_switches:
+            return {}
+        return channel_assignment(
+            self.topology, self.config.network.wireless.num_channels
+        )
 
     def wireless_area_overhead_mm2(self) -> float:
         """Total transceiver area overhead of the system [mm^2]."""
@@ -153,7 +174,10 @@ def _apply_interposer(multichip: MultichipSystem, config: SystemConfig) -> None:
 def _apply_wireless(multichip: MultichipSystem, config: SystemConfig) -> None:
     apply_wireless_overlay(
         multichip,
-        WirelessOverlayConfig(cores_per_wi=config.cores_per_wi),
+        WirelessOverlayConfig(
+            cores_per_wi=config.cores_per_wi,
+            num_channels=config.network.wireless.num_channels,
+        ),
     )
 
 

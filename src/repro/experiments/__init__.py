@@ -18,6 +18,7 @@ from . import (
     fig5_memory_traffic,
     fig6_applications,
     fig7_resilience,
+    fig8_mac_study,
     runner,
 )
 from .common import FIDELITIES, Fidelity, get_fidelity
@@ -34,6 +35,7 @@ __all__ = [
     "fig5_memory_traffic",
     "fig6_applications",
     "fig7_resilience",
+    "fig8_mac_study",
     "get_fidelity",
     "runner",
 ]

@@ -7,6 +7,7 @@ Usage::
                                      [--faults SCENARIO] [--fault-rate R]
                                      [--profile]
     python -m repro.experiments fig7 [--faults random-links] [--jobs N]
+    python -m repro.experiments fig8 [--mac token] [--jobs N]
     python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
 
 or, after installation, ``repro-experiments fig3 --fidelity paper --jobs 8``.
@@ -26,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..faults.scenarios import available_fault_scenarios
 from ..traffic.registry import available_patterns
+from ..wireless.mac.registry import available_macs
 from . import (
     fig2_uniform,
     fig3_latency,
@@ -33,12 +35,14 @@ from . import (
     fig5_memory_traffic,
     fig6_applications,
     fig7_resilience,
+    fig8_mac_study,
 )
 from .runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
 #: Experiment name -> runner registry.  Every entry accepts
 #: ``(fidelity, runner, pattern)`` — plus ``faults`` / ``fault_rate`` for
-#: the fault-capable experiments — and returns the formatted report text.
+#: the fault-capable experiments and ``mac`` for the MAC-capable ones —
+#: and returns the formatted report text.
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig2": fig2_uniform.main,
     "fig3": fig3_latency.main,
@@ -46,15 +50,20 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig5": fig5_memory_traffic.main,
     "fig6": fig6_applications.main,
     "fig7": fig7_resilience.main,
+    "fig8": fig8_mac_study.main,
 }
 
 #: Experiments whose synthetic workload can be swapped via ``--pattern``
 #: (fig5 sweeps the uniform memory mix, fig6 runs application traffic).
-PATTERN_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig7")
+PATTERN_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig7", "fig8")
 
 #: Experiments that accept a fault scenario via ``--faults`` (fig7 always
 #: injects: it *is* the resilience sweep and defaults to random-links).
 FAULT_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig7")
+
+#: Experiments that accept a wireless MAC override via ``--mac`` (fig8
+#: sweeps every registered MAC unless the flag pins one).
+MAC_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig8")
 
 #: Severity used when ``--faults`` is given without ``--fault-rate``.
 DEFAULT_FAULT_RATE = 0.1
@@ -100,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
             "synthetic traffic pattern for the load-sweep figures "
             "(fig2/fig3/fig4); constructed by name from the traffic "
             "registry (default: uniform)"
+        ),
+    )
+    parser.add_argument(
+        "--mac",
+        choices=available_macs(),
+        default=None,
+        help=(
+            "wireless MAC protocol override for the MAC-capable "
+            "experiments (fig2/fig3/fig4/fig8); constructed by name from "
+            "the MAC registry (default: the configuration's protocol; "
+            "fig8 sweeps every registered MAC unless this pins one)"
         ),
     )
     parser.add_argument(
@@ -211,6 +231,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"[runner] faults {args.faults!r}: running "
                 f"{', '.join(names)} (fig5/fig6 run on pristine fabrics)"
             )
+        if args.mac is not None:
+            names = [n for n in names if n in MAC_EXPERIMENTS]
+            print(
+                f"[runner] mac {args.mac!r}: running "
+                f"{', '.join(names)} (the rest have no MAC to swap)"
+            )
     else:
         names = [args.experiment]
         if args.pattern != "uniform" and args.experiment not in PATTERN_EXPERIMENTS:
@@ -223,8 +249,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"--faults only applies to {', '.join(FAULT_EXPERIMENTS)}; "
                 f"{args.experiment} runs on a pristine fabric"
             )
+        if args.mac is not None and args.experiment not in MAC_EXPERIMENTS:
+            parser.error(
+                f"--mac only applies to {', '.join(MAC_EXPERIMENTS)}; "
+                f"{args.experiment} has no wireless MAC to swap"
+            )
     for name in names:
         kwargs = {"pattern": args.pattern}
+        if name in MAC_EXPERIMENTS and args.mac is not None:
+            kwargs["mac"] = args.mac
         if name == "fig7":
             # fig7 *is* the resilience sweep: it promotes 'none' to its
             # default scenario and sweeps the fault-rate grid unless one

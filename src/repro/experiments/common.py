@@ -42,6 +42,8 @@ class Fidelity:
     #: Fault severities swept by the fig7 resilience experiment (0.0 is the
     #: pristine baseline every faulted point is compared against).
     fault_rates: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.3)
+    #: Orthogonal wireless channel counts swept by the fig8 MAC study.
+    channel_counts: Tuple[int, ...] = (1, 2, 4)
     seed: int = 7
 
     @property
@@ -57,6 +59,7 @@ _FAST = Fidelity(
     load_points=(0.0005, 0.001, 0.0015, 0.002),
     applications=("blackscholes", "canneal", "radix"),
     fault_rates=(0.0, 0.15, 0.3),
+    channel_counts=(1, 2),
 )
 
 _DEFAULT = Fidelity(
@@ -96,6 +99,7 @@ _PAPER = Fidelity(
         "barnes",
     ),
     fault_rates=(0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5),
+    channel_counts=(1, 2, 4, 8),
 )
 
 FIDELITIES: Dict[str, Fidelity] = {f.name: f for f in (_FAST, _DEFAULT, _PAPER)}

@@ -29,6 +29,7 @@ class Fig2Result:
     pattern: str = "uniform"
     faults: str = "none"
     fault_rate: float = 0.0
+    mac: str = ""
     metrics: Dict[Architecture, ArchitectureMetrics] = field(default_factory=dict)
 
     def rows(self) -> List[List[object]]:
@@ -70,6 +71,7 @@ def run(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> Fig2Result:
     """Run the Fig. 2 experiment at the requested fidelity.
 
@@ -79,7 +81,9 @@ def run(
     synthetic workload for any registered traffic pattern (transpose,
     bit-reversal, bursty-hotspot, ...), keeping the same sweep and
     saturation analysis; ``faults`` / ``fault_rate`` run the whole figure
-    on a degraded fabric (any registered fault scenario).
+    on a degraded fabric (any registered fault scenario); ``mac`` pins the
+    wireless architecture's MAC protocol by registered name (e.g. the
+    token baseline instead of the paper's control-packet MAC).
     """
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
@@ -89,6 +93,7 @@ def run(
         pattern=pattern,
         faults=faults,
         fault_rate=fault_rate,
+        mac=mac,
     )
     configs = {
         architecture: SystemConfig(architecture=architecture)
@@ -103,6 +108,7 @@ def run(
                 pattern=pattern,
                 faults=faults,
                 fault_rate=fault_rate,
+                mac=mac,
             )
             for architecture, config in configs.items()
         }
@@ -127,6 +133,8 @@ def format_report(result: Fig2Result) -> str:
         )
     else:
         workload = f"{result.pattern} traffic, 4C4M"
+    if result.mac:
+        workload += f", mac={result.mac}"
     workload += faults_suffix(result.faults, result.fault_rate)
     heading = format_heading(
         f"Fig. 2 - {workload} [fidelity={result.fidelity}]"
@@ -140,10 +148,18 @@ def main(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
     report = format_report(
-        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+        run(
+            fidelity,
+            runner=runner,
+            pattern=pattern,
+            faults=faults,
+            fault_rate=fault_rate,
+            mac=mac,
+        )
     )
     print(report)
     return report

@@ -31,6 +31,7 @@ class Fig3Result:
     pattern: str = "uniform"
     faults: str = "none"
     fault_rate: float = 0.0
+    mac: str = ""
     sweeps: Dict[Architecture, SweepSummary] = field(default_factory=dict)
 
     def curve(self, architecture: Architecture) -> List[Tuple[float, float]]:
@@ -67,6 +68,7 @@ def run(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> Fig3Result:
     """Run the Fig. 3 experiment at the requested fidelity.
 
@@ -84,6 +86,7 @@ def run(
         pattern=pattern,
         faults=faults,
         fault_rate=fault_rate,
+        mac=mac,
     )
     result.sweeps = active.run_sweep_groups(
         {
@@ -95,6 +98,7 @@ def run(
                 pattern=pattern,
                 faults=faults,
                 fault_rate=fault_rate,
+                mac=mac,
             )
             for architecture in architectures_for_comparison()
         }
@@ -109,6 +113,8 @@ def format_report(result: Fig3Result) -> str:
     ]
     table = format_table(headers, result.rows())
     workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
+    if result.mac:
+        workload += f", mac={result.mac}"
     workload += faults_suffix(result.faults, result.fault_rate)
     heading = format_heading(
         f"Fig. 3 - average packet latency (cycles) vs injection load, 4C4M{workload} "
@@ -123,10 +129,18 @@ def main(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
     report = format_report(
-        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+        run(
+            fidelity,
+            runner=runner,
+            pattern=pattern,
+            faults=faults,
+            fault_rate=fault_rate,
+            mac=mac,
+        )
     )
     print(report)
     return report

@@ -45,6 +45,7 @@ class Fig4Result:
     pattern: str = "uniform"
     faults: str = "none"
     fault_rate: float = 0.0
+    mac: str = ""
     gains: Dict[str, GainReport] = field(default_factory=dict)
     metrics: Dict[str, Dict[Architecture, ArchitectureMetrics]] = field(
         default_factory=dict
@@ -75,6 +76,7 @@ def run(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> Fig4Result:
     """Run the Fig. 4 experiment at the requested fidelity.
 
@@ -86,7 +88,11 @@ def run(
     level = get_fidelity(fidelity)
     active = runner if runner is not None else ExperimentRunner()
     result = Fig4Result(
-        fidelity=level.name, pattern=pattern, faults=faults, fault_rate=fault_rate
+        fidelity=level.name,
+        pattern=pattern,
+        faults=faults,
+        fault_rate=fault_rate,
+        mac=mac,
     )
     configs = {
         (label, architecture): _config_for(label, architecture)
@@ -102,6 +108,7 @@ def run(
                 pattern=pattern,
                 faults=faults,
                 fault_rate=fault_rate,
+                mac=mac,
             )
             for key, config in configs.items()
         }
@@ -127,6 +134,8 @@ def format_report(result: Fig4Result) -> str:
         result.rows(),
     )
     workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
+    if result.mac:
+        workload += f", mac={result.mac}"
     workload += faults_suffix(result.faults, result.fault_rate)
     heading = format_heading(
         f"Fig. 4 - wireless vs interposer gains under disintegration{workload} "
@@ -141,10 +150,18 @@ def main(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> str:
     """Run and format the experiment (used by the CLI and benchmarks)."""
     report = format_report(
-        run(fidelity, runner=runner, pattern=pattern, faults=faults, fault_rate=fault_rate)
+        run(
+            fidelity,
+            runner=runner,
+            pattern=pattern,
+            faults=faults,
+            fault_rate=fault_rate,
+            mac=mac,
+        )
     )
     print(report)
     return report

@@ -1,0 +1,253 @@
+"""Fig. 8 — MAC protocol study: MAC × channel count × load, wireless systems.
+
+This experiment goes beyond the paper: it sweeps every registered wireless
+MAC protocol (:mod:`repro.wireless.mac.registry` — the paper's
+control-packet MAC, the token baseline, a static TDMA schedule and an
+FDMA-style sub-band MAC) across several orthogonal-channel counts and
+offered loads, on two wireless multichip systems:
+
+* **4C4M** — the paper's 64-core, 4-chip, 4-stack system (Figs. 2/3),
+* **8C4M** — the disintegrated eight-chip system of Fig. 4, whose larger
+  WI population stresses channel arbitration hardest.
+
+Every (system × MAC × channels × load) combination is one independent
+task through the parallel runner and the result cache (task schema v4 keys
+the MAC override), so the whole study parallelises and re-runs
+incrementally like every other figure.
+
+Besides the throughput/latency/energy comparison, the study checks the
+wireless plane's **per-channel energy attribution**: for every task the
+per-channel components carried in the cached summary must sum exactly to
+the aggregate :class:`~repro.energy.accounting.EnergyBreakdown` shares
+(``wireless_pj``, ``mac_control_pj``, ``transceiver_static_pj``).  A task
+that fails to reconcile fails the experiment loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Architecture, SystemConfig, paper_4c4m, paper_8c4m
+from ..metrics.report import format_heading, format_table
+from ..metrics.saturation import LoadPointSummary
+from ..wireless.mac.registry import available_macs, mac_spec
+from .common import get_fidelity
+from .runner import ExperimentRunner, uniform_task
+
+#: Memory-access proportion (same as the fig2/fig3 uniform workload).
+MEMORY_ACCESS_FRACTION = 0.2
+
+#: Relative tolerance of the per-channel energy reconciliation.  The
+#: components are sums of identical float terms accumulated in a different
+#: order than the aggregate, so exact equality is not guaranteed — but
+#: anything beyond rounding noise is an attribution bug.
+RECONCILE_REL_TOL = 1e-9
+
+
+def fig8_systems() -> Dict[str, SystemConfig]:
+    """The wireless systems of the MAC study, in report order."""
+    return {
+        "4C4M": paper_4c4m(Architecture.WIRELESS),
+        "8C4M": paper_8c4m(Architecture.WIRELESS),
+    }
+
+
+def study_loads(load_points: Sequence[float]) -> List[float]:
+    """Low / mid / high offered loads from a fidelity's sweep grid.
+
+    Three points keep the MAC × channels × systems cross product tractable
+    while still showing each protocol's contention behaviour from idle to
+    saturation.
+    """
+    points = sorted(set(load_points))
+    if len(points) <= 3:
+        return points
+    return [points[0], points[len(points) // 2], points[-1]]
+
+
+#: One study combination: (system label, mac, channels, load).
+StudyKey = Tuple[str, str, int, float]
+
+
+@dataclass
+class Fig8Result:
+    """Per-combination summaries of the MAC × channel × load study."""
+
+    fidelity: str
+    macs: List[str]
+    channel_counts: List[int]
+    loads: List[float]
+    pattern: str = "uniform"
+    points: Dict[StudyKey, LoadPointSummary] = field(default_factory=dict)
+    #: Combinations whose per-channel energy failed to reconcile (must be
+    #: empty; kept for the report and the tests).
+    reconciliation_failures: List[StudyKey] = field(default_factory=list)
+
+    def rows(self) -> List[List[object]]:
+        """One row per combination, grouped by system / MAC / channels."""
+        rows = []
+        for key in sorted(self.points):
+            system, mac, channels, load = key
+            point = self.points[key]
+            rows.append(
+                [
+                    system,
+                    mac,
+                    channels,
+                    # Pre-format: neighbouring sweep loads differ by less
+                    # than the table's default 3-decimal float rendering.
+                    f"{load:g}",
+                    point.bandwidth_gbps_per_core,
+                    point.average_latency_cycles,
+                    point.system_packet_energy_nj,
+                    point.delivery_ratio,
+                    point.mac_control_energy_pj / 1e3,
+                ]
+            )
+        return rows
+
+    def best_mac(self, system: str) -> Tuple[str, int, float]:
+        """(MAC, channels, bandwidth) with the highest peak bandwidth."""
+        best: Optional[Tuple[str, int, float]] = None
+        for (label, mac, channels, _), point in self.points.items():
+            if label != system:
+                continue
+            bandwidth = point.bandwidth_gbps_per_core
+            if best is None or bandwidth > best[2]:
+                best = (mac, channels, bandwidth)
+        if best is None:
+            raise KeyError(f"no study points for system {system!r}")
+        return best
+
+    @property
+    def reconciled(self) -> bool:
+        """Whether every combination's channel energy summed to the aggregate."""
+        return not self.reconciliation_failures
+
+
+def _check_reconciliation(point: LoadPointSummary) -> bool:
+    """Per-channel components must sum to the aggregate breakdown shares."""
+    sums = {"wireless_pj": 0.0, "mac_control_pj": 0.0, "transceiver_static_pj": 0.0}
+    for components in point.channel_energy_pj.values():
+        for name in sums:
+            sums[name] += components.get(name, 0.0)
+    return (
+        math.isclose(sums["wireless_pj"], point.wireless_energy_pj, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-6)
+        and math.isclose(
+            sums["mac_control_pj"], point.mac_control_energy_pj, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-6
+        )
+        and math.isclose(
+            sums["transceiver_static_pj"],
+            point.transceiver_static_energy_pj,
+            rel_tol=RECONCILE_REL_TOL,
+            abs_tol=1e-6,
+        )
+    )
+
+
+def run(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+    mac: Optional[str] = None,
+) -> Fig8Result:
+    """Run the MAC study at the requested fidelity.
+
+    ``mac`` pins the study to one registered protocol (the CLI's ``--mac``);
+    by default every registered protocol is swept.  All combinations are
+    one runner batch, so the study parallelises across ``runner.jobs``.
+    """
+    level = get_fidelity(fidelity)
+    active = runner if runner is not None else ExperimentRunner()
+    macs = [mac] if mac else available_macs()
+    for name in macs:
+        mac_spec(name)  # unknown names fail before any simulation runs
+    channel_counts = sorted(set(level.channel_counts))
+    loads = study_loads(level.load_points)
+    systems = fig8_systems()
+
+    tasks: Dict[StudyKey, object] = {}
+    for label, config in systems.items():
+        for mac_name in macs:
+            for channels in channel_counts:
+                combo_config = config.with_wireless(num_channels=channels)
+                for load in loads:
+                    tasks[(label, mac_name, channels, load)] = uniform_task(
+                        combo_config,
+                        level,
+                        load=load,
+                        memory_access_fraction=MEMORY_ACCESS_FRACTION,
+                        pattern=pattern,
+                        mac=mac_name,
+                    )
+    results = active.run(list(tasks.values()))
+
+    study = Fig8Result(
+        fidelity=level.name,
+        macs=list(macs),
+        channel_counts=list(channel_counts),
+        loads=list(loads),
+        pattern=pattern,
+    )
+    for key, task in tasks.items():
+        point = results[task]
+        study.points[key] = point
+        if not _check_reconciliation(point):
+            study.reconciliation_failures.append(key)
+    if study.reconciliation_failures:
+        broken = ", ".join(map(str, study.reconciliation_failures[:5]))
+        raise AssertionError(
+            "per-channel energy does not reconcile with the aggregate "
+            f"EnergyBreakdown for {len(study.reconciliation_failures)} "
+            f"combination(s), e.g. {broken}"
+        )
+    return study
+
+
+def format_report(result: Fig8Result) -> str:
+    """Text report: the study table plus per-system best-MAC lines."""
+    table = format_table(
+        [
+            "System",
+            "MAC",
+            "Channels",
+            "Load",
+            "BW/core (Gbps)",
+            "Avg latency (cyc)",
+            "Energy/pkt (nJ)",
+            "Delivery ratio",
+            "MAC ctrl (nJ)",
+        ],
+        result.rows(),
+    )
+    workload = "" if result.pattern == "uniform" else f", {result.pattern} traffic"
+    heading = format_heading(
+        f"Fig. 8 - MAC study: {'/'.join(result.macs)} x channels "
+        f"{result.channel_counts}{workload} [fidelity={result.fidelity}]"
+    )
+    best_lines = []
+    for system in sorted({key[0] for key in result.points}):
+        mac, channels, bandwidth = result.best_mac(system)
+        best_lines.append(
+            f"  {system}: peak bandwidth {bandwidth:.3f} Gbps/core with "
+            f"mac={mac}, channels={channels}"
+        )
+    reconcile = (
+        "  per-channel energy reconciles with the aggregate EnergyBreakdown "
+        f"for all {len(result.points)} combinations"
+    )
+    return "{}\n{}\n{}\n{}".format(heading, table, "\n".join(best_lines), reconcile)
+
+
+def main(
+    fidelity: str = "default",
+    runner: Optional[ExperimentRunner] = None,
+    pattern: str = "uniform",
+    mac: Optional[str] = None,
+) -> str:
+    """Run and format the experiment (used by the CLI and benchmarks)."""
+    report = format_report(run(fidelity, runner=runner, pattern=pattern, mac=mac))
+    print(report)
+    return report

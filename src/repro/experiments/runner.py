@@ -43,12 +43,16 @@ from ..parallel.cache import ResultCache
 from ..parallel.executor import run_tasks
 from ..parallel.hashing import stable_hash
 from ..traffic.rng import derive_seed
+from ..wireless.mac.registry import mac_spec
 
 #: Bump when the payload schema or simulation semantics change, so stale
 #: cache entries from older code versions are never reused.
 #: v3: fault-injection fields (``faults``, ``fault_rate``) joined the task
 #: and the cached payload gained the resilience counters.
-TASK_SCHEMA_VERSION = 3
+#: v4: the wireless MAC protocol override (``mac``) joined the task — the
+#: experiment CLI's ``--mac`` flag and the fig8 MAC study sweep it — so a
+#: task's cache key now pins the arbitration protocol explicitly.
+TASK_SCHEMA_VERSION = 4
 
 #: Default on-disk location of the per-task result cache (relative to the
 #: working directory; see EXPERIMENTS.md).
@@ -71,8 +75,15 @@ class SimulationTask:
     ``fault_rate``; the fault plan's seed is derived from the task seed, so
     the injected faults are part of the task's deterministic content.  The
     default ``"none"`` runs the pristine fabric and is bit-identical to a
-    pre-fault-subsystem task.  Instances are frozen (usable as dict keys)
-    and picklable (shippable to worker processes).
+    pre-fault-subsystem task.
+
+    ``mac`` overrides the wireless MAC protocol of the task's system
+    configuration with any name from the MAC registry
+    (:mod:`repro.wireless.mac.registry`); the empty default keeps the
+    configuration's own protocol.  On wired architectures the override is
+    inert (there is no wireless fabric to arbitrate) but still part of the
+    cache key.  Instances are frozen (usable as dict keys) and picklable
+    (shippable to worker processes).
     """
 
     kind: str
@@ -87,6 +98,7 @@ class SimulationTask:
     pattern: str = "uniform"
     faults: str = "none"
     fault_rate: float = 0.0
+    mac: str = ""
 
     def __post_init__(self) -> None:
         if self.kind == "uniform":
@@ -104,6 +116,8 @@ class SimulationTask:
         scenario_spec(self.faults)  # raises UnknownScenarioError early
         if not 0.0 <= self.fault_rate <= 1.0:
             raise ValueError("fault_rate must be in [0, 1]")
+        if self.mac:
+            mac_spec(self.mac)  # raises UnknownMacError early
 
     @property
     def label(self) -> str:
@@ -114,6 +128,8 @@ class SimulationTask:
                 detail = f"pattern={self.pattern} {detail}"
         else:
             detail = f"app={self.application}"
+        if self.mac:
+            detail = f"{detail} mac={self.mac}"
         if self.faults != "none":
             detail = f"{detail} faults={self.faults}@{self.fault_rate:g}"
         return f"{self.config.name} {detail}"
@@ -140,6 +156,7 @@ class SimulationTask:
                 "pattern": self.pattern,
                 "faults": self.faults,
                 "fault_rate": self.fault_rate,
+                "mac": self.mac,
             }
         )
 
@@ -151,6 +168,12 @@ class SimulationTask:
         """The same task with a different RNG seed."""
         return replace(self, seed=seed)
 
+    def effective_config(self) -> SystemConfig:
+        """The system configuration with the MAC override applied."""
+        if not self.mac or self.config.network.wireless.mac == self.mac:
+            return self.config
+        return self.config.with_wireless(mac=self.mac)
+
 
 def uniform_task(
     config: SystemConfig,
@@ -161,6 +184,7 @@ def uniform_task(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> SimulationTask:
     """One synthetic-traffic task at one offered load.
 
@@ -168,7 +192,8 @@ def uniform_task(
     ``seed`` attributes (normally a :class:`repro.experiments.common.Fidelity`).
     ``pattern`` selects any registered traffic pattern (default: uniform
     random traffic, the paper's synthetic workload); ``faults`` /
-    ``fault_rate`` select a registered fault scenario and its severity.
+    ``fault_rate`` select a registered fault scenario and its severity;
+    ``mac`` overrides the wireless MAC protocol by registered name.
     """
     return SimulationTask(
         kind="synthetic",
@@ -181,6 +206,7 @@ def uniform_task(
         pattern=pattern,
         faults=faults,
         fault_rate=fault_rate,
+        mac=mac,
     )
 
 
@@ -217,6 +243,7 @@ def sweep_tasks(
     pattern: str = "uniform",
     faults: str = "none",
     fault_rate: float = 0.0,
+    mac: str = "",
 ) -> List[SimulationTask]:
     """The per-load-point tasks of one synthetic load sweep.
 
@@ -233,6 +260,7 @@ def sweep_tasks(
             pattern=pattern,
             faults=faults,
             fault_rate=fault_rate,
+            mac=mac,
         )
         for load in selected
     ]
@@ -266,7 +294,7 @@ def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, objec
     bypass the result cache, so the timings always come from real work).
     """
     simulation = MultichipSimulation.from_config(
-        task.config,
+        task.effective_config(),
         SimulationConfig(
             cycles=task.cycles,
             warmup_cycles=task.warmup_cycles,

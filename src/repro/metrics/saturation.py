@@ -167,6 +167,14 @@ class LoadPointSummary:
     packets_rerouted: int = 0
     packets_dropped_unroutable: int = 0
     partitions_reported: int = 0
+    # Wireless-plane energy attribution (all zero/empty on wired runs;
+    # carried through the result cache so the fig8 MAC study can report —
+    # and reconcile — per-channel energy from cached points).  Channel ids
+    # are stored as strings because the payload round-trips through JSON.
+    wireless_energy_pj: float = 0.0
+    mac_control_energy_pj: float = 0.0
+    transceiver_static_energy_pj: float = 0.0
+    channel_energy_pj: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @classmethod
     def from_result(
@@ -191,6 +199,13 @@ class LoadPointSummary:
             packets_rerouted=result.packets_rerouted,
             packets_dropped_unroutable=result.packets_dropped_unroutable,
             partitions_reported=result.partitions_reported,
+            wireless_energy_pj=result.energy.wireless_pj,
+            mac_control_energy_pj=result.energy.mac_control_pj,
+            transceiver_static_energy_pj=result.energy.transceiver_static_pj,
+            channel_energy_pj={
+                str(channel_id): dict(components)
+                for channel_id, components in result.channel_energy_pj.items()
+            },
         )
 
     def acceptance_ratio(self) -> float:

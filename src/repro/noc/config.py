@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .pool import MAX_PACKET_LENGTH_FLITS
+from ..wireless.mac.registry import UnknownMacError, mac_spec
 from ..energy.technology import (
     DEFAULT_PACKET_LENGTH_FLITS,
     DEFAULT_TECHNOLOGY,
@@ -29,8 +30,11 @@ from ..energy.technology import (
 class WirelessConfig:
     """Configuration of the wireless channel, transceivers and MAC."""
 
-    #: MAC protocol: ``"control_packet"`` (the paper's proposal) or
-    #: ``"token"`` (the baseline token-passing MAC of [7]).
+    #: MAC protocol, any name from the MAC registry
+    #: (:func:`repro.wireless.mac.available_macs`): ``"control_packet"``
+    #: (the paper's proposal), ``"token"`` (the baseline token-passing MAC
+    #: of [7]), ``"tdma"`` (static slotted schedule) or ``"fdma"``
+    #: (per-WI dedicated sub-bands).
     mac: str = "control_packet"
     #: Number of orthogonal frequency channels the WIs are divided over.
     #: One 16 GHz-wide channel is the paper's literal physical layer; the
@@ -50,6 +54,11 @@ class WirelessConfig:
     max_control_tuples: int = DEFAULT_VIRTUAL_CHANNELS
     #: Token hand-off latency of the baseline token MAC.
     token_pass_latency_cycles: int = TOKEN_PASS_LATENCY_CYCLES
+    #: Slot length of the static TDMA MAC [cycles]; ``None`` sizes the slot
+    #: to one packet's serialisation time.
+    tdma_slot_cycles: Optional[int] = None
+    #: Guard (synchronisation) time at the start of every TDMA slot.
+    tdma_guard_cycles: int = 1
     #: Whether receivers not addressed by the current control packet are
     #: power-gated ("sleepy transceivers" [17]).
     sleepy_receivers: bool = True
@@ -59,8 +68,10 @@ class WirelessConfig:
     wi_buffer_depth_flits: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.mac not in ("control_packet", "token"):
-            raise ValueError(f"unknown MAC protocol {self.mac!r}")
+        try:
+            mac_spec(self.mac)
+        except UnknownMacError as error:
+            raise ValueError(str(error)) from None
         if self.num_channels <= 0:
             raise ValueError("num_channels must be positive")
         if self.cycles_per_flit <= 0:
@@ -69,6 +80,19 @@ class WirelessConfig:
             raise ValueError("control_packet_cycles must be positive")
         if self.max_control_tuples <= 0:
             raise ValueError("max_control_tuples must be positive")
+        if self.tdma_slot_cycles is not None and self.tdma_slot_cycles <= 0:
+            raise ValueError("tdma_slot_cycles must be positive")
+        if self.tdma_guard_cycles < 0:
+            raise ValueError("tdma_guard_cycles must be non-negative")
+        if (
+            self.tdma_slot_cycles is not None
+            and self.tdma_guard_cycles >= self.tdma_slot_cycles
+        ):
+            raise ValueError(
+                "tdma_guard_cycles must be smaller than tdma_slot_cycles "
+                f"(got guard={self.tdma_guard_cycles}, "
+                f"slot={self.tdma_slot_cycles})"
+            )
 
 
 @dataclass(frozen=True)
@@ -108,18 +132,31 @@ class NetworkConfig:
             raise ValueError("injection_width_flits must be positive")
         if self.ejection_width_per_endpoint <= 0:
             raise ValueError("ejection_width_per_endpoint must be positive")
+        if self.wireless.mac == "tdma" and self.wireless.tdma_slot_cycles is None:
+            # The default TDMA slot is one packet's serialisation time; the
+            # guard must fit inside it, and only this config object knows
+            # the packet length — fail here, not at fabric construction.
+            derived_slot = self.packet_length_flits * self.wireless.cycles_per_flit
+            if self.wireless.tdma_guard_cycles >= derived_slot:
+                raise ValueError(
+                    "tdma_guard_cycles must be smaller than the derived "
+                    f"TDMA slot of {derived_slot} cycle(s) "
+                    "(packet_length_flits x cycles_per_flit); set "
+                    "tdma_slot_cycles explicitly for longer slots"
+                )
 
     @property
     def wi_buffer_depth(self) -> int:
         """Effective per-VC buffer depth at switches carrying a WI.
 
-        The token MAC only transmits whole packets, so its WIs must buffer an
-        entire packet (Section III-D); the control-packet MAC needs far less
-        — two normal buffer windows are enough to keep the channel streaming
-        between consecutive partial-packet bursts.
+        MACs that only transmit whole packets (the registry spec's
+        ``whole_packet_buffering`` flag — the token MAC) force their WIs to
+        buffer an entire packet (Section III-D); partial-packet MACs need
+        far less — two normal buffer windows are enough to keep the channel
+        streaming between consecutive bursts.
         """
         if self.wireless.wi_buffer_depth_flits is not None:
             return self.wireless.wi_buffer_depth_flits
-        if self.wireless.mac == "token":
+        if mac_spec(self.wireless.mac).whole_packet_buffering:
             return max(self.buffer_depth_flits, self.packet_length_flits)
         return 2 * self.buffer_depth_flits

@@ -26,10 +26,20 @@ Two implementations exist:
   every send is allowed unless fault injection failed the hop, nothing
   needs per-cycle updates.
 * :class:`WirelessFabric` — the shared-medium state of the deployed
-  wireless interfaces: channel assignment, one MAC instance per channel,
-  and the transceiver power states.  The destination (and therefore the
-  downstream input port) differs per packet, and sends are gated by the
-  owning MAC.
+  wireless interfaces: channel assignment, one MAC instance per channel
+  (built by name from the MAC registry), and the transceiver power states.
+  The destination (and therefore the downstream input port) differs per
+  packet, and sends are gated by the owning MAC.
+
+The wireless fabric doubles as the MAC protocols'
+:class:`~repro.wireless.mac.MacDataPlane`: :meth:`WirelessFabric.scan_pending`
+fills preallocated scratch arrays straight from the packet pool's parallel
+arrays and the per-WI occupied-VC ordinal sets — no
+:class:`~repro.wireless.mac.PendingTransmission` dataclass, tuple or list is
+created per cycle.  The object spelling (:meth:`WirelessFabric.pending`)
+survives as a test-only wrapper, exactly as :meth:`Fabric.may_send` wraps
+:meth:`Fabric.grants`; the wrapper-parity test matrix proves both paths
+produce bit-identical simulations for every registered MAC.
 """
 
 from __future__ import annotations
@@ -39,14 +49,15 @@ from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 from ..energy import EnergyAccountant
 from ..wireless.channel import assign_channels
 from ..wireless.mac import (
-    ControlPacketMac,
-    MacAdapter,
+    MacBuildContext,
+    MacDataPlane,
     MacProtocol,
     PendingTransmission,
-    TokenMac,
+    create_mac,
+    mac_spec,
 )
 from ..wireless.transceiver import Transceiver, TransceiverSpec, TransceiverState
-from .pool import PacketPool
+from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketPool
 from .port import InputPort, OutputPort
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -173,7 +184,7 @@ class WiredFabric(Fabric):
         return (src_switch_id, dst_switch_id) not in self.failed_pairs
 
 
-class WirelessFabric(Fabric, MacAdapter):
+class WirelessFabric(Fabric, MacDataPlane):
     """Shared-medium state of the deployed wireless interfaces."""
 
     is_wireless = True
@@ -195,11 +206,29 @@ class WirelessFabric(Fabric, MacAdapter):
         self._accountant: Optional[EnergyAccountant] = None
         self._pool: Optional[PacketPool] = None
         self._flit_hops = 0
+        #: Per-flit dynamic energy of the shared wireless link (identical on
+        #: every WI port; cached for the per-channel energy attribution).
+        wireless_link = switches[0].wireless_output
+        self._flit_energy_pj = (
+            wireless_link.link.energy_pj_per_flit
+            if wireless_link is not None and wireless_link.link is not None
+            else 0.0
+        )
         #: WIs whose transceiver has died (fault injection).  A dead WI
         #: reports no pending traffic, accepts nothing, grants no new
         #: packets and is permanently power-gated; in-flight bursts drain
         #: (transceiver failures are packet-atomic, like link failures).
         self.dead_wis: Set[int] = set()
+
+        #: Scratch arrays of the hot pending scan (:meth:`scan_pending`);
+        #: one row per VC with traffic bound for the WI port, reused across
+        #: cycles so the scan allocates nothing after warm-up.
+        self.pend_dst: List[int] = []
+        self.pend_pid: List[int] = []
+        self.pend_buffered: List[int] = []
+        self.pend_length: List[int] = []
+        self.pend_remaining: List[int] = []
+        self.pend_head: List[int] = []
 
         spec = TransceiverSpec(
             data_rate_gbps=config.technology.wireless_data_rate_gbps,
@@ -207,57 +236,67 @@ class WirelessFabric(Fabric, MacAdapter):
             idle_power_mw=config.technology.wireless_idle_power_mw,
             sleep_power_mw=config.technology.wireless_sleep_power_mw,
         )
+        power_gating = (
+            wireless_cfg.sleepy_receivers
+            and mac_spec(wireless_cfg.mac).supports_sleepy_receivers
+        )
         self.transceivers: Dict[int, Transceiver] = {
-            wi_id: Transceiver(
-                wi_id=wi_id,
-                spec=spec,
-                power_gating=wireless_cfg.sleepy_receivers
-                and wireless_cfg.mac == "control_packet",
-            )
+            wi_id: Transceiver(wi_id=wi_id, spec=spec, power_gating=power_gating)
             for wi_id in ordered_ids
         }
 
         self.channel_plans = assign_channels(ordered_ids, wireless_cfg.num_channels)
         self.macs: List[MacProtocol] = []
         self._mac_of: Dict[int, MacProtocol] = {}
+        #: Per-MAC member transceivers, precompiled so the per-cycle power
+        #: update iterates flat lists instead of chasing two dictionaries.
+        self._mac_members: List[Tuple[MacProtocol, List[Tuple[int, Transceiver]]]] = []
         for plan in self.channel_plans:
             if not plan.wi_switch_ids:
                 continue
-            mac = self._make_mac(plan.channel_id, list(plan.wi_switch_ids))
+            mac = create_mac(
+                wireless_cfg.mac,
+                MacBuildContext(
+                    channel_id=plan.channel_id,
+                    wi_switch_ids=list(plan.wi_switch_ids),
+                    plane=self,
+                    wireless=wireless_cfg,
+                    packet_length_flits=config.packet_length_flits,
+                ),
+            )
             self.macs.append(mac)
+            members = []
             for wi_id in plan.wi_switch_ids:
                 self._mac_of[wi_id] = mac
+                members.append((wi_id, self.transceivers[wi_id]))
+            self._mac_members.append((mac, members))
 
-    def _make_mac(self, channel_id: int, wi_ids: List[int]) -> MacProtocol:
-        wireless_cfg = self._config.wireless
-        if wireless_cfg.mac == "token":
-            return TokenMac(
-                channel_id,
-                wi_ids,
-                adapter=self,
-                token_pass_latency_cycles=wireless_cfg.token_pass_latency_cycles,
-                max_hold_cycles=4 * self._config.packet_length_flits
-                * wireless_cfg.cycles_per_flit
-                + 64,
-            )
-        return ControlPacketMac(
-            channel_id,
-            wi_ids,
-            adapter=self,
-            control_packet_cycles=wireless_cfg.control_packet_cycles,
-            control_packet_bits=wireless_cfg.control_packet_bits,
-            max_tuples=wireless_cfg.max_control_tuples,
-            cycles_per_flit=wireless_cfg.cycles_per_flit,
-        )
+        #: Per-channel energy attribution (settled into
+        #: ``SimulationResult.channel_energy_pj`` by :meth:`finalize`).
+        self._channel_flit_hops: Dict[int, int] = {
+            mac.channel_id: 0 for mac in self.macs
+        }
+        self._channel_control_pj: Dict[int, float] = {
+            mac.channel_id: 0.0 for mac in self.macs
+        }
 
     # ------------------------------------------------------------------
-    # MacAdapter interface.
+    # MacDataPlane interface (the hot path the MAC protocols read).
     # ------------------------------------------------------------------
 
-    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
-        """Traffic waiting for the wireless port of one WI switch."""
+    def scan_pending(self, wi_switch_id: int) -> int:
+        """Fill the scratch arrays with one WI's wireless-bound traffic.
+
+        Inlines the VC scan on the pool's parallel arrays: for every
+        occupied VC of the WI switch (ascending ordinal — the historical
+        full-table order) whose current packet leaves over the WI port, one
+        scratch row records destination, packet id, buffered flits, packet
+        length, flits still to cross the hop, and whether the front flit is
+        the packet's head.  Returns the row count; rows of the previous
+        scan become invalid.
+        """
         if wi_switch_id in self.dead_wis:
-            return []
+            return 0
         pool = self._pool
         if pool is None:
             raise FabricError(
@@ -265,31 +304,67 @@ class WirelessFabric(Fabric, MacAdapter):
                 "call bind_pool() before the first MAC update"
             )
         switch = self._switches[wi_switch_id]
-        entries = []
+        occupied = switch.occupied
+        if not occupied:
+            return 0
+        pend_dst = self.pend_dst
+        pend_pid = self.pend_pid
+        pend_buffered = self.pend_buffered
+        pend_length = self.pend_length
+        pend_remaining = self.pend_remaining
+        pend_head = self.pend_head
         pool_pid = pool.pid
         pool_length = pool.length_flits
-        for vc, dst_switch, handle, buffered, remaining in switch.wireless_pending(pool):
-            length = pool_length[handle]
-            entries.append(
-                PendingTransmission(
-                    dst_switch=dst_switch,
-                    packet_id=pool_pid[handle],
-                    buffered_flits=buffered,
-                    packet_length_flits=length,
-                    front_is_head=remaining == length,
-                    remaining_flits=remaining,
-                )
-            )
-        return entries
+        pool_route = pool.route
+        pool_head_hop = pool.head_hop
+        pool_dst_switch = pool.dst_switch
+        vc_by_ordinal = switch.vc_by_ordinal
+        output_ports = switch.output_ports
+        wireless_output = switch.wireless_output
+        switch_id = switch.switch_id
+        count = 0
+        for ordinal in sorted(occupied):
+            vc = vc_by_ordinal[ordinal]
+            front = vc.buf[vc.head]
+            handle = front >> FLIT_INDEX_BITS
+            current_output = vc.current_output
+            if current_output is None:
+                # Head flit not yet processed: peek at the route.
+                if switch_id == pool_dst_switch[handle]:
+                    continue
+                dst = pool_route[handle][pool_head_hop[handle] + 1]
+                if output_ports.get(dst) is not None:
+                    continue  # wired hop
+            elif current_output is wireless_output:
+                dst = vc.downstream_switch
+            else:
+                continue
+            if count == len(pend_dst):
+                pend_dst.append(0)
+                pend_pid.append(0)
+                pend_buffered.append(0)
+                pend_length.append(0)
+                pend_remaining.append(0)
+                pend_head.append(0)
+            front_index = front & FLIT_INDEX_MASK
+            pend_dst[count] = dst
+            pend_pid[count] = pool_pid[handle]
+            pend_buffered[count] = vc.count
+            pend_length[count] = pool_length[handle]
+            pend_remaining[count] = pool_length[handle] - front_index
+            pend_head[count] = 0 if front_index else 1
+            count += 1
+        return count
 
-    def record_control_energy(self, energy_pj: float) -> None:
+    def record_control_energy(self, energy_pj: float, channel_id: int = -1) -> None:
         """Charge MAC control/token overhead to the current run's accountant."""
         if self._accountant is not None:
             self._accountant.record_mac_control(energy_pj)
+        self._channel_control_pj[channel_id] = (
+            self._channel_control_pj.get(channel_id, 0.0) + energy_pj
+        )
 
-    def acceptable_flits(
-        self, dst_switch: int, packet_id: int, is_head: bool
-    ) -> int:
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
         """Flits the destination WI can take over the coming burst.
 
         The receiver drains its buffer into the destination chip's mesh
@@ -311,6 +386,23 @@ class WirelessFabric(Fabric, MacAdapter):
         if free is None:
             return 0
         return 2 * free.capacity
+
+    # Legacy object spelling of the pending scan (unit tests, diagnostics).
+
+    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
+        """Test-only wrapper: the hot scan's rows as dataclasses."""
+        count = self.scan_pending(wi_switch_id)
+        return [
+            PendingTransmission(
+                dst_switch=self.pend_dst[row],
+                packet_id=self.pend_pid[row],
+                buffered_flits=self.pend_buffered[row],
+                packet_length_flits=self.pend_length[row],
+                front_is_head=bool(self.pend_head[row]),
+                remaining_flits=self.pend_remaining[row],
+            )
+            for row in range(count)
+        ]
 
     # ------------------------------------------------------------------
     # Fabric interface (used by the kernel).
@@ -351,36 +443,39 @@ class WirelessFabric(Fabric, MacAdapter):
         """Advance every channel's MAC and the transceiver power states."""
         for mac in self.macs:
             mac.update(cycle)
-        for mac in self.macs:
+        dead_wis = self.dead_wis
+        for mac, members in self._mac_members:
             transmitter = mac.current_transmitter()
-            receivers = mac.intended_receivers() if transmitter is not None else set()
-            for wi_id in mac.wi_switch_ids:
-                transceiver = self.transceivers[wi_id]
-                if wi_id in self.dead_wis:
-                    transceiver.set_state(TransceiverState.SLEEPING)
+            if transmitter is None:
+                for wi_id, transceiver in members:
+                    if wi_id in dead_wis:
+                        transceiver.set_state(TransceiverState.SLEEPING)
+                    else:
+                        transceiver.set_state(TransceiverState.IDLE)
                     transceiver.tick()
-                    continue
-                if wi_id == transmitter:
-                    transceiver.set_state(TransceiverState.TRANSMITTING)
-                elif wi_id in receivers:
-                    transceiver.set_state(TransceiverState.RECEIVING)
-                elif transmitter is not None:
+                continue
+            for wi_id, transceiver in members:
+                if wi_id in dead_wis:
                     transceiver.set_state(TransceiverState.SLEEPING)
+                elif wi_id == transmitter:
+                    transceiver.set_state(TransceiverState.TRANSMITTING)
+                elif mac.is_intended_receiver(wi_id):
+                    transceiver.set_state(TransceiverState.RECEIVING)
                 else:
-                    transceiver.set_state(TransceiverState.IDLE)
+                    transceiver.set_state(TransceiverState.SLEEPING)
                 transceiver.tick()
 
     def grants(
         self, src_switch_id: int, packet_id: int, dst_switch_id: int, is_head: bool
     ) -> bool:
-        """Whether the MAC grants this flit transmission right now."""
+        """Whether the owning MAC grants this flit transmission right now."""
         if self.dead_wis and is_head:
             if src_switch_id in self.dead_wis or dst_switch_id in self.dead_wis:
                 return False
         mac = self._mac_of.get(src_switch_id)
         if mac is None:
             return False
-        return mac.may_send(src_switch_id, packet_id, dst_switch_id, is_head)
+        return mac.grants(src_switch_id, packet_id, dst_switch_id, is_head)
 
     def notify_sent(
         self,
@@ -394,14 +489,18 @@ class WirelessFabric(Fabric, MacAdapter):
         self._flit_hops += 1
         mac = self._mac_of.get(src_switch_id)
         if mac is not None:
-            mac.on_flit_sent(src_switch_id, packet_id, dst_switch_id, is_tail, cycle)
+            self._channel_flit_hops[mac.channel_id] += 1
+            mac.notify_sent(src_switch_id, packet_id, dst_switch_id, is_tail, cycle)
 
     def finalize(self, result: "SimulationResult", accountant: EnergyAccountant) -> None:
         """Charge transceiver static energy and publish the MAC statistics."""
         accountant.add_transceiver_static_energy(self.total_transceiver_static_energy_pj())
+        for mac in self.macs:
+            mac.finalize_stats()
         result.mac_statistics = self.mac_statistics()
         result.transceiver_sleep_fraction = self.average_sleep_fraction()
         result.wireless_flit_hops = self._flit_hops
+        result.channel_energy_pj = self.channel_energy_breakdown()
 
     def total_transceiver_static_energy_pj(self) -> float:
         """Static energy of all transceivers over the accounted cycles."""
@@ -411,6 +510,40 @@ class WirelessFabric(Fabric, MacAdapter):
     def mac_statistics(self) -> Dict[int, Dict[str, int]]:
         """Per-channel MAC counters."""
         return {mac.channel_id: mac.stats.as_dict() for mac in self.macs}
+
+    def channel_energy_breakdown(self) -> Dict[int, Dict[str, float]]:
+        """Per-channel energy attribution [pJ].
+
+        One entry per active channel (plus ``-1`` for control energy
+        recorded without a channel by legacy callers, if any): the data
+        energy of the flits that crossed the channel, the MAC
+        control/token overhead, and the static energy of the channel's
+        transceivers.  Each component sums exactly to its aggregate in the
+        run's :class:`~repro.energy.accounting.EnergyBreakdown`
+        (``wireless_pj``, ``mac_control_pj``, ``transceiver_static_pj``) —
+        the reconciliation the fig8 experiment and the wireless-plane tests
+        assert.
+        """
+        cycle_time = self._config.technology.cycle_time_s
+        channel_static: Dict[int, float] = {mac.channel_id: 0.0 for mac in self.macs}
+        for plan in self.channel_plans:
+            if plan.channel_id not in channel_static:
+                continue
+            channel_static[plan.channel_id] = sum(
+                self.transceivers[wi_id].static_energy_pj(cycle_time)
+                for wi_id in plan.wi_switch_ids
+            )
+        breakdown: Dict[int, Dict[str, float]] = {}
+        channels = set(self._channel_flit_hops) | set(self._channel_control_pj)
+        for channel_id in sorted(channels):
+            breakdown[channel_id] = {
+                "wireless_pj": (
+                    self._channel_flit_hops.get(channel_id, 0) * self._flit_energy_pj
+                ),
+                "mac_control_pj": self._channel_control_pj.get(channel_id, 0.0),
+                "transceiver_static_pj": channel_static.get(channel_id, 0.0),
+            }
+        return breakdown
 
     def average_sleep_fraction(self) -> float:
         """Mean fraction of cycles the transceivers spent power-gated."""

@@ -44,6 +44,11 @@ class SimulationResult:
     energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
     include_static_energy: bool = True
     mac_statistics: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: Per-wireless-channel energy attribution [pJ] (empty on wired runs):
+    #: ``{channel_id: {wireless_pj, mac_control_pj, transceiver_static_pj}}``.
+    #: Each component sums exactly to its aggregate in ``energy`` — see
+    #: :meth:`repro.noc.fabric.WirelessFabric.channel_energy_breakdown`.
+    channel_energy_pj: Dict[int, Dict[str, float]] = field(default_factory=dict)
     transceiver_sleep_fraction: float = 0.0
     stalled: bool = False
     offered_load_packets_per_core_per_cycle: float = 0.0

@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..topology.graph import SwitchSpec
 from .link import LinkCharacteristics
-from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketPool
 from .port import LOCAL_PORT, WIRELESS_PORT, InputPort, OutputPort
 from .virtual_channel import VirtualChannel
 
@@ -181,41 +180,11 @@ class Switch:
         """Total flits buffered anywhere in this switch."""
         return sum(vc.count for vc in self.all_vcs())
 
-    def wireless_pending(
-        self, pool: PacketPool
-    ) -> List[Tuple[VirtualChannel, int, int, int, int]]:
-        """Traffic currently waiting for the wireless port.
-
-        Returns ``(vc, destination_switch, packet_handle, buffered_flits,
-        remaining_flits)`` for every VC whose current packet leaves this
-        switch over the WI port; ``remaining_flits`` counts the buffered
-        flits plus those of the same packet still streaming towards this
-        switch.  Used by the MAC protocols to build their transmission plans.
-        """
-        if self.wireless_output is None:
-            return []
-        pending = []
-        pool_length = pool.length_flits
-        pool_route = pool.route
-        pool_head_hop = pool.head_hop
-        pool_dst_switch = pool.dst_switch
-        for vc in self.vc_list or self.all_vcs():
-            if not vc.count:
-                continue
-            front = vc.buf[vc.head]
-            handle = front >> FLIT_INDEX_BITS
-            remaining = pool_length[handle] - (front & FLIT_INDEX_MASK)
-            if vc.current_output is None:
-                # Head flit not yet processed: peek at the route.
-                if self.switch_id == pool_dst_switch[handle]:
-                    continue
-                next_switch = pool_route[handle][pool_head_hop[handle] + 1]
-                if self.output_ports.get(next_switch) is not None:
-                    continue  # wired hop
-                pending.append((vc, next_switch, handle, vc.count, remaining))
-            elif vc.current_output is self.wireless_output:
-                pending.append((vc, vc.downstream_switch, handle, vc.count, remaining))
-        return pending
+    # The per-WI pending scan the MAC protocols plan from lives on the
+    # wireless fabric (:meth:`repro.noc.fabric.WirelessFabric.scan_pending`):
+    # it reads this switch's occupied-VC ordinal set and the packet pool's
+    # parallel arrays directly, so the switch needs no wireless-specific
+    # per-cycle logic of its own.
 
     def select_round_robin(
         self, output: OutputPort, candidates: List[VirtualChannel]

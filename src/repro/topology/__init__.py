@@ -39,6 +39,7 @@ from .substrate import SubstrateOverlayConfig, apply_substrate_overlay
 from .wireless_overlay import (
     WirelessOverlayConfig,
     apply_wireless_overlay,
+    channel_assignment,
     connect_wireless_interfaces,
     max_wireless_distance_mm,
     wireless_area_overhead_mm2,
@@ -70,6 +71,7 @@ __all__ = [
     "build_memory_stack_die",
     "build_multichip_base",
     "build_processor_chip",
+    "channel_assignment",
     "cluster_centers",
     "connect_wireless_interfaces",
     "euclidean_mm",

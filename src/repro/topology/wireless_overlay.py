@@ -17,8 +17,9 @@ WI port and enforces the shared-medium constraint through the MAC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
+from ..wireless.channel import assign_channels
 from .geometry import euclidean_mm
 from .graph import LinkKind, LinkSpec, TopologyGraph
 from .mesh import cluster_centers
@@ -41,6 +42,12 @@ class WirelessOverlayConfig:
     #: intra-chip traffic may then use the wireless shortcut when it reduces
     #: the path length, as observed for the 1C4M configuration.
     connect_same_region: bool = True
+    #: Orthogonal frequency channels the deployed WIs will be divided over
+    #: (mirrors :attr:`repro.noc.config.WirelessConfig.num_channels`; the
+    #: architecture registry threads the simulated value through so
+    #: topology-level planning — :func:`channel_assignment` — matches the
+    #: fabric's round-robin channel plan exactly).
+    num_channels: int = 1
 
 
 def apply_wireless_overlay(
@@ -50,6 +57,8 @@ def apply_wireless_overlay(
     """Deploy WIs and add pairwise wireless links; return created links."""
     if config.cores_per_wi <= 0:
         raise ValueError("cores_per_wi must be positive")
+    if config.num_channels <= 0:
+        raise ValueError("num_channels must be positive")
 
     graph = system.graph
 
@@ -100,6 +109,24 @@ def connect_wireless_interfaces(
                 )
             )
     return created
+
+
+def channel_assignment(
+    graph: TopologyGraph, num_channels: int
+) -> Dict[int, List[int]]:
+    """Planned channel → WI-switch-id grouping of the deployed WIs.
+
+    Uses the same round-robin policy as the simulator's wireless fabric
+    (:func:`repro.wireless.channel.assign_channels`), so topology-level
+    reports and the fig8 channel sweep describe exactly the grouping the
+    MAC instances will arbitrate.  Channels left without a WI are omitted.
+    """
+    wi_ids = [spec.switch_id for spec in graph.wireless_switches]
+    return {
+        plan.channel_id: list(plan.wi_switch_ids)
+        for plan in assign_channels(wi_ids, num_channels)
+        if plan.wi_switch_ids
+    }
 
 
 def wireless_interface_count(graph: TopologyGraph) -> int:

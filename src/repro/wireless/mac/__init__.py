@@ -1,15 +1,44 @@
 """Medium access control protocols for the shared wireless channel."""
 
-from .base import MacAdapter, MacProtocol, MacStatistics, PendingTransmission
+from .base import (
+    LegacyAdapterBridge,
+    MacAdapter,
+    MacDataPlane,
+    MacProtocol,
+    MacStatistics,
+    PendingTransmission,
+)
 from .control_packet import ControlPacketMac, TransmissionPlan
+from .fdma import FdmaMac
+from .registry import (
+    MacBuildContext,
+    MacSpec,
+    UnknownMacError,
+    available_macs,
+    create_mac,
+    mac_spec,
+    register_mac,
+)
+from .tdma import TdmaMac
 from .token import TokenMac
 
 __all__ = [
     "ControlPacketMac",
+    "FdmaMac",
+    "LegacyAdapterBridge",
     "MacAdapter",
+    "MacBuildContext",
+    "MacDataPlane",
     "MacProtocol",
+    "MacSpec",
     "MacStatistics",
     "PendingTransmission",
+    "TdmaMac",
     "TokenMac",
     "TransmissionPlan",
+    "UnknownMacError",
+    "available_macs",
+    "create_mac",
+    "mac_spec",
+    "register_mac",
 ]

@@ -3,10 +3,33 @@
 Multiple WIs share each wireless channel; the MAC serialises their access so
 communication stays contention-free (Section III-D).  The simulator asks the
 MAC two questions every cycle: *may this WI put a flit for that destination
-on the air right now?* (``may_send``) and *who is transmitting / listening?*
-(for the sleepy-transceiver power model).  The MAC in turn observes the
-traffic waiting at each WI through a small adapter interface so the protocol
-logic stays independent of the simulator's internals.
+on the air right now?* (:meth:`MacProtocol.grants`) and *who is transmitting
+/ listening?* (for the sleepy-transceiver power model).  The MAC in turn
+observes the traffic waiting at each WI through a *data plane* interface so
+the protocol logic stays independent of the simulator's internals.
+
+Two spellings of that boundary exist, mirroring the fabric layer:
+
+* :class:`MacDataPlane` — the **hot** handle-based interface.  A scan
+  (:meth:`MacDataPlane.scan_pending`) fills preallocated parallel scratch
+  arrays (``pend_dst`` / ``pend_pid`` / ``pend_buffered`` / ``pend_length``
+  / ``pend_remaining`` / ``pend_head``) straight from the packet pool and
+  the per-WI occupied-VC ordinal sets, and returns the entry count.  No
+  dataclass, tuple or list is created per cycle; MACs index the scratch
+  arrays.  :class:`~repro.noc.fabric.WirelessFabric` is the production
+  implementation.
+* :class:`MacAdapter` — the **legacy object** interface
+  (:meth:`MacAdapter.pending` returning :class:`PendingTransmission`
+  dataclasses).  It survives for unit tests and external callers; a
+  :class:`LegacyAdapterBridge` adapts any ``MacAdapter`` onto the hot
+  interface, so MAC implementations only ever speak
+  :class:`MacDataPlane`.
+
+Likewise, the per-flit admission methods are hot
+(:meth:`MacProtocol.grants` / :meth:`MacProtocol.notify_sent`, plain-int
+arguments), with the historical object-era spellings
+(:meth:`MacProtocol.may_send` / :meth:`MacProtocol.on_flit_sent`) kept as
+thin wrappers exactly as ``Fabric.may_send`` wraps ``Fabric.grants``.
 """
 
 from __future__ import annotations
@@ -18,7 +41,12 @@ from typing import Dict, List, Optional, Sequence, Set
 
 @dataclass(frozen=True)
 class PendingTransmission:
-    """One VC's worth of traffic waiting at a WI for the wireless channel."""
+    """One VC's worth of traffic waiting at a WI for the wireless channel.
+
+    Legacy object spelling of one scratch-array row of the hot scan; built
+    only by the test-facing wrappers (:class:`MacAdapter` implementations,
+    ``WirelessFabric.pending``), never on the per-cycle path.
+    """
 
     dst_switch: int
     packet_id: int
@@ -33,8 +61,59 @@ class PendingTransmission:
     remaining_flits: int = 0
 
 
+class MacDataPlane(abc.ABC):
+    """The handle-based hot interface a MAC protocol arbitrates over.
+
+    Implementations own the reusable pending-scan scratch arrays; a call to
+    :meth:`scan_pending` overwrites rows ``[0, count)`` and the previous
+    scan's contents become invalid.  MACs must therefore consume one scan
+    before requesting the next (every shipped protocol does — plans are
+    built from a single scan).
+    """
+
+    #: Parallel scratch arrays of the most recent :meth:`scan_pending`.
+    #: Row ``i`` describes one VC's pending traffic: destination switch,
+    #: globally unique packet id, flits buffered at the WI, total packet
+    #: length, flits still to cross the wireless hop, and whether the front
+    #: flit is the packet's head (1/0).
+    pend_dst: List[int]
+    pend_pid: List[int]
+    pend_buffered: List[int]
+    pend_length: List[int]
+    pend_remaining: List[int]
+    pend_head: List[int]
+
+    @abc.abstractmethod
+    def scan_pending(self, wi_switch_id: int) -> int:
+        """Fill the scratch arrays with one WI's pending traffic; return the count."""
+
+    @abc.abstractmethod
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
+        """How many flits of a packet the destination WI can buffer right now.
+
+        The control packet of the previous transmission towards the same
+        destination carries enough information for the transmitting WI to
+        know the destination VC occupancy, so MAC protocols plan only bursts
+        the receiver can actually accept.
+        """
+
+    @abc.abstractmethod
+    def record_control_energy(self, energy_pj: float, channel_id: int = -1) -> None:
+        """Charge the energy of a MAC control packet / token broadcast.
+
+        ``channel_id`` attributes the overhead to one wireless channel for
+        the per-channel energy breakdown; ``-1`` leaves it unattributed
+        (legacy callers).
+        """
+
+
 class MacAdapter(abc.ABC):
-    """What a MAC protocol can see and do in the surrounding system."""
+    """Legacy object view of the surrounding system (unit tests only).
+
+    Production code implements :class:`MacDataPlane` instead; any
+    ``MacAdapter`` handed to a :class:`MacProtocol` is wrapped in a
+    :class:`LegacyAdapterBridge` automatically.
+    """
 
     @abc.abstractmethod
     def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
@@ -45,16 +124,54 @@ class MacAdapter(abc.ABC):
         """Charge the energy of a MAC control packet / token broadcast."""
 
     @abc.abstractmethod
-    def acceptable_flits(
-        self, dst_switch: int, packet_id: int, is_head: bool
-    ) -> int:
-        """How many flits of a packet the destination WI can buffer right now.
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
+        """How many flits of a packet the destination WI can buffer right now."""
 
-        The control packet of the previous transmission towards the same
-        destination carries enough information for the transmitting WI to
-        know the destination VC occupancy, so MAC protocols plan only bursts
-        the receiver can actually accept.
-        """
+
+class LegacyAdapterBridge(MacDataPlane):
+    """Adapts a legacy :class:`MacAdapter` onto the hot scan interface.
+
+    Used by unit tests (scripted adapters) and by the wrapper-parity test
+    matrix, which proves the bridge and the native hot scan produce
+    bit-identical simulations.
+    """
+
+    def __init__(self, adapter: MacAdapter) -> None:
+        self.adapter = adapter
+        self.pend_dst: List[int] = []
+        self.pend_pid: List[int] = []
+        self.pend_buffered: List[int] = []
+        self.pend_length: List[int] = []
+        self.pend_remaining: List[int] = []
+        self.pend_head: List[int] = []
+
+    def scan_pending(self, wi_switch_id: int) -> int:
+        entries = self.adapter.pending(wi_switch_id)
+        if len(entries) > len(self.pend_dst):
+            grow = len(entries) - len(self.pend_dst)
+            for array in (
+                self.pend_dst,
+                self.pend_pid,
+                self.pend_buffered,
+                self.pend_length,
+                self.pend_remaining,
+                self.pend_head,
+            ):
+                array.extend([0] * grow)
+        for row, entry in enumerate(entries):
+            self.pend_dst[row] = entry.dst_switch
+            self.pend_pid[row] = entry.packet_id
+            self.pend_buffered[row] = entry.buffered_flits
+            self.pend_length[row] = entry.packet_length_flits
+            self.pend_remaining[row] = entry.remaining_flits
+            self.pend_head[row] = 1 if entry.front_is_head else 0
+        return len(entries)
+
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
+        return self.adapter.acceptable_flits(dst_switch, packet_id, is_head)
+
+    def record_control_energy(self, energy_pj: float, channel_id: int = -1) -> None:
+        self.adapter.record_control_energy(energy_pj)
 
 
 class MacStatistics:
@@ -91,24 +208,30 @@ class MacProtocol(abc.ABC):
         The WIs sharing the channel, in their fixed sequence order ("the WIs
         are numbered in a sequence", Section III-D).
     adapter:
-        View into the simulator (pending traffic, energy accounting).
+        View into the simulator (pending traffic, energy accounting): a
+        :class:`MacDataPlane` (production, hot) or a legacy
+        :class:`MacAdapter` (tests; bridged automatically).
     """
 
     def __init__(
         self,
         channel_id: int,
         wi_switch_ids: Sequence[int],
-        adapter: MacAdapter,
+        adapter,
     ) -> None:
         if not wi_switch_ids:
             raise ValueError("a wireless channel needs at least one WI")
         self.channel_id = channel_id
         self.wi_switch_ids = list(wi_switch_ids)
         self.adapter = adapter
+        #: The hot data plane the protocol logic reads.
+        self.plane: MacDataPlane = (
+            adapter if isinstance(adapter, MacDataPlane) else LegacyAdapterBridge(adapter)
+        )
         self.stats = MacStatistics()
 
     # ------------------------------------------------------------------
-    # Protocol interface used by the simulator.
+    # Protocol interface used by the simulator (hot spellings).
     # ------------------------------------------------------------------
 
     @abc.abstractmethod
@@ -116,12 +239,12 @@ class MacProtocol(abc.ABC):
         """Advance protocol state at the beginning of a cycle."""
 
     @abc.abstractmethod
-    def may_send(
+    def grants(
         self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
     ) -> bool:
         """Whether the WI may put this flit on the channel this cycle."""
 
-    def on_flit_sent(
+    def notify_sent(
         self,
         wi_switch_id: int,
         packet_id: int,
@@ -136,13 +259,54 @@ class MacProtocol(abc.ABC):
     def current_transmitter(self) -> Optional[int]:
         """WI currently holding the channel, if any."""
 
-    def intended_receivers(self) -> Set[int]:
-        """Destination WIs of the current transmission (for sleep control).
+    def finalize_stats(self) -> None:
+        """Settle any statistics still accumulating when the run ends.
 
+        Called once by the wireless fabric's end-of-run ``finalize``.
+        Protocols whose counters settle on internal boundaries (the TDMA
+        slot rollover) close out the in-progress window here; the default
+        is a no-op, keeping every pre-existing protocol bit-identical.
+        """
+
+    def is_intended_receiver(self, wi_switch_id: int) -> bool:
+        """Whether a WI must listen to the current transmission (hot path).
+
+        Allocation-free membership test the fabric's per-cycle transceiver
+        update uses instead of materialising :meth:`intended_receivers`.
         The default says "everyone listens", which models a MAC without
         receiver power gating.
         """
-        return set(self.wi_switch_ids)
+        return True
+
+    # ------------------------------------------------------------------
+    # Legacy object-era spellings (unit tests, external callers).
+    # ------------------------------------------------------------------
+
+    def may_send(
+        self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
+    ) -> bool:
+        """Legacy wrapper around :meth:`grants`."""
+        return self.grants(wi_switch_id, packet_id, dst_switch, is_head)
+
+    def on_flit_sent(
+        self,
+        wi_switch_id: int,
+        packet_id: int,
+        dst_switch: int,
+        is_tail: bool,
+        cycle: int,
+    ) -> None:
+        """Legacy wrapper around :meth:`notify_sent`."""
+        self.notify_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
+
+    def intended_receivers(self) -> Set[int]:
+        """Destination WIs of the current transmission (legacy wrapper).
+
+        Materialises :meth:`is_intended_receiver` over the channel members;
+        kept for tests and reports — the fabric's per-cycle loop uses the
+        hot membership test directly.
+        """
+        return {wi for wi in self.wi_switch_ids if self.is_intended_receiver(wi)}
 
     # ------------------------------------------------------------------
     # Shared helpers.

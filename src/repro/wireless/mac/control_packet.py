@@ -17,11 +17,11 @@ as a destination power-gate themselves for the duration of the burst
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ...energy.technology import WIRELESS_ENERGY_PJ_PER_BIT
-from .base import MacAdapter, MacProtocol
+from .base import MacProtocol
 
 
 @dataclass
@@ -34,16 +34,37 @@ class TransmissionPlan:
     announced_flits: int
     started_cycle: int
     deadline_cycle: int
+    #: Destinations with announced flits outstanding.  Maintained
+    #: incrementally as flits are consumed so the per-cycle sleepy-receiver
+    #: check is a set lookup, never a rebuild.
+    live_destinations: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.live_destinations = {
+            dst for (dst, _), count in self.remaining.items() if count > 0
+        }
 
     @property
     def destinations(self) -> Set[int]:
-        """Destination WIs addressed by this burst."""
+        """Destination WIs still addressed by this burst."""
         return {dst for (dst, _), count in self.remaining.items() if count > 0}
 
     @property
     def exhausted(self) -> bool:
         """Whether every announced flit has been transmitted."""
         return all(count <= 0 for count in self.remaining.values())
+
+    def consume(self, dst_switch: int, packet_id: int) -> None:
+        """Account one transmitted flit against the announcement."""
+        key = (dst_switch, packet_id)
+        count = self.remaining.get(key)
+        if count is None:
+            return
+        self.remaining[key] = count - 1
+        if count - 1 <= 0 and not any(
+            c > 0 for (dst, _), c in self.remaining.items() if dst == dst_switch
+        ):
+            self.live_destinations.discard(dst_switch)
 
 
 class ControlPacketMac(MacProtocol):
@@ -53,7 +74,7 @@ class ControlPacketMac(MacProtocol):
         self,
         channel_id: int,
         wi_switch_ids: Sequence[int],
-        adapter: MacAdapter,
+        adapter,
         control_packet_cycles: int = 3,
         control_packet_bits: int = 96,
         max_tuples: int = 8,
@@ -88,11 +109,10 @@ class ControlPacketMac(MacProtocol):
             return None
         return self._plan.wi_switch_id
 
-    def intended_receivers(self) -> Set[int]:
-        """Destinations of the announced burst; everyone else may sleep."""
-        if self._plan is None:
-            return set()
-        return self._plan.destinations
+    def is_intended_receiver(self, wi_switch_id: int) -> bool:
+        """Destinations of the announced burst listen; everyone else may sleep."""
+        plan = self._plan
+        return plan is not None and wi_switch_id in plan.live_destinations
 
     @property
     def in_control_phase(self) -> bool:
@@ -124,13 +144,13 @@ class ControlPacketMac(MacProtocol):
                 self._control_remaining = self._control_cycles
                 self.stats.control_packets += 1
                 self.stats.grants += 1
-                self.adapter.record_control_energy(
-                    self._control_bits * WIRELESS_ENERGY_PJ_PER_BIT
+                self.plane.record_control_energy(
+                    self._control_bits * WIRELESS_ENERGY_PJ_PER_BIT, self.channel_id
                 )
                 return
         self.stats.idle_grant_cycles += 1
 
-    def may_send(
+    def grants(
         self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
     ) -> bool:
         """Only the announcing WI, only announced flits, only after the control phase."""
@@ -142,7 +162,7 @@ class ControlPacketMac(MacProtocol):
             return False
         return plan.remaining.get((dst_switch, packet_id), 0) > 0
 
-    def on_flit_sent(
+    def notify_sent(
         self,
         wi_switch_id: int,
         packet_id: int,
@@ -151,37 +171,47 @@ class ControlPacketMac(MacProtocol):
         cycle: int,
     ) -> None:
         """Consume one announced flit."""
-        super().on_flit_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
+        super().notify_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
         plan = self._plan
         if plan is None or plan.wi_switch_id != wi_switch_id:
             return
-        key = (dst_switch, packet_id)
-        if key in plan.remaining:
-            plan.remaining[key] -= 1
+        plan.consume(dst_switch, packet_id)
 
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
     def _build_plan(self, wi_switch_id: int, cycle: int) -> Optional[TransmissionPlan]:
-        pending = self.adapter.pending(wi_switch_id)
-        if not pending:
+        """Announce one WI's burst from a single hot scan of its pending VCs.
+
+        Entry order equals the historical object-path order (ascending VC
+        ordinal), so tuple selection under ``max_tuples`` is unchanged.
+        """
+        plane = self.plane
+        count = plane.scan_pending(wi_switch_id)
+        if not count:
             return None
+        pend_dst = plane.pend_dst
+        pend_pid = plane.pend_pid
+        pend_buffered = plane.pend_buffered
+        pend_remaining = plane.pend_remaining
+        pend_head = plane.pend_head
         remaining: Dict[Tuple[int, int], int] = {}
         announced = 0
-        for entry in pending:
+        for row in range(count):
             if len(remaining) >= self._max_tuples:
                 break
-            if entry.buffered_flits <= 0:
+            buffered = pend_buffered[row]
+            if buffered <= 0:
                 continue
-            acceptable = self.adapter.acceptable_flits(
-                entry.dst_switch, entry.packet_id, entry.front_is_head
+            acceptable = plane.acceptable_flits(
+                pend_dst[row], pend_pid[row], bool(pend_head[row])
             )
-            announced_flits = max(entry.buffered_flits, entry.remaining_flits)
+            announced_flits = max(buffered, pend_remaining[row])
             flits = min(announced_flits, acceptable)
             if flits <= 0:
                 continue
-            key = (entry.dst_switch, entry.packet_id)
+            key = (pend_dst[row], pend_pid[row])
             remaining[key] = remaining.get(key, 0) + flits
             announced += flits
         if not remaining:

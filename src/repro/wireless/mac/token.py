@@ -14,10 +14,10 @@ proposes.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set
+from typing import Optional, Sequence
 
 from ...energy.technology import WIRELESS_ENERGY_PJ_PER_BIT
-from .base import MacAdapter, MacProtocol
+from .base import MacProtocol
 
 #: Size of the circulating token [bits]; only used for energy accounting.
 TOKEN_BITS = 8
@@ -30,7 +30,7 @@ class TokenMac(MacProtocol):
         self,
         channel_id: int,
         wi_switch_ids: Sequence[int],
-        adapter: MacAdapter,
+        adapter,
         token_pass_latency_cycles: int = 2,
         max_hold_cycles: int = 4096,
     ) -> None:
@@ -57,9 +57,8 @@ class TokenMac(MacProtocol):
             return None
         return self.wi_switch_ids[self._holder_index]
 
-    def intended_receivers(self) -> Set[int]:
-        """Token MAC receivers are always awake; mid-packet the destination listens."""
-        return set(self.wi_switch_ids)
+    # Token MAC receivers are always awake (the base-class default of
+    # ``is_intended_receiver`` already says "everyone listens").
 
     def update(self, cycle: int) -> None:
         """Pass the token when the holder has nothing eligible to transmit."""
@@ -82,7 +81,7 @@ class TokenMac(MacProtocol):
             self.stats.idle_grant_cycles += 1
             self._pass_token(cycle)
 
-    def may_send(
+    def grants(
         self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
     ) -> bool:
         """Only the holder transmits, and only whole buffered packets."""
@@ -97,7 +96,7 @@ class TokenMac(MacProtocol):
         eligible = self._eligible_packet(wi_switch_id)
         return eligible == packet_id
 
-    def on_flit_sent(
+    def notify_sent(
         self,
         wi_switch_id: int,
         packet_id: int,
@@ -106,7 +105,7 @@ class TokenMac(MacProtocol):
         cycle: int,
     ) -> None:
         """Track the in-flight packet; release the token after the tail."""
-        super().on_flit_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
+        super().notify_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
         if self._active_packet is None:
             self._active_packet = packet_id
             self._active_destination = dst_switch
@@ -122,22 +121,35 @@ class TokenMac(MacProtocol):
     # ------------------------------------------------------------------
 
     def _eligible_packet(self, wi_switch_id: int) -> Optional[int]:
-        """Packet id of a fully-buffered packet the destination can accept."""
-        for entry in self.adapter.pending(wi_switch_id):
-            if not entry.front_is_head:
+        """Packet id of a fully-buffered packet the destination can accept.
+
+        One hot scan of the WI's pending traffic; entry order equals the
+        historical object-path order (ascending VC ordinal), so the first
+        eligible packet is the same one the legacy path picked.
+        """
+        plane = self.plane
+        count = plane.scan_pending(wi_switch_id)
+        if not count:
+            return None
+        pend_head = plane.pend_head
+        pend_buffered = plane.pend_buffered
+        pend_length = plane.pend_length
+        pend_dst = plane.pend_dst
+        pend_pid = plane.pend_pid
+        for row in range(count):
+            if not pend_head[row]:
                 continue
-            if entry.buffered_flits < entry.packet_length_flits:
+            if pend_buffered[row] < pend_length[row]:
                 continue
-            acceptable = self.adapter.acceptable_flits(
-                entry.dst_switch, entry.packet_id, entry.front_is_head
-            )
-            if acceptable <= 0:
+            if plane.acceptable_flits(pend_dst[row], pend_pid[row], True) <= 0:
                 continue
-            return entry.packet_id
+            return pend_pid[row]
         return None
 
     def _pass_token(self, cycle: int) -> None:
         self._holder_index = self.next_wi_index(self._holder_index)
         self._passing_until = cycle + max(1, self._token_pass_latency)
         self.stats.token_passes += 1
-        self.adapter.record_control_energy(TOKEN_BITS * WIRELESS_ENERGY_PJ_PER_BIT)
+        self.plane.record_control_energy(
+            TOKEN_BITS * WIRELESS_ENERGY_PJ_PER_BIT, self.channel_id
+        )

@@ -6,8 +6,10 @@ import pytest
 
 from repro.wireless.mac import (
     ControlPacketMac,
+    FdmaMac,
     MacAdapter,
     PendingTransmission,
+    TdmaMac,
     TokenMac,
 )
 
@@ -184,3 +186,122 @@ class TestTokenMac:
         mac = self._mac(adapter)
         with pytest.raises(ValueError):
             mac.member_index(99)
+
+
+class TestTdmaMac:
+    def _mac(self, adapter, wis=(10, 20), slot_cycles=4, guard_cycles=1):
+        return TdmaMac(0, list(wis), adapter, slot_cycles=slot_cycles,
+                       guard_cycles=guard_cycles)
+
+    def test_only_slot_owner_may_send(self):
+        mac = self._mac(ScriptedAdapter())
+        mac.update(1)  # past the guard cycle of WI 10's slot
+        assert mac.current_transmitter() == 10
+        assert mac.may_send(10, 1, 20, True)
+        assert not mac.may_send(20, 1, 10, True)
+
+    def test_guard_time_blocks_data(self):
+        mac = self._mac(ScriptedAdapter())
+        mac.update(0)  # first cycle of the slot is the guard
+        assert not mac.may_send(10, 1, 20, True)
+        mac.update(1)
+        assert mac.may_send(10, 1, 20, True)
+
+    def test_schedule_rotates_between_slots(self):
+        mac = self._mac(ScriptedAdapter())
+        mac.update(1)
+        assert mac.current_transmitter() == 10
+        mac.update(5)  # second slot (cycles 4-7) belongs to WI 20
+        assert mac.current_transmitter() == 20
+        assert mac.may_send(20, 2, 10, True)
+        mac.update(9)  # wraps back to WI 10
+        assert mac.current_transmitter() == 10
+
+    def test_idle_slot_counts_as_idle_grant_cycles(self):
+        mac = self._mac(ScriptedAdapter())
+        for cycle in range(9):
+            mac.update(cycle)
+        assert mac.stats.idle_grant_cycles >= 8  # two empty slots settled
+
+    def test_finalize_settles_the_last_slot(self):
+        """Flits of the run's final slot still count as a grant."""
+        mac = self._mac(ScriptedAdapter())
+        mac.update(1)
+        mac.on_flit_sent(10, 3, 20, is_tail=False, cycle=1)
+        assert mac.stats.grants == 0  # no rollover observed yet
+        mac.finalize_stats()
+        assert mac.stats.grants == 1
+        mac.finalize_stats()  # idempotent
+        assert mac.stats.grants == 1
+
+    def test_finalize_counts_partial_idle_slot(self):
+        mac = self._mac(ScriptedAdapter())
+        mac.update(0)
+        mac.update(1)  # run ends two cycles into an empty 4-cycle slot
+        mac.finalize_stats()
+        assert mac.stats.idle_grant_cycles == 2
+
+    def test_partial_burst_resumes_across_slots(self):
+        """A burst interrupted by the slot boundary stays grantable later."""
+        mac = self._mac(ScriptedAdapter())
+        mac.update(1)
+        mac.on_flit_sent(10, 7, 20, is_tail=False, cycle=1)
+        mac.update(5)  # WI 20's slot: 10 is blocked mid-packet
+        assert not mac.may_send(10, 7, 20, False)
+        mac.update(9)  # 10's next slot: body flits continue
+        assert mac.may_send(10, 7, 20, False)
+        assert mac.stats.grants >= 1
+
+    def test_everyone_listens(self):
+        mac = self._mac(ScriptedAdapter())
+        assert mac.intended_receivers() == {10, 20}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            self._mac(ScriptedAdapter(), slot_cycles=0)
+        with pytest.raises(ValueError):
+            self._mac(ScriptedAdapter(), slot_cycles=4, guard_cycles=4)
+
+
+class TestFdmaMac:
+    def _mac(self, adapter, wis=(10, 20, 30)):
+        return FdmaMac(0, list(wis), adapter)
+
+    def test_subband_interleaves_by_cycle(self):
+        mac = self._mac(ScriptedAdapter())
+        owners = []
+        for cycle in range(6):
+            mac.update(cycle)
+            owners.append(mac.current_transmitter())
+        assert owners == [10, 20, 30, 10, 20, 30]
+
+    def test_only_subband_owner_may_send(self):
+        mac = self._mac(ScriptedAdapter())
+        mac.update(1)
+        assert mac.may_send(20, 1, 30, True)
+        assert not mac.may_send(10, 1, 30, True)
+        assert not mac.may_send(30, 1, 10, True)
+
+    def test_burst_counting(self):
+        mac = self._mac(ScriptedAdapter())
+        mac.update(0)
+        mac.on_flit_sent(10, 5, 20, is_tail=False, cycle=0)
+        mac.update(3)
+        mac.on_flit_sent(10, 5, 20, is_tail=True, cycle=3)
+        assert mac.stats.grants == 1
+        assert mac.stats.flits_transmitted == 2
+
+    def test_interleaved_bursts_count_one_grant_per_wi(self):
+        """Concurrent bursts on alternating sub-bands are two grants, not six."""
+        mac = self._mac(ScriptedAdapter(), wis=(10, 20))
+        for cycle in range(6):
+            mac.update(cycle)
+            owner = mac.current_transmitter()
+            packet = 5 if owner == 10 else 8
+            mac.on_flit_sent(owner, packet, 30, is_tail=cycle >= 4, cycle=cycle)
+        assert mac.stats.grants == 2
+        assert mac.stats.flits_transmitted == 6
+
+    def test_everyone_listens(self):
+        mac = self._mac(ScriptedAdapter())
+        assert mac.intended_receivers() == {10, 20, 30}
