@@ -28,6 +28,13 @@ near-saturation load under ``mac="token"``, where whole-packet buffering
 and token rotation keep the MAC arbitration and the per-WI pending scans
 hot every cycle.  It pins the cost of the handle-based wireless data plane
 the way the mid/saturation points pin the wired one.
+
+A fourth point covers the multi-channel fabric loop: the same 4C4M
+wireless system under the control-packet MAC with eight channels (the top
+of fig8's sweep), where every cycle walks all eight per-channel grant
+states and the per-channel energy attribution.  The token point keeps a
+single channel busy; this one gates the per-channel bookkeeping that only
+multi-channel sweeps exercise.
 """
 
 from __future__ import annotations
@@ -77,6 +84,15 @@ def wireless_token_configs() -> Dict[str, SystemConfig]:
     """The wireless-heavy point: token-MAC arbitration at saturation."""
     return {
         "wireless-token": paper_4c4m(Architecture.WIRELESS).with_wireless(mac="token"),
+    }
+
+
+def wireless_control8_configs() -> Dict[str, SystemConfig]:
+    """The multi-channel point: control-packet MAC over eight channels."""
+    return {
+        "wireless-control8": paper_4c4m(Architecture.WIRELESS).with_wireless(
+            mac="control_packet", num_channels=8
+        ),
     }
 
 
@@ -176,13 +192,16 @@ def run_benchmark(
     wireless_entries = bench_load_point(
         saturation_load, cycles, repeats, configs=wireless_token_configs()
     )
+    control8_entries = bench_load_point(
+        saturation_load, cycles, repeats, configs=wireless_control8_configs()
+    )
     return {
         "benchmark": "bench_kernel",
         "description": (
             "one mid-load and one near-saturation uniform point per "
-            "architecture plus a token-MAC wireless saturation point, "
-            "dense vs active-set scheduler (identical results, different "
-            "wall-clock)"
+            "architecture plus token-MAC and 8-channel control-packet "
+            "wireless saturation points, dense vs active-set scheduler "
+            "(identical results, different wall-clock)"
         ),
         "load_packets_per_core_per_cycle": load,
         "load_fraction_of_mesh_saturation": round(load / MESH_SATURATION_LOAD, 3),
@@ -195,6 +214,7 @@ def run_benchmark(
         "results": entries,
         "results_saturation": saturation_entries,
         "results_wireless_token": wireless_entries,
+        "results_wireless_control8": control8_entries,
         "mesh_speedup": entries["mesh"]["speedup"],
     }
 
@@ -239,6 +259,13 @@ def format_report(snapshot: Dict[str, object]) -> str:
     if wireless_token:
         parts.append("\ntoken-MAC wireless saturation (4C4M, mac=token):")
         parts.append(_point_table(cycles, wireless_token))
+    control8 = snapshot.get("results_wireless_control8")
+    if control8:
+        parts.append(
+            "\n8-channel control-packet wireless saturation "
+            "(4C4M, mac=control_packet, num_channels=8):"
+        )
+        parts.append(_point_table(cycles, control8))
     return "\n".join(parts)
 
 

@@ -39,6 +39,7 @@ RESULT_SECTIONS = (
     ("results", "mid load"),
     ("results_saturation", "near saturation"),
     ("results_wireless_token", "token-MAC wireless saturation"),
+    ("results_wireless_control8", "8-channel control-packet wireless saturation"),
 )
 
 

@@ -69,6 +69,56 @@ class MultichipSimulation:
     # Single runs.
     # ------------------------------------------------------------------
 
+    def simulator_for(
+        self, traffic: TrafficModel, fault_plan=None
+    ) -> Simulator:
+        """Build (but do not run) one simulator for an arbitrary traffic model.
+
+        This is the single simulator-construction path behind every run
+        method, exposed so callers that need the un-run engine — the
+        scenario fuzzer instruments the wireless fabric through
+        :attr:`Simulator.instrument` before running — share it bit for bit
+        with the normal ``run_*`` entry points.
+        """
+        return Simulator(
+            topology=self.system.topology,
+            router=self.system.router,
+            traffic=traffic,
+            network_config=self.network_config,
+            simulation_config=self.simulation_config,
+            fault_plan=fault_plan,
+        )
+
+    def pattern_traffic(
+        self,
+        pattern: str,
+        injection_rate: float,
+        memory_access_fraction: float = 0.2,
+        seed: int = 1,
+    ) -> TrafficModel:
+        """Build one registered synthetic traffic pattern for this system."""
+        return create_pattern(
+            pattern,
+            self.system.topology,
+            injection_rate=injection_rate,
+            memory_access_fraction=memory_access_fraction,
+            seed=seed,
+        )
+
+    def application_traffic(
+        self,
+        application: str,
+        rate_scale: float = 1.0,
+        seed: int = 1,
+    ) -> TrafficModel:
+        """Build one PARSEC/SPLASH-2 application profile for this system."""
+        return SynfullApplicationTraffic.from_name(
+            self.system.topology,
+            application,
+            rate_scale=rate_scale,
+            seed=seed,
+        )
+
     def run_traffic(
         self, traffic: TrafficModel, fault_plan=None
     ) -> SimulationResult:
@@ -78,15 +128,7 @@ class MultichipSimulation:
         (see :mod:`repro.faults`); ``None`` or an empty plan runs the
         pristine fabric.
         """
-        simulator = Simulator(
-            topology=self.system.topology,
-            router=self.system.router,
-            traffic=traffic,
-            network_config=self.network_config,
-            simulation_config=self.simulation_config,
-            fault_plan=fault_plan,
-        )
-        return simulator.run()
+        return self.simulator_for(traffic, fault_plan=fault_plan).run()
 
     def run_uniform(
         self,
@@ -122,9 +164,8 @@ class MultichipSimulation:
         without a memory-traffic component ignore
         ``memory_access_fraction``.
         """
-        traffic = create_pattern(
+        traffic = self.pattern_traffic(
             pattern,
-            self.system.topology,
             injection_rate=injection_rate,
             memory_access_fraction=memory_access_fraction,
             seed=seed,
@@ -139,11 +180,8 @@ class MultichipSimulation:
         fault_plan=None,
     ) -> SimulationResult:
         """Run one PARSEC/SPLASH-2 application profile (SynFull substitute)."""
-        traffic = SynfullApplicationTraffic.from_name(
-            self.system.topology,
-            application,
-            rate_scale=rate_scale,
-            seed=seed,
+        traffic = self.application_traffic(
+            application, rate_scale=rate_scale, seed=seed
         )
         return self.run_traffic(traffic, fault_plan=fault_plan)
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments fig7 [--faults random-links] [--jobs N]
     python -m repro.experiments fig8 [--mac token] [--jobs N]
     python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
+    python -m repro.experiments --scenario examples/scenario.yaml [--jobs N]
+    python -m repro.experiments --scenario fig2 --fidelity fast
 
 or, after installation, ``repro-experiments fig3 --fidelity paper --jobs 8``.
 
@@ -23,6 +25,7 @@ simulate what is missing.  See EXPERIMENTS.md for details.
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..faults.scenarios import available_fault_scenarios
@@ -88,17 +91,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure to regenerate (or 'all' for every figure)",
+        help=(
+            "which figure to regenerate (or 'all' for every figure); "
+            "omit when running a declarative --scenario document"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run a declarative scenario document (YAML/JSON; see "
+            "EXPERIMENTS.md) instead of a named figure — or a built-in "
+            "scenario name (fig2..fig8) to run that figure's spec form; "
+            "compiled tasks share the result cache with the flag-form "
+            "figures bit for bit"
+        ),
     )
     parser.add_argument(
         "--fidelity",
         choices=("fast", "default", "paper"),
-        default="default",
+        default=None,
         help=(
             "run length / sweep resolution: 'fast' for smoke tests, "
             "'default' for the EXPERIMENTS.md numbers, 'paper' for the "
-            "paper's full 10k-cycle scale (default: default)"
+            "paper's full 10k-cycle scale (default: default; with "
+            "--scenario it overrides the document's own level)"
         ),
     )
     parser.add_argument(
@@ -199,6 +220,62 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     )
 
 
+def _run_scenario(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    runner: ExperimentRunner,
+) -> int:
+    """Run a declarative scenario document (or a built-in spec by name).
+
+    The workload lives in the document, so the per-figure workload flags
+    are rejected here; ``--fidelity`` alone carries over and overrides the
+    document's own level.  Imported lazily so plain figure runs never pay
+    for (or depend on) the scenario layer.
+    """
+    from ..scenario import (
+        BUILTIN_SCENARIOS,
+        ScenarioError,
+        builtin_scenario,
+        format_scenario_report,
+        load_scenario,
+        run_scenario,
+    )
+
+    if args.experiment is not None:
+        parser.error("give an experiment name or --scenario, not both")
+    for flag, given in (
+        ("--pattern", args.pattern != "uniform"),
+        ("--mac", args.mac is not None),
+        ("--faults", args.faults != "none"),
+        ("--fault-rate", args.fault_rate is not None),
+    ):
+        if given:
+            parser.error(
+                f"{flag} does not combine with --scenario: the scenario "
+                "document itself declares the workload"
+            )
+    try:
+        if args.scenario in BUILTIN_SCENARIOS:
+            spec = builtin_scenario(args.scenario, args.fidelity or "default")
+        else:
+            spec = load_scenario(args.scenario)
+            if args.fidelity is not None:
+                spec = replace(spec, fidelity_level=args.fidelity)
+    except ScenarioError as error:
+        parser.error(f"invalid scenario: {error}")
+    except OSError as error:
+        parser.error(f"cannot read scenario {args.scenario!r}: {error}")
+    points = run_scenario(spec, runner)
+    print(format_scenario_report(spec, points))
+    print()
+    if args.profile:
+        print("[runner] per-phase kernel wall clock (all simulated tasks):")
+        print(runner.phase_report())
+        print()
+    print(f"[runner] {runner.summary_line()}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the requested experiment(s) and print their reports."""
     parser = build_parser()
@@ -217,6 +294,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Without a scenario the rate would be silently ignored (only fig7
         # promotes 'none' to its default scenario).
         parser.error("--fault-rate requires --faults (e.g. --faults random-links)")
+    if args.scenario is not None:
+        return _run_scenario(parser, args, runner)
+    if args.experiment is None:
+        parser.error("an experiment name (or --scenario FILE) is required")
     if args.experiment == "all":
         names: List[str] = sorted(EXPERIMENTS)
         if args.pattern != "uniform":
@@ -269,7 +350,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             kwargs["fault_rate"] = (
                 args.fault_rate if args.fault_rate is not None else DEFAULT_FAULT_RATE
             )
-        EXPERIMENTS[name](args.fidelity, runner, **kwargs)
+        EXPERIMENTS[name](args.fidelity or "default", runner, **kwargs)
         print()
     if args.profile:
         print("[runner] per-phase kernel wall clock (all simulated tasks):")

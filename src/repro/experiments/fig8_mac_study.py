@@ -134,9 +134,14 @@ def _check_reconciliation(point: LoadPointSummary) -> bool:
         for name in sums:
             sums[name] += components.get(name, 0.0)
     return (
-        math.isclose(sums["wireless_pj"], point.wireless_energy_pj, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-6)
+        math.isclose(
+            sums["wireless_pj"], point.wireless_energy_pj, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-6
+        )
         and math.isclose(
-            sums["mac_control_pj"], point.mac_control_energy_pj, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-6
+            sums["mac_control_pj"],
+            point.mac_control_energy_pj,
+            rel_tol=RECONCILE_REL_TOL,
+            abs_tol=1e-6,
         )
         and math.isclose(
             sums["transceiver_static_pj"],

@@ -52,7 +52,11 @@ from ..wireless.mac.registry import mac_spec
 #: v4: the wireless MAC protocol override (``mac``) joined the task — the
 #: experiment CLI's ``--mac`` flag and the fig8 MAC study sweep it — so a
 #: task's cache key now pins the arbitration protocol explicitly.
-TASK_SCHEMA_VERSION = 4
+#: v5: the declarative scenario layer (:mod:`repro.scenario`) compiles
+#: specs into these same tasks; the bump fences off pre-scenario cache
+#: entries so a spec run and its CLI-flag equivalent provably share
+#: entries written under one schema.
+TASK_SCHEMA_VERSION = 5
 
 #: Default on-disk location of the per-task result cache (relative to the
 #: working directory; see EXPERIMENTS.md).
@@ -282,16 +286,16 @@ def replicated_tasks(task: SimulationTask, replicas: int) -> List[SimulationTask
     ]
 
 
-def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, object]:
-    """Run one task and return its JSON-serialisable result payload.
+def task_simulator(task: SimulationTask, profile: bool = False):
+    """Build (but do not run) the fully wired simulator of one task.
 
-    This is the function shipped to worker processes; it rebuilds the
-    system from the task's configuration, runs the cycle-accurate
-    simulator, and summarises the run as a
-    :class:`repro.metrics.saturation.LoadPointSummary` dict.  With
-    ``profile`` set the kernel times each phase and the payload carries a
-    ``phase_seconds`` entry (the CLI's ``--profile`` table; profiled runs
-    bypass the result cache, so the timings always come from real work).
+    The single construction path behind :func:`execute_task`: the system
+    is built from the task's effective configuration, the fault plan (if
+    any) is derived from the task seed, and the traffic model is resolved
+    through the traffic registry — exactly as a figure run would.  Exposed
+    so the scenario fuzzer battery can attach instrumentation (the MAC
+    grant-exclusivity probe) via ``Simulator.instrument`` and still run
+    bit-identically to the production path.
     """
     simulation = MultichipSimulation.from_config(
         task.effective_config(),
@@ -311,21 +315,34 @@ def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, objec
             cycles=task.cycles,
         )
     if task.kind == "synthetic":
-        result = simulation.run_pattern(
+        traffic = simulation.pattern_traffic(
             task.pattern,
             injection_rate=task.load,
             memory_access_fraction=task.memory_access_fraction,
             seed=task.seed,
-            fault_plan=fault_plan,
         )
+    else:
+        traffic = simulation.application_traffic(
+            task.application, rate_scale=task.rate_scale, seed=task.seed
+        )
+    return simulation.simulator_for(traffic, fault_plan=fault_plan)
+
+
+def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, object]:
+    """Run one task and return its JSON-serialisable result payload.
+
+    This is the function shipped to worker processes; it rebuilds the
+    system from the task's configuration, runs the cycle-accurate
+    simulator, and summarises the run as a
+    :class:`repro.metrics.saturation.LoadPointSummary` dict.  With
+    ``profile`` set the kernel times each phase and the payload carries a
+    ``phase_seconds`` entry (the CLI's ``--profile`` table; profiled runs
+    bypass the result cache, so the timings always come from real work).
+    """
+    result = task_simulator(task, profile=profile).run()
+    if task.kind == "synthetic":
         offered = task.load
     else:
-        result = simulation.run_application(
-            task.application,
-            rate_scale=task.rate_scale,
-            seed=task.seed,
-            fault_plan=fault_plan,
-        )
         offered = result.offered_load_packets_per_core_per_cycle
     payload = LoadPointSummary.from_result(offered, result).as_dict()
     if profile:

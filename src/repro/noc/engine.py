@@ -61,6 +61,13 @@ class Simulator:
         #: empty or absent plan leaves the run bit-identical to a simulator
         #: without the fault subsystem.
         self.fault_plan = fault_plan
+        #: Optional instrumentation hook called with the freshly built
+        #: :class:`~repro.noc.network.Network` after the fabrics are bound
+        #: to the energy accountant and before the kernel is constructed —
+        #: the one safe window to wrap fabric callbacks (the MAC
+        #: grant-exclusivity probes of the scenario fuzzer and the wireless
+        #: plane tests).  ``None`` (the default) leaves the run untouched.
+        self.instrument = None
 
     def run(self) -> SimulationResult:
         """Execute the configured number of cycles and return the results."""
@@ -75,6 +82,8 @@ class Simulator:
         )
         for fabric in network.fabrics:
             fabric.bind_accountant(accountant)
+        if self.instrument is not None:
+            self.instrument(network)
 
         result = SimulationResult(
             cycles=config.cycles,

@@ -1,0 +1,59 @@
+"""Declarative scenario layer: specs, the registry compiler and the fuzzer.
+
+One YAML/JSON document describes a whole experiment — systems, traffic,
+MAC protocols, channel plan, fault plan and fidelity — purely in terms of
+registered names, and compiles into the same
+:class:`~repro.experiments.runner.SimulationTask` objects the figure
+experiments build from CLI flags (so spec runs share the result cache
+bit for bit).  This package is the fifth consumer of the four runtime
+registries, alongside the experiments CLI:
+
+* :mod:`repro.scenario.spec` — the document schema and its validator
+  (field-path error messages, stable round-trips);
+* :mod:`repro.scenario.compiler` — spec → ordered task list, runner
+  execution and a generic report;
+* :mod:`repro.scenario.builtin` — fig2–fig8 as thin built-in documents,
+  provably equal to their flag forms;
+* :mod:`repro.scenario.fuzz` — the seeded random-scenario generator and
+  the kernel-invariant battery.
+"""
+
+from .builtin import BUILTIN_SCENARIOS, builtin_scenario, builtin_scenario_names
+from .compiler import (
+    compile_scenario,
+    format_scenario_report,
+    run_scenario,
+    scenario_fidelity,
+    system_config,
+)
+from .spec import (
+    FaultSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SystemSpec,
+    TrafficSpec,
+    dump_scenario,
+    load_scenario,
+    loads_scenario,
+    parse_scenario,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "FaultSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SystemSpec",
+    "TrafficSpec",
+    "builtin_scenario",
+    "builtin_scenario_names",
+    "compile_scenario",
+    "dump_scenario",
+    "format_scenario_report",
+    "load_scenario",
+    "loads_scenario",
+    "parse_scenario",
+    "run_scenario",
+    "scenario_fidelity",
+    "system_config",
+]

@@ -527,7 +527,9 @@ def test_empty_plan_is_bit_identical_to_no_plan():
 
 
 def test_task_schema_and_cache_keys():
-    assert TASK_SCHEMA_VERSION == 4
+    # v5 introduced the declarative scenario layer, which compiles
+    # documents into these same tasks and shares their cache entries.
+    assert TASK_SCHEMA_VERSION == 5
     config = small_system_config(Architecture.SUBSTRATE)
     base = SimulationTask(
         kind="synthetic", config=config, cycles=400, warmup_cycles=100, seed=1, load=0.01
