@@ -5,7 +5,7 @@ Usage::
     python -m repro.experiments fig2 [--fidelity fast|default|paper]
                                      [--jobs N] [--cache-dir DIR] [--no-cache]
                                      [--faults SCENARIO] [--fault-rate R]
-                                     [--profile]
+                                     [--engine scalar|vector] [--profile]
     python -m repro.experiments fig7 [--faults random-links] [--jobs N]
     python -m repro.experiments fig8 [--mac token] [--jobs N]
     python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
@@ -29,6 +29,7 @@ from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..faults.scenarios import available_fault_scenarios
+from ..noc.engine import ENGINES
 from ..traffic.registry import available_patterns
 from ..wireless.mac.registry import available_macs
 from . import (
@@ -191,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the result cache: neither read nor write cached tasks",
     )
     parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="scalar",
+        help=(
+            "kernel execution path: 'scalar' is the pure-Python reference "
+            "loop, 'vector' the NumPy SoA fast path (bit-identical results; "
+            "wireless or faulted runs fall back to scalar transparently). "
+            "The result cache is shared between engines (default: scalar)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -217,6 +229,7 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         use_cache=not args.no_cache,
         show_progress=not args.quiet,
         profile=getattr(args, "profile", False),
+        engine=getattr(args, "engine", "scalar"),
     )
 
 

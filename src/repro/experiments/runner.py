@@ -31,6 +31,7 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.config import SystemConfig
@@ -38,7 +39,7 @@ from ..core.framework import MultichipSimulation
 from ..faults.scenarios import create_fault_plan, scenario_spec
 from ..metrics.report import format_simulator_throughput, format_table
 from ..metrics.saturation import LoadPointSummary, SweepSummary
-from ..noc.engine import SimulationConfig
+from ..noc.engine import ENGINES, SimulationConfig
 from ..parallel.cache import ResultCache
 from ..parallel.executor import run_tasks
 from ..parallel.hashing import stable_hash
@@ -56,7 +57,14 @@ from ..wireless.mac.registry import mac_spec
 #: specs into these same tasks; the bump fences off pre-scenario cache
 #: entries so a spec run and its CLI-flag equivalent provably share
 #: entries written under one schema.
-TASK_SCHEMA_VERSION = 5
+#: v6: the execution engine (``--engine scalar|vector``) joined the runner.
+#: The engine is deliberately *not* part of the task content or the cache
+#: key: both engines are bit-identical by construction (pinned by the
+#: golden-fingerprint parity matrix and the fuzz battery), so an entry
+#: written by either engine serves both.  The bump only fences off entries
+#: written before the engine axis existed, so every v6 entry is known to
+#: be engine-agnostic.
+TASK_SCHEMA_VERSION = 6
 
 #: Default on-disk location of the per-task result cache (relative to the
 #: working directory; see EXPERIMENTS.md).
@@ -286,7 +294,9 @@ def replicated_tasks(task: SimulationTask, replicas: int) -> List[SimulationTask
     ]
 
 
-def task_simulator(task: SimulationTask, profile: bool = False):
+def task_simulator(
+    task: SimulationTask, profile: bool = False, engine: str = "scalar"
+):
     """Build (but do not run) the fully wired simulator of one task.
 
     The single construction path behind :func:`execute_task`: the system
@@ -295,7 +305,9 @@ def task_simulator(task: SimulationTask, profile: bool = False):
     through the traffic registry — exactly as a figure run would.  Exposed
     so the scenario fuzzer battery can attach instrumentation (the MAC
     grant-exclusivity probe) via ``Simulator.instrument`` and still run
-    bit-identically to the production path.
+    bit-identically to the production path.  ``engine`` selects the kernel
+    execution path (``"scalar"`` or ``"vector"``); results are identical
+    either way, which is why it is not part of the task itself.
     """
     simulation = MultichipSimulation.from_config(
         task.effective_config(),
@@ -303,6 +315,7 @@ def task_simulator(task: SimulationTask, profile: bool = False):
             cycles=task.cycles,
             warmup_cycles=task.warmup_cycles,
             profile_phases=profile,
+            engine=engine,
         ),
     )
     fault_plan = None
@@ -328,7 +341,9 @@ def task_simulator(task: SimulationTask, profile: bool = False):
     return simulation.simulator_for(traffic, fault_plan=fault_plan)
 
 
-def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, object]:
+def execute_task(
+    task: SimulationTask, profile: bool = False, engine: str = "scalar"
+) -> Dict[str, object]:
     """Run one task and return its JSON-serialisable result payload.
 
     This is the function shipped to worker processes; it rebuilds the
@@ -339,7 +354,7 @@ def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, objec
     ``phase_seconds`` entry (the CLI's ``--profile`` table; profiled runs
     bypass the result cache, so the timings always come from real work).
     """
-    result = task_simulator(task, profile=profile).run()
+    result = task_simulator(task, profile=profile, engine=engine).run()
     if task.kind == "synthetic":
         offered = task.load
     else:
@@ -354,6 +369,17 @@ def execute_task(task: SimulationTask, profile: bool = False) -> Dict[str, objec
 def _execute_task_profiled(task: SimulationTask) -> Dict[str, object]:
     """Module-level (picklable) profiling variant of :func:`execute_task`."""
     return execute_task(task, profile=True)
+
+
+def _task_executor(profile: bool, engine: str):
+    """A picklable ``task -> payload`` callable for the worker pool.
+
+    ``functools.partial`` over the module-level :func:`execute_task` stays
+    picklable (the partial ships the function by reference plus plain
+    keyword values), which is what lets the runner's ``engine`` knob reach
+    worker processes without joining the task objects themselves.
+    """
+    return partial(execute_task, profile=profile, engine=engine)
 
 
 def assemble_sweep(
@@ -396,8 +422,18 @@ class ExperimentRunner:
         use_cache: bool = True,
         show_progress: bool = False,
         profile: bool = False,
+        engine: str = "scalar",
     ) -> None:
         self.jobs = max(1, int(jobs))
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+            )
+        #: Kernel execution path for every task this runner simulates (the
+        #: CLI's ``--engine``).  Results are bit-identical across engines,
+        #: so the cache is shared: a vector run reads and writes the same
+        #: entries a scalar run would.
+        self.engine = engine
         #: Per-phase kernel profiling (the CLI's ``--profile``): every task
         #: runs with phase timing enabled and the per-task timings are
         #: accumulated into :attr:`phase_seconds`.  Profiling bypasses the
@@ -453,7 +489,7 @@ class ExperimentRunner:
 
         started = time.perf_counter()
         payloads = run_tasks(
-            _execute_task_profiled if self.profile else execute_task,
+            _task_executor(self.profile, self.engine),
             pending,
             jobs=self.jobs,
             progress=self._on_task_done if self.show_progress else None,

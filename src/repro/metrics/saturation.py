@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass, field, fields
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from ..noc.stats import SimulationResult
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a cycle:
+    # noc.stats imports metrics.streaming, which initialises this package)
+    from ..noc.stats import SimulationResult
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,8 @@ from .config import NetworkConfig
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
 from .kernel import (
+    ENGINES,
+    METRICS_MODES,
     SCHEDULERS,
     SimulationConfig,
     SimulationKernel,
@@ -33,6 +35,8 @@ from .network import Network
 from .stats import SimulationResult
 
 __all__ = [
+    "ENGINES",
+    "METRICS_MODES",
     "SCHEDULERS",
     "SimulationConfig",
     "SimulationStallError",
@@ -93,6 +97,7 @@ class Simulator:
             clock_frequency_hz=net_config.technology.clock_frequency_hz,
             nominal_packet_length_flits=net_config.packet_length_flits,
             include_static_energy=net_config.include_static_energy,
+            metrics_mode=config.metrics,
         )
 
         injector = None

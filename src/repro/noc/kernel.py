@@ -78,6 +78,12 @@ from .virtual_channel import VirtualChannel
 #: The scheduler names accepted by :class:`SimulationConfig`.
 SCHEDULERS = ("active", "dense")
 
+#: The execution-engine names accepted by :class:`SimulationConfig`.
+ENGINES = ("scalar", "vector")
+
+#: The per-packet metrics storage modes accepted by :class:`SimulationConfig`.
+METRICS_MODES = ("sampled", "streaming")
+
 
 class SimulationStallError(RuntimeError):
     """Raised when no flit has moved for ``watchdog_cycles`` cycles."""
@@ -96,6 +102,17 @@ class SimulationConfig:
     #: or ``"dense"`` (visit every switch every cycle, the reference
     #: behaviour of the original engine).  Results are bit-identical.
     scheduler: str = "active"
+    #: Execution engine: ``"scalar"`` (the per-switch Python loops, the
+    #: bit-identical reference) or ``"vector"`` (the NumPy SoA fast path of
+    #: :mod:`repro.noc.vector`).  The vector engine applies to wired,
+    #: fault-free runs; wireless or faulted configurations transparently
+    #: fall back to the scalar phases, so results are bit-identical either
+    #: way (the ``scheduler`` knob is inert while the fast path is active).
+    engine: str = "scalar"
+    #: Per-packet sample storage: ``"sampled"`` (exact per-packet lists,
+    #: the default) or ``"streaming"`` (constant-memory accumulators, see
+    #: :mod:`repro.metrics.streaming`).
+    metrics: str = "sampled"
     #: When set, the kernel times each phase per cycle and publishes the
     #: accumulated per-phase wall clock as ``SimulationResult.phase_seconds``
     #: (see the experiment CLI's ``--profile``).  Off by default: the timed
@@ -114,6 +131,12 @@ class SimulationConfig:
         if self.scheduler not in SCHEDULERS:
             known = ", ".join(SCHEDULERS)
             raise ValueError(f"unknown scheduler {self.scheduler!r}; known: {known}")
+        if self.engine not in ENGINES:
+            known = ", ".join(ENGINES)
+            raise ValueError(f"unknown engine {self.engine!r}; known: {known}")
+        if self.metrics not in METRICS_MODES:
+            known = ", ".join(METRICS_MODES)
+            raise ValueError(f"unknown metrics mode {self.metrics!r}; known: {known}")
 
 
 # ----------------------------------------------------------------------
@@ -275,6 +298,7 @@ class KernelState:
         config: SimulationConfig,
         net_config: NetworkConfig,
         scheduler: Scheduler,
+        pool_backend: str = "list",
     ) -> None:
         self.network = network
         self.router = router
@@ -284,7 +308,7 @@ class KernelState:
         self.config = config
         self.net_config = net_config
         self.scheduler = scheduler
-        self.pool = PacketPool()
+        self.pool = PacketPool(backend=pool_backend)
         self.cycle = 0
         self.stalled = False
         self.last_progress_cycle = 0
@@ -302,7 +326,9 @@ class KernelState:
         # pool grows them in place with ``extend``) and the breakdown is a
         # run-constant object behind an accountant property, so caching the
         # references here keeps the per-visit preludes to one attribute
-        # load each.
+        # load each.  Only valid for the list pool backend: NumPy growth
+        # reallocates, so the vector engine (the sole numpy-pool user)
+        # never touches these caches and re-reads ``self.pool`` instead.
         pool = self.pool
         self._pid = pool.pid
         self._length_flits = pool.length_flits
@@ -716,12 +742,13 @@ class KernelState:
         result.packets_delivered += 1
         if pool.measured[handle]:
             result.packets_delivered_measured += 1
-            result.latencies_cycles.append(cycle - pool.generation_cycle[handle])
             injection = pool.injection_cycle[handle]
-            if injection is not None:
-                result.network_latencies_cycles.append(cycle - injection)
-            result.packet_energies_pj.append(pool.energy_pj[handle])
-            result.packet_hops.append(len(pool.route[handle]) - 1)
+            result.record_delivery(
+                cycle - pool.generation_cycle[handle],
+                None if injection is None else cycle - injection,
+                pool.energy_pj[handle],
+                len(pool.route[handle]) - 1,
+            )
         for reply in self.traffic.on_packet_delivered(PacketView(pool, handle), cycle):
             self.enqueue_request(reply, cycle)
         pool.free(handle)
@@ -876,9 +903,42 @@ class SimulationKernel:
         scheduler: Optional[Scheduler] = None,
         fault_injector=None,
     ) -> None:
-        self.scheduler = scheduler or make_scheduler(config.scheduler)
+        #: Whether the NumPy fast path actually drives this run.  The
+        #: vector engine covers wired fault-free configurations; wireless
+        #: fabrics and fault plans fall back to the scalar phases (which
+        #: are bit-identical by construction, so the fallback is purely a
+        #: performance decision).
+        self.vector_active = (
+            config.engine == "vector"
+            and fault_injector is None
+            and scheduler is None
+            and all(
+                not fabric.is_wireless and fabric.always_grants
+                for fabric in network.fabrics
+            )
+        )
         switches = [network.switches[sid] for sid in sorted(network.switches)]
         injecting = [s for s in switches if s.endpoints]
+        if self.vector_active:
+            from .vector import InjectionTracker, VectorKernelState, vector_phases
+
+            self.scheduler = InjectionTracker()
+            self.scheduler.bind(switches, injecting)
+            self.state = VectorKernelState(
+                network=network,
+                router=router,
+                traffic=traffic,
+                accountant=accountant,
+                result=result,
+                config=config,
+                net_config=net_config,
+                scheduler=self.scheduler,
+            )
+            for fabric in network.fabrics:
+                fabric.bind_pool(self.state.pool)
+            self.phases: List[Phase] = vector_phases(self.state)
+            return
+        self.scheduler = scheduler or make_scheduler(config.scheduler)
         self.scheduler.bind(switches, injecting)
         self.state = KernelState(
             network=network,
@@ -892,7 +952,7 @@ class SimulationKernel:
         )
         for fabric in network.fabrics:
             fabric.bind_pool(self.state.pool)
-        self.phases: List[Phase] = [
+        self.phases = [
             ArrivalPhase(self.state),
             GenerationPhase(self.state),
             InjectionPhase(self.state),

@@ -1,0 +1,917 @@
+"""The NumPy SoA fast path for the three dominant kernel phases.
+
+The scalar kernel (:mod:`repro.noc.kernel`) iterates switch by switch in
+Python; near saturation that loop is ~70 % of the wall clock and the
+active-set scheduler's payoff collapses (every switch is awake).  This
+module re-expresses the same cycle as batched array operations over a
+structure-of-arrays mirror of the network's VC state:
+
+* every virtual channel gets a network-wide dense row index (``vc.gid``),
+  assigned in ``input_port_table`` order — which equals (switch id
+  ascending, switch-local ordinal ascending), the scalar scan order;
+* the dynamic per-VC state (occupancy, ring head, in-flight reservations,
+  owning packet, assigned output, memoized downstream claim) lives in
+  int64 arrays, with the ring buffers packed into one 2-D array;
+* per cycle, the allocation phase discovers candidates with one
+  ``flatnonzero``, batch-computes eligibility with masked gathers, groups
+  requests per output port with a stable argsort + ``reduceat``, and only
+  then drops to Python for the per-output round-robin resolution and the
+  sends themselves.
+
+Exactness (the reason results are bit-identical to the scalar engine):
+
+* a VC's front flit is phase-constant until its own group is processed
+  (each output is visited once per cycle, each VC sends at most one flit);
+* groups are processed in ``(switch id, first-request ordinal)`` order —
+  exactly the scalar visit order — via the ``minimum.reduceat`` of the
+  stable argsort's original positions;
+* downstream space can only *grow* before a VC's own send (the unique
+  upstream of a claimed VC is that VC itself), so snapshot-eligible stays
+  eligible; snapshot-ineligible VCs can flip only when their target pops,
+  which is caught live: every pop looks up the popped VC's upstream
+  (``rev``) and forces that upstream's output group to re-evaluate
+  eligibility when visited;
+* every float is accumulated in the same order as the scalar loop (switch
+  energy, then link energy, per send, in group order).
+
+Scope: the fast path covers **wired, fault-free** configurations — the
+mesh and interposer near-saturation points the benchmarks gate on.  Runs
+with a wireless fabric or a fault plan transparently fall back to the
+scalar phases (see :class:`repro.noc.kernel.SimulationKernel`), which are
+bit-identical by definition, so ``engine="vector"`` is always safe to
+request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy
+
+from .kernel import (
+    FabricPhase,
+    GenerationPhase,
+    KernelState,
+    Phase,
+    Scheduler,
+    SimulationStallError,
+)
+from .network import Network
+from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketView
+from .switch import Switch
+
+#: Below this many arrival events the Python loop beats array building.
+_ARRIVAL_BATCH_MIN = 8
+
+#: Sentinel key for candidates excluded from the vectorised round-robin
+#: argmin (snapshot-ineligible body rows and head fronts, which resolve
+#: live).  Far above any real ``rank * size + position`` key, far below
+#: int64 overflow.
+_NO_KEY = 1 << 62
+
+
+class InjectionTracker(Scheduler):
+    """Minimal scheduler stand-in used while the vector engine is active.
+
+    The vector allocation phase derives its work list directly from the
+    ``vc_count`` array, so the only signal it needs from the kernel's
+    scheduler protocol is which switches have injection work (queued
+    packets or a VC mid-serialisation).  The ``SimulationConfig.scheduler``
+    knob is deliberately inert here — there is no per-switch visit loop to
+    schedule.
+    """
+
+    name = "vector"
+
+    def __init__(self) -> None:
+        self.active: Set[int] = set()
+
+    def bind(self, switches: List[Switch], injecting: List[Switch]) -> None:
+        pass
+
+    def allocation_candidates(self):
+        return []
+
+    def injection_candidates(self):
+        return []
+
+    def on_packet_queued(self, switch: Switch) -> None:
+        self.active.add(switch.switch_id)
+
+
+class _SwitchTables:
+    """Static per-switch lookups used by the vector injection phase."""
+
+    __slots__ = ("ej_port_id", "local_gids", "endpoints", "injection_width")
+
+    def __init__(self, switch: Switch) -> None:
+        self.ej_port_id = switch.ejection_port.port_id
+        self.local_gids = [vc.gid for vc in switch.local_input.vcs]
+        self.endpoints = list(switch.endpoints)
+        self.injection_width = switch.injection_width
+
+
+class VectorKernelState(KernelState):
+    """Kernel state whose VC data plane lives in NumPy SoA arrays.
+
+    The :class:`~repro.noc.virtual_channel.VirtualChannel` objects still
+    exist (construction, diagnostics) but carry no live state during a
+    vector run; everything the phases mutate is in the arrays below, keyed
+    by ``vc.gid`` / ``port.port_id``.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(pool_backend="numpy", **kwargs)
+        network: Network = self.network
+        # ---- dense VC index (gid) and static per-VC tables -------------
+        cap_l: List[int] = []
+        ordinal_l: List[int] = []
+        port_of_l: List[int] = []
+        switch_of_l: List[int] = []
+        in_vc_base: List[int] = []
+        for port in network.input_port_table:
+            in_vc_base.append(len(cap_l))
+            for vc in port.vcs:
+                vc.gid = len(cap_l)
+                cap_l.append(vc.capacity)
+                ordinal_l.append(vc.ordinal)
+                port_of_l.append(port.port_id)
+                switch_of_l.append(port.switch.switch_id)
+        total = len(cap_l)
+        self.cap_l = cap_l
+        self.ordinal_l = ordinal_l
+        self.port_of_l = port_of_l
+        self.switch_of_l = switch_of_l
+        self.in_vc_base = in_vc_base
+        self.vc_cap = numpy.asarray(cap_l, dtype=numpy.int64)
+        self.ordinal_np = numpy.asarray(ordinal_l, dtype=numpy.int64)
+        # ---- static per-output-port tables -----------------------------
+        out_is_ej: List[bool] = []
+        out_down_port: List[int] = []
+        out_latency: List[int] = []
+        out_cpf: List[int] = []
+        out_energy: List[float] = []
+        out_width: List[int] = []
+        out_rr_mod: List[int] = []
+        for port in network.output_port_table:
+            out_is_ej.append(port.is_ejection)
+            out_rr_mod.append(port.switch.rr_modulus)
+            out_width.append(port.width)
+            if port.is_ejection:
+                out_down_port.append(-1)
+                out_latency.append(0)
+                out_cpf.append(0)
+                out_energy.append(0.0)
+                continue
+            downstream = port.downstream_port
+            if downstream is None:  # pragma: no cover - guarded by kernel
+                raise RuntimeError(
+                    "vector engine requires statically wired downstream ports"
+                )
+            out_down_port.append(downstream.port_id)
+            out_latency.append(port.link.latency_cycles)
+            out_cpf.append(port.link.cycles_per_flit)
+            out_energy.append(port.link.energy_pj_per_flit)
+        self.out_is_ej = out_is_ej
+        self.out_down_port = out_down_port
+        self.out_latency = out_latency
+        self.out_cpf = out_cpf
+        self.out_energy = out_energy
+        self.out_width = out_width
+        self.out_rr_mod = out_rr_mod
+        self.out_rr_mod_np = numpy.asarray(out_rr_mod, dtype=numpy.int64)
+        self.busy_until = [0] * len(out_is_ej)
+        #: Per-output round-robin pointers.  NumPy so the allocation phase
+        #: can compute every candidate's arbitration rank in one gather.
+        self.rr_ptr_np = numpy.zeros(len(out_is_ej), dtype=numpy.int64)
+        # ---- per-switch tables -----------------------------------------
+        self.sw: Dict[int, _SwitchTables] = {
+            sid: _SwitchTables(switch) for sid, switch in network.switches.items()
+        }
+        # ---- dynamic SoA state -----------------------------------------
+        self.vc_count = numpy.zeros(total, dtype=numpy.int64)
+        self.vc_head = numpy.zeros(total, dtype=numpy.int64)
+        self.vc_in_flight = numpy.zeros(total, dtype=numpy.int64)
+        #: Owning packet id, or -1 while the VC is unallocated.  A plain
+        #: list: the allocation scan never reads it vectorised (ownership
+        #: checks are per-winner), and list indexing is several times
+        #: cheaper than NumPy scalar indexing on the per-send path.
+        self.alloc_l: List[int] = [-1] * total
+        #: Pending mid-phase occupancy changes (deferred ring pops and
+        #: in-flight increments); always all-zero between phases.
+        self.occ_delta: List[int] = [0] * total
+        #: Assigned output ``port_id`` of the buffered packet, or -1.
+        self.vc_out = numpy.full(total, -1, dtype=numpy.int64)
+        #: Memoized downstream claim (gid) for buffered body flits, or -1.
+        #: Set when the head flit claims its downstream VC, cleared when
+        #: the tail leaves — it is what lets the eligibility scan be one
+        #: masked gather instead of a per-VC owner search.
+        self.vc_tgt = numpy.full(total, -1, dtype=numpy.int64)
+        maxcap = max(cap_l) if cap_l else 1
+        #: Ring buffers, one row per VC (ring arithmetic modulo the row's
+        #: own capacity; the row is padded to the widest capacity).
+        self.buf2d = numpy.zeros((total, maxcap), dtype=numpy.int64)
+        #: Injection serialisation state (local-port rows only).
+        self.source_handle: List[Optional[int]] = [None] * total
+        self.source_emitted = [0] * total
+        #: Per-input-port bitmask of free VCs (bit i == VC index i free).
+        self.free_mask = [(1 << len(port.vcs)) - 1 for port in network.input_port_table]
+        #: ``(downstream input port_id, packet id) -> claimed gid`` — the
+        #: vectorised spelling of the scalar owner scan over a port's VCs.
+        self.owner: Dict[Tuple[int, int], int] = {}
+        #: ``claimed gid -> (upstream gid, upstream output port_id)`` while
+        #: the upstream still holds body flits for it; pops consult this to
+        #: force the upstream's output group to re-evaluate eligibility
+        #: (space just appeared).  The upstream's assigned output is frozen
+        #: for the lifetime of the claim, so caching it here saves an array
+        #: read per pop.
+        self.rev: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Free-VC bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _claim_vc(self, gid: int) -> None:
+        port_id = self.port_of_l[gid]
+        self.free_mask[port_id] &= ~(1 << (gid - self.in_vc_base[port_id]))
+
+    def _free_vc(self, gid: int) -> None:
+        port_id = self.port_of_l[gid]
+        self.free_mask[port_id] |= 1 << (gid - self.in_vc_base[port_id])
+
+    # ------------------------------------------------------------------
+    # Phase 1: arrivals (vectorised scatter).
+    # ------------------------------------------------------------------
+
+    def process_arrivals(self, cycle: int) -> None:
+        due = self.arrivals.pop(cycle, None)
+        if not due:
+            return
+        count = len(due)
+        if count >= _ARRIVAL_BATCH_MIN:
+            # All gids in one cycle's batch are distinct: a claimed VC has
+            # a unique upstream, links have cycles_per_flit >= 1 (one send
+            # per output per cycle) and a fixed latency, so two arrivals
+            # at the same VC always come from different send cycles.
+            targets = numpy.fromiter((d[0] for d in due), dtype=numpy.int64, count=count)
+            flits = numpy.fromiter((d[1] for d in due), dtype=numpy.int64, count=count)
+            if (self.vc_in_flight[targets] <= 0).any():
+                raise RuntimeError("deliver() without a matching reserve()")
+            self.vc_in_flight[targets] -= 1
+            slots = (self.vc_head[targets] + self.vc_count[targets]) % self.vc_cap[targets]
+            self.buf2d[targets, slots] = flits
+            self.vc_count[targets] += 1
+        else:
+            vc_count = self.vc_count
+            vc_head = self.vc_head
+            vc_in_flight = self.vc_in_flight
+            buf2d = self.buf2d
+            cap_l = self.cap_l
+            for gid, flit in due:
+                if int(vc_in_flight[gid]) <= 0:
+                    raise RuntimeError("deliver() without a matching reserve()")
+                vc_in_flight[gid] -= 1
+                occupancy = int(vc_count[gid])
+                buf2d[gid, (int(vc_head[gid]) + occupancy) % cap_l[gid]] = flit
+                vc_count[gid] = occupancy + 1
+        self.last_progress_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # Phase 3: injection (array state, scalar semantics).
+    # ------------------------------------------------------------------
+
+    def inject_vec(self, switch_id: int, cycle: int) -> None:
+        tables = self.sw[switch_id]
+        budget = tables.injection_width
+        pool = self.pool
+        result = self.result
+        vc_count = self.vc_count
+        vc_head = self.vc_head
+        vc_in_flight = self.vc_in_flight
+        buf2d = self.buf2d
+        cap_l = self.cap_l
+        source_handle = self.source_handle
+        source_emitted = self.source_emitted
+        # Continue serialising packets already owning a local VC.
+        for gid in tables.local_gids:
+            if budget == 0:
+                return
+            handle = source_handle[gid]
+            if handle is None:
+                continue
+            occupancy = int(vc_count[gid])
+            if occupancy + int(vc_in_flight[gid]) >= cap_l[gid]:
+                continue
+            index = source_emitted[gid]
+            buf2d[gid, (int(vc_head[gid]) + occupancy) % cap_l[gid]] = (
+                handle << FLIT_INDEX_BITS
+            ) | index
+            vc_count[gid] = occupancy + 1
+            source_emitted[gid] = index + 1
+            result.flits_injected += 1
+            budget -= 1
+            self.last_progress_cycle = cycle
+            if index + 1 >= int(pool.length_flits[handle]):
+                source_handle[gid] = None
+                source_emitted[gid] = 0
+        if budget == 0:
+            return
+        # Start injecting new packets from the attached endpoints.
+        source_queues = self.source_queues
+        local_base = tables.local_gids[0] if tables.local_gids else 0
+        local_port_id = self.port_of_l[local_base] if tables.local_gids else -1
+        for endpoint_id in tables.endpoints:
+            if budget == 0:
+                return
+            queue = source_queues.get(endpoint_id)
+            if not queue:
+                continue
+            mask = self.free_mask[local_port_id] if local_port_id >= 0 else 0
+            if not mask:
+                return
+            gid = local_base + ((mask & -mask).bit_length() - 1)
+            handle = queue.popleft()
+            pool.injection_cycle[handle] = cycle
+            self.alloc_l[gid] = int(pool.pid[handle])
+            self._claim_vc(gid)
+            source_handle[gid] = handle
+            buf2d[gid, int(vc_head[gid])] = handle << FLIT_INDEX_BITS
+            vc_count[gid] = 1
+            source_emitted[gid] = 1
+            result.flits_injected += 1
+            budget -= 1
+            self.last_progress_cycle = cycle
+            if int(pool.length_flits[handle]) <= 1:
+                source_handle[gid] = None
+                source_emitted[gid] = 0
+
+    def has_injection_work_vec(self, switch_id: int) -> bool:
+        tables = self.sw[switch_id]
+        source_handle = self.source_handle
+        for gid in tables.local_gids:
+            if source_handle[gid] is not None:
+                return True
+        source_queues = self.source_queues
+        for endpoint_id in tables.endpoints:
+            if source_queues.get(endpoint_id):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 5: allocation (the batched core).
+    # ------------------------------------------------------------------
+
+    def _assign_output_vec(self, gid: int) -> None:
+        """Route the head flit at the front of row ``gid`` (first visit)."""
+        pool = self.pool
+        flit = int(self.buf2d[gid, int(self.vc_head[gid])])
+        handle = flit >> FLIT_INDEX_BITS
+        if flit & FLIT_INDEX_MASK:
+            raise RuntimeError(
+                f"VC gid {gid} has no routing state but its front flit is not a head"
+            )
+        switch_id = self.switch_of_l[gid]
+        if switch_id == int(pool.dst_switch[handle]):
+            self.vc_out[gid] = self.sw[switch_id].ej_port_id
+            return
+        hop = int(pool.head_hop[handle])
+        route = pool.route[handle]
+        if route[hop] != switch_id:
+            raise RuntimeError(
+                f"packet {int(pool.pid[handle])} head expected at switch "
+                f"{route[hop]} but found at {switch_id}"
+            )
+        self.vc_out[gid] = pool.route_ports[handle][hop].port_id
+
+    def allocate_all(self, cycle: int) -> None:
+        vc_count = self.vc_count
+        candidates = numpy.flatnonzero(vc_count)
+        if not candidates.size:
+            return
+        vc_out = self.vc_out
+        out_arr = vc_out[candidates]
+        if (out_arr < 0).any():
+            for gid in candidates[out_arr < 0].tolist():
+                self._assign_output_vec(gid)
+            out_arr = vc_out[candidates]
+        vc_head = self.vc_head
+        vc_in_flight = self.vc_in_flight
+        vc_cap = self.vc_cap
+        pool = self.pool
+        # Snapshot: front flits, their packet identity, and eligibility.
+        # The snapshot is phase-stable for everything the loop consumes: a
+        # VC's front changes only through its own (single) send, and a
+        # body row's claimed target only gains occupancy through that same
+        # send, so snapshot-eligible rows stay eligible.  The one flip the
+        # snapshot can miss — a pop freeing space at a full target — is
+        # caught by the ``unlocked`` entries below: every pop enrols the
+        # popped VC's unique upstream into its output's arbitration.
+        fronts = self.buf2d[candidates, vc_head[candidates]]
+        handles = fronts >> FLIT_INDEX_BITS
+        indices = fronts & FLIT_INDEX_MASK
+        head_front = indices == 0
+        pids = pool.pid[handles]
+        is_tail = indices == pool.length_flits[handles] - 1
+        targets = self.vc_tgt[candidates]
+        claimed = targets >= 0
+        body_elig = numpy.zeros(candidates.size, dtype=bool)
+        claimed_targets = targets[claimed]
+        body_elig[claimed] = (
+            vc_count[claimed_targets] + vc_in_flight[claimed_targets]
+            < vc_cap[claimed_targets]
+        )
+        # Vectorised round-robin ranks.  An output's pointer moves only
+        # when that output sends, each output sends at most once per phase,
+        # and the pointer is read only when the output's own winner is
+        # chosen — so phase-start pointers are exactly what the scalar
+        # arbitration reads.  Ranks are unique within a group (ordinals are
+        # distinct modulo the port's VC count), so encoding the candidate
+        # position in the low bits keeps the per-group minimum unambiguous:
+        # ``min(rank * size + position)`` recovers both the winning rank
+        # and the row it belongs to.
+        size = candidates.size
+        ranks = (self.ordinal_np[candidates] - self.rr_ptr_np[out_arr]) % (
+            self.out_rr_mod_np[out_arr]
+        )
+        positions = numpy.arange(size)
+        key = numpy.where(body_elig, ranks * size + positions, _NO_KEY)
+        # Group by output port; process in scalar visit order: ascending
+        # switch id, then first-request ordinal within the switch (the
+        # candidate array is gid-ascending == (switch, ordinal)-ascending,
+        # so the minimum original position of each group encodes both).
+        # Port ids fit comfortably in int32, where the stable radix sort
+        # does half the passes of the int64 one.
+        order = numpy.argsort(out_arr.astype(numpy.int32), kind="stable")
+        sorted_out = out_arr[order]
+        boundaries = numpy.ones(size, dtype=bool)
+        boundaries[1:] = sorted_out[1:] != sorted_out[:-1]
+        starts = numpy.flatnonzero(boundaries)
+        group_out = sorted_out[starts]
+        group_best = numpy.minimum.reduceat(key[order], starts).tolist()
+        first_position = numpy.minimum.reduceat(order, starts)
+        process_order = numpy.argsort(first_position, kind="stable").tolist()
+        # Bulk Python conversion: one tolist per array per phase (cheap,
+        # amortised) instead of NumPy scalar reads on the per-send path
+        # (expensive, per element).
+        cand_l = candidates.tolist()
+        fronts_l = fronts.tolist()
+        pids_l = pids.tolist()
+        tails_l = is_tail.tolist()
+        targets_l = targets.tolist()
+        spans = starts.tolist()
+        spans.append(size)
+        group_out_l = group_out.tolist()
+        out_to_group = {out: i for i, out in enumerate(group_out_l)}
+        # Head fronts resolve their target VC live (owner scan, then first
+        # free VC); bucket them per group.  Everything else rides on the
+        # vectorised per-group minimum above.
+        hf_buckets: Dict[int, List[int]] = {}
+        hf_positions = numpy.flatnonzero(head_front)
+        if hf_positions.size:
+            for pos, out in zip(
+                hf_positions.tolist(), out_arr[hf_positions].tolist()
+            ):
+                grp = out_to_group[out]
+                bucket = hf_buckets.get(grp)
+                if bucket is None:
+                    hf_buckets[grp] = [pos]
+                else:
+                    bucket.append(pos)
+        # Snapshot-ineligible members whose full target popped at an
+        # earlier group this phase, keyed by their output's group.  A
+        # popped VC refills only through its unique upstream, so each such
+        # member is guaranteed eligible when its group arbitrates — no
+        # full re-evaluation of the group is needed, the member just
+        # joins the rank competition.
+        unlocked: Dict[int, List[int]] = {}
+        # Ring pops and in-flight increments are deferred to one vectorised
+        # application after the loop; ``occ_delta`` carries the pending
+        # occupancy changes so the live checks still see scalar-exact
+        # ``count + in_flight`` values mid-phase.
+        pop_gids: List[int] = []
+        new_inflight: List[int] = []
+        occ_delta = self.occ_delta
+        cap_l = self.cap_l
+        ordinal_l = self.ordinal_l
+        out_is_ej = self.out_is_ej
+        out_down_port = self.out_down_port
+        out_rr_mod = self.out_rr_mod
+        busy_until = self.busy_until
+        rr_ptr_np = self.rr_ptr_np
+        in_vc_base = self.in_vc_base
+        free_mask = self.free_mask
+        owner = self.owner
+        send = self._send
+        for group in process_order:
+            out_id = group_out_l[group]
+            if out_is_ej[out_id]:
+                # Ejection groups are always served: their members only
+                # need buffered flits, which every candidate has.
+                begin, end = spans[group], spans[group + 1]
+                self._serve_ejection_group(
+                    out_id,
+                    order[begin:end].tolist(),
+                    cand_l,
+                    fronts_l,
+                    pids_l,
+                    tails_l,
+                    cycle,
+                    unlocked,
+                    out_to_group,
+                    pop_gids,
+                )
+                continue
+            best = group_best[group]
+            hf_bucket = hf_buckets.get(group)
+            un = unlocked.get(group)
+            if best == _NO_KEY and hf_bucket is None and un is None:
+                continue
+            if busy_until[out_id] > cycle:
+                continue
+            down_port = out_down_port[out_id]
+            down_base = in_vc_base[down_port]
+            modulus = out_rr_mod[out_id]
+            pointer = int(rr_ptr_np[out_id])
+            win_pos = -1
+            win_gid = -1
+            win_target = -1
+            if best != _NO_KEY:
+                best_rank = best // size
+                win_pos = best - best_rank * size
+                win_target = targets_l[win_pos]
+            else:
+                best_rank = modulus
+            if hf_bucket is not None:
+                for pos in hf_bucket:
+                    # Live head resolution, mirroring the scalar owner
+                    # scan then first-free scan over the downstream
+                    # port (lowest set bit == first VC in index order).
+                    pid = pids_l[pos]
+                    target = owner.get((down_port, pid))
+                    if target is None:
+                        mask = free_mask[down_port]
+                        if not mask:
+                            continue
+                        target = down_base + ((mask & -mask).bit_length() - 1)
+                    elif (
+                        int(vc_count[target])
+                        + int(vc_in_flight[target])
+                        + occ_delta[target]
+                        >= cap_l[target]
+                    ):
+                        continue
+                    rank = (ordinal_l[cand_l[pos]] - pointer) % modulus
+                    if rank < best_rank:
+                        best_rank = rank
+                        win_pos = pos
+                        win_target = target
+            if un is not None:
+                for ugid in un:
+                    # Guaranteed eligible (see the ``unlocked`` note); the
+                    # only disqualifier is an empty buffer — its count is
+                    # exact because an unlocked member cannot have popped.
+                    if not int(vc_count[ugid]):
+                        continue
+                    rank = (ordinal_l[ugid] - pointer) % modulus
+                    if rank < best_rank:
+                        best_rank = rank
+                        win_gid = ugid
+                        win_pos = -1
+            if win_gid >= 0:
+                # Unlocked winner: read its row live (it is outside the
+                # snapshot's eligible set, possibly outside the candidate
+                # bulk conversion entirely).
+                flit = int(self.buf2d[win_gid, int(vc_head[win_gid])])
+                fresh_pool = self.pool
+                rr_ptr_np[out_id] = (ordinal_l[win_gid] + 1) % modulus
+                send(
+                    win_gid,
+                    int(self.vc_tgt[win_gid]),
+                    flit,
+                    self.alloc_l[win_gid],
+                    flit & FLIT_INDEX_MASK
+                    == int(fresh_pool.length_flits[flit >> FLIT_INDEX_BITS]) - 1,
+                    False,
+                    out_id,
+                    down_port,
+                    cycle,
+                    unlocked,
+                    out_to_group,
+                    pop_gids,
+                    new_inflight,
+                    occ_delta,
+                )
+                continue
+            if win_pos < 0:
+                continue
+            gid = cand_l[win_pos]
+            flit = fronts_l[win_pos]
+            rr_ptr_np[out_id] = (ordinal_l[gid] + 1) % modulus
+            send(
+                gid,
+                win_target,
+                flit,
+                pids_l[win_pos],
+                tails_l[win_pos],
+                not flit & FLIT_INDEX_MASK,
+                out_id,
+                down_port,
+                cycle,
+                unlocked,
+                out_to_group,
+                pop_gids,
+                new_inflight,
+                occ_delta,
+            )
+        # Apply the deferred ring pops and in-flight increments in bulk.
+        # Popped gids are unique (a VC moves at most one flit per cycle)
+        # and so are targets (each claimed VC has a unique upstream), so
+        # plain fancy assignment is exact.
+        if pop_gids:
+            popped = numpy.fromiter(pop_gids, numpy.int64, len(pop_gids))
+            vc_head[popped] = (vc_head[popped] + 1) % vc_cap[popped]
+            vc_count[popped] -= 1
+            for gid in pop_gids:
+                occ_delta[gid] = 0
+            self.last_progress_cycle = cycle
+        if new_inflight:
+            grown = numpy.fromiter(new_inflight, numpy.int64, len(new_inflight))
+            vc_in_flight[grown] += 1
+            for target in new_inflight:
+                occ_delta[target] = 0
+            self.result.flit_hops += len(new_inflight)
+
+    def _send(
+        self,
+        gid: int,
+        target: int,
+        flit: int,
+        pid: int,
+        is_tail: bool,
+        is_head: bool,
+        out_id: int,
+        down_port: int,
+        cycle: int,
+        unlocked: Dict[int, List[int]],
+        out_to_group,
+        pop_gids: List[int],
+        new_inflight: List[int],
+        occ_delta: List[int],
+    ) -> None:
+        # Ring pop of the front flit (deferred; see ``allocate_all``).
+        pop_gids.append(gid)
+        occ_delta[gid] -= 1
+        rev = self.rev
+        # This pop freed space for the upstream still streaming into gid:
+        # enrol it in its output's arbitration if that group is still due.
+        upstream = rev.get(gid)
+        if upstream is not None:
+            group = out_to_group.get(upstream[1])
+            if group is not None:
+                entries = unlocked.get(group)
+                if entries is None:
+                    unlocked[group] = [upstream[0]]
+                else:
+                    entries.append(upstream[0])
+        alloc_l = self.alloc_l
+        handle = flit >> FLIT_INDEX_BITS
+        if is_tail:
+            alloc_l[gid] = -1
+            self.vc_out[gid] = -1
+            old_target = int(self.vc_tgt[gid])
+            if old_target >= 0:
+                rev.pop(old_target, None)
+                self.vc_tgt[gid] = -1
+            self.owner.pop((self.port_of_l[gid], pid), None)
+            self._free_vc(gid)
+        # Downstream claim / reservation (inline VirtualChannel.reserve).
+        target_owner = alloc_l[target]
+        if is_head:
+            if target_owner >= 0 and target_owner != pid:
+                raise RuntimeError(
+                    f"VC already allocated to packet {target_owner}, cannot "
+                    f"accept head of packet {pid}"
+                )
+            alloc_l[target] = pid
+            self.owner[(down_port, pid)] = target
+            self._claim_vc(target)
+            if not is_tail:
+                self.vc_tgt[gid] = target
+                rev[target] = (gid, out_id)
+        elif target_owner != pid:
+            raise RuntimeError(
+                f"body flit of packet {pid} sent to VC owned by {target_owner}"
+            )
+        new_inflight.append(target)
+        occ_delta[target] += 1
+        arrival_cycle = cycle + self.out_latency[out_id]
+        arrivals = self.arrivals
+        entry = arrivals.get(arrival_cycle)
+        if entry is None:
+            arrivals[arrival_cycle] = [(target, flit)]
+        else:
+            entry.append((target, flit))
+        self.busy_until[out_id] = cycle + self.out_cpf[out_id]
+        pool = self.pool
+        energy = pool.energy_pj
+        switch_energy = self.switch_energy_pj
+        link_energy = self.out_energy[out_id]
+        breakdown = self.breakdown
+        breakdown.switch_dynamic_pj += switch_energy
+        breakdown.link_pj += link_energy
+        # Two separate rounded additions, exactly as the scalar path (and
+        # the NumPy scalar RMWs) produce them — but with one array read
+        # and one write.
+        energy[handle] = float(energy[handle]) + switch_energy + link_energy
+        if is_head:
+            pool.head_hop[handle] += 1
+
+    def _serve_ejection_group(
+        self,
+        out_id: int,
+        members: List[int],
+        cand_l: List[int],
+        fronts_l: List[int],
+        pids_l: List[int],
+        tails_l: List[bool],
+        cycle: int,
+        unlocked: Dict[int, List[int]],
+        out_to_group,
+        pop_gids: List[int],
+    ) -> None:
+        budget = self.out_width[out_id]
+        remaining = members
+        modulus = self.out_rr_mod[out_id]
+        ordinal_l = self.ordinal_l
+        rr_ptr_np = self.rr_ptr_np
+        while budget > 0 and remaining:
+            if len(remaining) == 1:
+                pick = remaining.pop()
+            else:
+                pointer = int(rr_ptr_np[out_id])
+                best = 0
+                best_rank = modulus
+                for i, member in enumerate(remaining):
+                    rank = (ordinal_l[cand_l[member]] - pointer) % modulus
+                    if rank < best_rank:
+                        best_rank = rank
+                        best = i
+                pick = remaining.pop(best)
+            gid = cand_l[pick]
+            rr_ptr_np[out_id] = (ordinal_l[gid] + 1) % modulus
+            self._eject_vec(
+                gid,
+                fronts_l[pick] >> FLIT_INDEX_BITS,
+                pids_l[pick],
+                tails_l[pick],
+                cycle,
+                unlocked,
+                out_to_group,
+                pop_gids,
+            )
+            budget -= 1
+
+    def _eject_vec(
+        self,
+        gid: int,
+        handle: int,
+        pid: int,
+        is_tail: bool,
+        cycle: int,
+        unlocked: Dict[int, List[int]],
+        out_to_group,
+        pop_gids: List[int],
+    ) -> None:
+        pool = self.pool
+        # Ring pop deferred to the bulk application in ``allocate_all``;
+        # the ejecting VC's occupancy drop is visible to later groups via
+        # ``occ_delta`` (updated by the caller).
+        pop_gids.append(gid)
+        self.occ_delta[gid] -= 1
+        upstream = self.rev.get(gid)
+        if upstream is not None:
+            group = out_to_group.get(upstream[1])
+            if group is not None:
+                entries = unlocked.get(group)
+                if entries is None:
+                    unlocked[group] = [upstream[0]]
+                else:
+                    entries.append(upstream[0])
+        if is_tail:
+            self.alloc_l[gid] = -1
+            self.vc_out[gid] = -1
+            old_target = int(self.vc_tgt[gid])
+            if old_target >= 0:  # pragma: no cover - ejection rows never claim
+                self.rev.pop(old_target, None)
+                self.vc_tgt[gid] = -1
+            self.owner.pop((self.port_of_l[gid], pid), None)
+            self._free_vc(gid)
+        switch_energy = self.switch_energy_pj
+        self.breakdown.switch_dynamic_pj += switch_energy
+        pool.energy_pj[handle] += switch_energy
+        pool.flits_ejected[handle] += 1
+        result = self.result
+        result.flits_ejected_total += 1
+        if cycle >= self.config.warmup_cycles:
+            result.flits_ejected_measured += 1
+        self.last_progress_cycle = cycle
+        if not is_tail:
+            return
+        pool.ejection_cycle[handle] = cycle
+        result.packets_delivered += 1
+        if bool(pool.measured[handle]):
+            result.packets_delivered_measured += 1
+            injection = int(pool.injection_cycle[handle])
+            result.record_delivery(
+                cycle - int(pool.generation_cycle[handle]),
+                cycle - injection if injection >= 0 else None,
+                float(pool.energy_pj[handle]),
+                len(pool.route[handle]) - 1,
+            )
+        # Delivery callbacks may enqueue replies, which can grow the pool
+        # and reallocate its arrays — hence no pool-array locals survive
+        # across this call anywhere in the vector engine.
+        for reply in self.traffic.on_packet_delivered(PacketView(pool, handle), cycle):
+            self.enqueue_request(reply, cycle)
+        pool.free(handle)
+
+    # ------------------------------------------------------------------
+    # Watchdog / accounting overrides (array-backed state).
+    # ------------------------------------------------------------------
+
+    def residual_flits(self) -> int:
+        return int(self.vc_count.sum()) + sum(
+            len(entries) for entries in self.arrivals.values()
+        )
+
+    def check_watchdog(self, cycle: int) -> None:
+        if cycle - self.last_progress_cycle < self.config.watchdog_cycles:
+            return
+        in_flight = (
+            bool(self.vc_count.any())
+            or any(self.arrivals.values())
+            or any(self.source_queues.values())
+        )
+        if not in_flight:
+            self.last_progress_cycle = cycle
+            return
+        message = (
+            f"no flit progress for {self.config.watchdog_cycles} cycles at cycle "
+            f"{cycle} with traffic still in flight (possible deadlock)"
+        )
+        if self.config.raise_on_stall:
+            raise SimulationStallError(message)
+        self.stalled = True
+
+
+# ----------------------------------------------------------------------
+# Phases.
+# ----------------------------------------------------------------------
+
+
+class VectorArrivalPhase(Phase):
+    """Batched flit ingestion into the SoA ring buffers."""
+
+    name = "arrival"
+
+    def run(self, cycle: int) -> None:
+        self.state.process_arrivals(cycle)
+
+
+class VectorInjectionPhase(Phase):
+    """Array-state injection over the switches with source work."""
+
+    name = "injection"
+
+    def run(self, cycle: int) -> None:
+        state: VectorKernelState = self.state
+        tracker: InjectionTracker = state.scheduler
+        for switch_id in sorted(tracker.active):
+            state.inject_vec(switch_id, cycle)
+            if not state.has_injection_work_vec(switch_id):
+                tracker.active.discard(switch_id)
+
+
+class VectorAllocationPhase(Phase):
+    """Batched eligibility + per-output round-robin resolution."""
+
+    name = "allocation"
+
+    def run(self, cycle: int) -> None:
+        self.state.allocate_all(cycle)
+
+
+def vector_phases(state: VectorKernelState) -> List[Phase]:
+    """The per-cycle pipeline of a vector-engine run.
+
+    Generation is shared with the scalar kernel (traffic models are Python
+    callbacks either way) and the fabric phase is structurally empty on the
+    wired-only configurations the fast path covers.
+    """
+    return [
+        VectorArrivalPhase(state),
+        GenerationPhase(state),
+        VectorInjectionPhase(state),
+        FabricPhase(state),
+        VectorAllocationPhase(state),
+    ]

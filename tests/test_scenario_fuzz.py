@@ -144,7 +144,9 @@ def test_doctored_conservation_violation_is_caught(monkeypatch):
             return result
 
     monkeypatch.setattr(
-        runner_module, "task_simulator", lambda task: DoctoredSimulator(task)
+        runner_module,
+        "task_simulator",
+        lambda task, engine="scalar": DoctoredSimulator(task),
     )
     with pytest.raises(InvariantViolation) as excinfo:
         fuzz_module.check_task(tasks[0], scenario=raw)
@@ -156,7 +158,7 @@ def test_fuzz_cli_dumps_replayable_artifact(tmp_path, monkeypatch, capsys):
     """On a violation the CLI writes the offending document and exits 1."""
     from repro.scenario import fuzz as fuzz_module
 
-    def explode(count, base_seed, on_progress=None):
+    def explode(count, base_seed, on_progress=None, engine="scalar"):
         raise InvariantViolation(
             random_scenario(1), "task-x", ["flit conservation broken: cooked"]
         )

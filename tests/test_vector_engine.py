@@ -1,0 +1,290 @@
+"""Engine-parity and SoA-storage tests for the NumPy vector fast path.
+
+The vector engine (:mod:`repro.noc.vector`) is an alternative execution
+path, not an alternative simulator: every run must be bit-identical to
+the scalar reference loop.  The matrix here pins that guarantee across
+all four architectures and four workload variants (uniform, SynFull
+application, token-MAC wireless, faulted), including the configurations
+where the vector engine deliberately falls back to the scalar phases
+(wireless fabrics, fault plans).
+
+A Hypothesis property test additionally pins the :class:`PacketPool`
+NumPy backend: under arbitrary interleavings of allocation, recycling
+and growth, the array-backed records must agree with the list backend
+and with the values recorded at allocation time — growth reallocates the
+arrays, so any stale-view bug shows up as a record mismatch here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.noc.vector as vector_module
+from repro.core.architectures import build_system
+from repro.faults.scenarios import create_fault_plan
+from repro.noc.engine import ENGINES, METRICS_MODES, SimulationConfig, Simulator
+from repro.noc.pool import PacketPool
+
+from test_kernel import (
+    ARCHITECTURES,
+    result_fingerprint,
+    synfull_factory,
+    uniform_factory,
+)
+
+CYCLES = 360
+
+
+def run_with_engine(
+    config,
+    traffic_factory,
+    engine,
+    cycles=CYCLES,
+    faults=None,
+    fault_seed=7,  # non-empty random-links plan on every test system
+    metrics="sampled",
+):
+    system = build_system(config)
+    traffic = traffic_factory(system)
+    fault_plan = None
+    if faults is not None:
+        fault_plan = create_fault_plan(
+            faults,
+            system.topology,
+            fault_rate=0.15,
+            seed=fault_seed,
+            cycles=cycles,
+        )
+    simulator = Simulator(
+        topology=system.topology,
+        router=system.router,
+        traffic=traffic,
+        network_config=config.network,
+        simulation_config=SimulationConfig(
+            cycles=cycles,
+            warmup_cycles=cycles // 4,
+            engine=engine,
+            metrics=metrics,
+        ),
+        fault_plan=fault_plan,
+    )
+    return simulator.run()
+
+
+#: Workload variants of the parity matrix.  ``mac`` rewrites the wireless
+#: protocol (inert on wired architectures, exactly as in production runs);
+#: ``faults`` applies a deterministic fault plan, which makes the vector
+#: engine fall back to the scalar phases — the parity claim still holds.
+VARIANTS = {
+    "uniform": {},
+    "synfull": {"synfull": True},
+    "token-mac": {"mac": "token"},
+    "faulted": {"faults": "random-links"},
+}
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_fingerprints_bit_identical(self, arch, variant):
+        options = VARIANTS[variant]
+        config = ARCHITECTURES[arch]()
+        if options.get("mac"):
+            config = config.with_wireless(mac=options["mac"])
+        factory = synfull_factory() if options.get("synfull") else uniform_factory()
+        faults = options.get("faults")
+        scalar = run_with_engine(config, factory, "scalar", faults=faults)
+        vector = run_with_engine(config, factory, "vector", faults=faults)
+        assert result_fingerprint(scalar) == result_fingerprint(vector)
+
+    def test_engine_names_are_exported(self):
+        assert set(ENGINES) == {"scalar", "vector"}
+        assert set(METRICS_MODES) == {"sampled", "streaming"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SimulationConfig(engine="warp")
+
+
+class TestVectorGating:
+    """The fast path runs exactly when the configuration is wired and
+    fault-free; everything else transparently falls back to scalar."""
+
+    @pytest.fixture
+    def vector_state_calls(self, monkeypatch):
+        calls = []
+        original = vector_module.VectorKernelState
+
+        def recording(**kwargs):
+            calls.append(kwargs["config"].engine)
+            return original(**kwargs)
+
+        monkeypatch.setattr(vector_module, "VectorKernelState", recording)
+        return calls
+
+    def test_wired_fault_free_uses_vector_state(self, vector_state_calls):
+        config = ARCHITECTURES["mesh"]()
+        run_with_engine(config, uniform_factory(), "vector", cycles=120)
+        assert vector_state_calls == ["vector"]
+
+    def test_scalar_engine_never_builds_vector_state(self, vector_state_calls):
+        config = ARCHITECTURES["mesh"]()
+        run_with_engine(config, uniform_factory(), "scalar", cycles=120)
+        assert vector_state_calls == []
+
+    def test_wireless_falls_back_to_scalar(self, vector_state_calls):
+        config = ARCHITECTURES["wireless"]()
+        run_with_engine(config, uniform_factory(), "vector", cycles=120)
+        assert vector_state_calls == []
+
+    def test_faulted_falls_back_to_scalar(self, vector_state_calls):
+        config = ARCHITECTURES["mesh"]()
+        run_with_engine(
+            config, uniform_factory(), "vector", cycles=120, faults="random-links"
+        )
+        assert vector_state_calls == []
+
+
+# ----------------------------------------------------------------------
+# PacketPool array backend under grow/recycle.
+# ----------------------------------------------------------------------
+
+#: One pool operation: ``("alloc", length)`` or ``("free", which)`` where
+#: ``which`` picks a live handle (modulo the live count, oldest first).
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=9)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=5)),
+    ),
+    min_size=1,
+    max_size=600,
+)
+
+
+def _apply_ops(pool, ops):
+    """Run one op sequence; returns {handle: expected record dict}."""
+    live = []
+    expected = {}
+    pid = 0
+    for op, value in ops:
+        if op == "alloc":
+            pid += 1
+            handle = pool.alloc(
+                pid=pid,
+                src_endpoint=pid % 7,
+                dst_endpoint=(pid + 3) % 7,
+                src_switch=1,
+                dst_switch=2,
+                length_flits=value,
+                generation_cycle=pid * 2,
+                route=[1, 2],
+                is_memory_access=bool(pid % 2),
+                is_reply=bool(pid % 3 == 0),
+                measured=bool(pid % 5),
+                traffic_class="request",
+            )
+            live.append(handle)
+            expected[handle] = {
+                "packet_id": pid,
+                "src_endpoint": pid % 7,
+                "dst_endpoint": (pid + 3) % 7,
+                "length_flits": value,
+                "generation_cycle": pid * 2,
+                "is_memory_access": bool(pid % 2),
+                "is_reply": bool(pid % 3 == 0),
+                "measured": bool(pid % 5),
+            }
+        elif live:
+            handle = live.pop(value % len(live))
+            pool.free(handle)
+            del expected[handle]
+    return expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_pool_numpy_records_survive_grow_and_recycle(ops):
+    """Array-backed records match their allocation-time values and the
+    list backend, at every pool size the op sequence reaches."""
+    numpy_pool = PacketPool(backend="numpy")
+    list_pool = PacketPool(backend="list")
+    expected = _apply_ops(numpy_pool, ops)
+    expected_list = _apply_ops(list_pool, ops)
+
+    # Identical op sequences must produce identical handle bookkeeping in
+    # both backends (same grow chunks, same LIFO recycling).
+    assert expected == expected_list
+    assert numpy_pool.capacity == list_pool.capacity
+    assert numpy_pool.free_list == list_pool.free_list
+    assert numpy_pool.allocated_total == list_pool.allocated_total
+    assert numpy_pool.freed_total == list_pool.freed_total
+    assert numpy_pool.live_count == len(expected)
+
+    # Every live record still reads back exactly as allocated — through
+    # the PacketView boundary (which must hand back builtin scalars, not
+    # NumPy ones) — even though growth reallocated the arrays.
+    for handle, record in expected.items():
+        view = numpy_pool.view(handle)
+        for field_name, value in record.items():
+            read = getattr(view, field_name)
+            assert read == value
+            assert type(read) is type(value)
+        assert view.route == [1, 2]
+        assert view.injection_cycle is None
+        assert view.ejection_cycle is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=_OPS)
+def test_pool_conservation_invariant(ops):
+    pool = PacketPool(backend="numpy")
+    expected = _apply_ops(pool, ops)
+    assert pool.allocated_total == pool.freed_total + pool.live_count
+    assert sorted(pool.live_handles()) == sorted(expected)
+
+
+# ----------------------------------------------------------------------
+# Streaming metrics mode.
+# ----------------------------------------------------------------------
+
+
+class TestStreamingMetrics:
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_streaming_matches_sampled_aggregates(self, engine):
+        config = ARCHITECTURES["mesh"]()
+        sampled = run_with_engine(config, uniform_factory(), engine)
+        streaming = run_with_engine(
+            config, uniform_factory(), engine, metrics="streaming"
+        )
+        # Simulated behaviour is identical; only the sample storage differs.
+        assert streaming.packets_delivered == sampled.packets_delivered
+        assert streaming.flits_injected == sampled.flits_injected
+        assert streaming.energy.as_dict() == sampled.energy.as_dict()
+        assert streaming.latencies_cycles == []
+        assert streaming.packet_energies_pj == []
+        assert len(sampled.latencies_cycles) == streaming.latency_stream.count
+        assert math.isclose(
+            streaming.average_packet_latency_cycles(),
+            sampled.average_packet_latency_cycles(),
+            rel_tol=1e-12,
+        )
+        assert streaming.max_latency_cycles() == sampled.max_latency_cycles()
+        assert math.isclose(
+            streaming.average_packet_energy_pj(),
+            sampled.average_packet_energy_pj(),
+            rel_tol=1e-9,
+        )
+
+    def test_streaming_percentiles_are_tracked_only(self):
+        config = ARCHITECTURES["mesh"]()
+        streaming = run_with_engine(
+            config, uniform_factory(), "scalar", cycles=200, metrics="streaming"
+        )
+        # Tracked percentiles answer (an estimate); untracked ones raise.
+        assert streaming.latency_percentile_cycles(95.0) >= 0.0
+        with pytest.raises(ValueError, match="track only"):
+            streaming.latency_percentile_cycles(42.0)
