@@ -6,7 +6,7 @@ are printed so the run log contains the regenerated figure data, while
 pytest-benchmark records the wall-clock cost of regenerating it.
 
 Experiments execute through the parallel orchestration layer
-(:mod:`repro.experiments.runner`).  Set ``REPRO_BENCH_JOBS=8`` to fan the
+(:mod:`repro.parallel.runner`).  Set ``REPRO_BENCH_JOBS=8`` to fan the
 independent simulation tasks out across worker processes; results are
 bit-identical at any job count, only the wall-clock changes.  The result
 cache is disabled so every benchmark measures real simulation work.
@@ -19,7 +19,7 @@ import os
 import pytest
 
 from repro.experiments.common import get_fidelity
-from repro.experiments.runner import ExperimentRunner
+from repro.parallel.runner import ExperimentRunner
 from repro.traffic.registry import pattern_spec
 
 #: Fidelity used by the benchmark harness; override with

@@ -1,0 +1,237 @@
+"""CI smoke for the sweep service (see .github/workflows/ci.yml).
+
+Both parts run against a real ``python -m repro.service`` subprocess on
+a private Unix socket:
+
+``--part cache``
+    Submit the built-in fig2 scenario at fast fidelity twice through the
+    daemon's scenario-compile path.  The second submission must execute
+    zero new tasks — every result served from the daemon's shared result
+    cache — and a CLI run through ``--service`` against the same daemon
+    must likewise report ``0 task(s) simulated``.
+
+``--part resume``
+    Submit one long wireless task, SIGKILL the daemon once a checkpoint
+    of that task lands on disk, then restart the daemon and resubmit:
+    the resumed run must reproduce the uninterrupted run's result
+    payload bit for bit (the golden fingerprint is computed in-process
+    with ``execute_task``) and consume the checkpoint on success.
+
+Exits non-zero with a ``[smoke] FAIL`` line on the first broken
+invariant, so the CI job log points at the exact contract that failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.config import Architecture  # noqa: E402
+from repro.parallel.checkpoints import CheckpointStore  # noqa: E402
+from repro.parallel.runner import execute_task, uniform_task  # noqa: E402
+from repro.service.client import ServiceClient, ServiceError, submit_sync  # noqa: E402
+from repro.service.wire import decode_line, encode_line  # noqa: E402
+from repro.testing import small_system_config  # noqa: E402
+
+
+@dataclass(frozen=True)
+class _Fidelity:
+    cycles: int
+    warmup_cycles: int
+    seed: int
+
+
+def say(message: str) -> None:
+    print(f"[smoke] {message}", flush=True)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"[smoke] FAIL: {message}", flush=True)
+        raise SystemExit(1)
+
+
+def _env() -> Dict[str, str]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.pathsep.join(p for p in (str(SRC), existing) if p)
+    return env
+
+
+def _start_daemon(socket_path: Path, *extra: str) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro.service", "--socket", str(socket_path)]
+    return subprocess.Popen([*command, *extra], env=_env())
+
+
+def _wait_ready(socket_path: Path, timeout: float = 60.0) -> ServiceClient:
+    """Poll ``ping`` until the daemon answers (the socket file existing
+    is not enough: a previous daemon may have left a stale one)."""
+    client = ServiceClient(str(socket_path))
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if asyncio.run(client.ping()):
+                return client
+        except (ConnectionRefusedError, FileNotFoundError, OSError, ServiceError):
+            time.sleep(0.1)
+    raise SystemExit(f"[smoke] FAIL: daemon on {socket_path} not ready in {timeout}s")
+
+
+async def _submit_builtin(socket_path: Path, name: str, fidelity: str) -> Dict[str, Any]:
+    """Raw-protocol submit of a built-in scenario; returns the terminal event."""
+    reader, writer = await asyncio.open_unix_connection(str(socket_path))
+    try:
+        writer.write(encode_line({"op": "submit", "builtin": name, "fidelity": fidelity}))
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise SystemExit("[smoke] FAIL: daemon closed the stream early")
+            event = decode_line(line)
+            if event is None:
+                continue
+            check(bool(event.get("ok")), f"daemon error: {event.get('error')}")
+            if event.get("event") in ("done", "failed"):
+                return event
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def part_cache(workdir: Path) -> None:
+    workdir.mkdir(parents=True, exist_ok=True)
+    socket_path = workdir / "svc.sock"
+    process = _start_daemon(
+        socket_path, "--jobs", "2", "--cache-dir", str(workdir / "cache")
+    )
+    try:
+        client = _wait_ready(socket_path)
+        first = asyncio.run(_submit_builtin(socket_path, "fig2", "fast"))
+        say(f"first fig2 submission: executed={first['executed']} cached={first['cached']}")
+        check(first["executed"] > 0, "cold submission executed nothing")
+        check(first["cached"] == 0, "cold submission hit a cache that should be empty")
+
+        second = asyncio.run(_submit_builtin(socket_path, "fig2", "fast"))
+        say(f"second fig2 submission: executed={second['executed']} cached={second['cached']}")
+        check(
+            second["executed"] == 0,
+            f"duplicate submission executed {second['executed']} task(s); want 0",
+        )
+        check(
+            second["cached"] == first["executed"],
+            "duplicate submission was not served entirely from the cache",
+        )
+
+        cli = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments", "fig2",
+                "--fidelity", "fast", "--service", str(socket_path),
+            ],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            check=True,
+        )
+        check(
+            "0 task(s) simulated" in cli.stdout,
+            "CLI --service run was not served entirely from the daemon cache",
+        )
+        say("CLI --service run reported 0 task(s) simulated")
+
+        asyncio.run(client.shutdown())
+        check(process.wait(timeout=30) == 0, "daemon exited non-zero")
+        check(not socket_path.exists(), "daemon left its socket file behind")
+        say("PASS cache: duplicate submissions execute zero new tasks")
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+def part_resume(workdir: Path) -> None:
+    workdir.mkdir(parents=True, exist_ok=True)
+    task = uniform_task(
+        small_system_config(Architecture.WIRELESS),
+        _Fidelity(cycles=12000, warmup_cycles=500, seed=7),
+        load=0.002,
+    )
+    say("computing the golden fingerprint (uninterrupted in-process run)")
+    golden = execute_task(task)
+    store = CheckpointStore(workdir / "ckpt")
+    key = task.cache_key()
+
+    socket_path = workdir / "svc.sock"
+    daemon_args = (
+        "--cache-dir", str(workdir / "cache"),
+        "--checkpoint-every", "400",
+        "--checkpoint-dir", str(workdir / "ckpt"),
+    )
+    process = _start_daemon(socket_path, *daemon_args)
+    try:
+        client = _wait_ready(socket_path)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            doomed = pool.submit(lambda: asyncio.run(client.submit([task])))
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline and not store.path_for(key).exists():
+                time.sleep(0.05)
+            check(store.path_for(key).exists(), "no checkpoint appeared before the deadline")
+            say("checkpoint on disk; SIGKILLing the daemon mid-task")
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+            try:
+                doomed.result(timeout=60)
+            except ServiceError:
+                pass
+            else:
+                check(False, "client call survived the daemon SIGKILL")
+        check(store.path_for(key).exists(), "the SIGKILL consumed the checkpoint")
+
+        say("restarting the daemon; the resubmitted task must resume")
+        process = _start_daemon(socket_path, *daemon_args)
+        _wait_ready(socket_path)
+        results = submit_sync([task], str(socket_path), timeout=600)
+        check(
+            results[task].as_dict() == golden,
+            "resumed result diverged from the golden fingerprint",
+        )
+        check(not store.path_for(key).exists(), "checkpoint not consumed on success")
+        asyncio.run(ServiceClient(str(socket_path)).shutdown())
+        check(process.wait(timeout=30) == 0, "daemon exited non-zero")
+        say("PASS resume: kill mid-task resumed bit-identically from the checkpoint")
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--part", choices=("cache", "resume", "all"), default="all")
+    args = parser.parse_args(argv)
+    # A short tmpdir keeps the socket path well under the AF_UNIX limit.
+    with tempfile.TemporaryDirectory(prefix="repro-svc-") as workdir:
+        if args.part in ("cache", "all"):
+            part_cache(Path(workdir) / "cache-part")
+        if args.part in ("resume", "all"):
+            part_resume(Path(workdir) / "resume-part")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

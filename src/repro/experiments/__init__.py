@@ -6,9 +6,10 @@ module mapping) and can be run from the command line
 in ``benchmarks/``, or programmatically via its ``run`` function.
 
 Execution goes through the parallel orchestration layer in
-:mod:`repro.experiments.runner`: every figure decomposes into independent,
+:mod:`repro.parallel.runner`: every figure decomposes into independent,
 deterministically seeded simulation tasks that fan out across worker
 processes and are cached on disk keyed by a content hash of the task.
+The supported programmatic entry surface is the :mod:`repro.api` facade.
 """
 
 from . import (
@@ -19,10 +20,22 @@ from . import (
     fig6_applications,
     fig7_resilience,
     fig8_mac_study,
-    runner,
 )
+from ..parallel.runner import ExperimentRunner, SimulationTask
 from .common import FIDELITIES, Fidelity, get_fidelity
-from .runner import ExperimentRunner, SimulationTask
+
+
+def __getattr__(name):
+    # ``repro.experiments.runner`` stays importable as an attribute of the
+    # package, but resolving it goes through the deprecation shim (and its
+    # one-time warning) instead of being imported eagerly above.  Resolved
+    # via importlib: a ``from . import runner`` here would re-enter this
+    # function through the import system's own hasattr probe.
+    if name == "runner":
+        import importlib
+
+        return importlib.import_module(".runner", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ExperimentRunner",

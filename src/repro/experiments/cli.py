@@ -41,7 +41,7 @@ from . import (
     fig7_resilience,
     fig8_mac_study,
 )
-from .runner import DEFAULT_CACHE_DIR, ExperimentRunner
+from ..parallel.runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
 #: Experiment name -> runner registry.  Every entry accepts
 #: ``(fidelity, runner, pattern)`` — plus ``faults`` / ``fault_rate`` for
@@ -213,6 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--service",
+        default=None,
+        metavar="SOCKET",
+        help=(
+            "execute on the sweep-service daemon listening on this Unix "
+            "socket (start one with 'python -m repro.service --socket "
+            "SOCKET'); tasks are deduped against the daemon's shared "
+            "cache and coalesced with other clients' in-flight work. "
+            "Local execution flags (--jobs/--cache-dir/--engine/--profile) "
+            "do not apply: the daemon owns those settings"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         "-q",
         action="store_true",
@@ -222,8 +235,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
-    """Build the experiment runner described by parsed CLI arguments."""
-    return ExperimentRunner(
+    """Build the experiment runner described by parsed CLI arguments.
+
+    Goes through the :func:`repro.api.make_runner` facade — the same
+    constructor every other entry point (tests, fuzzer, sweep service)
+    uses — so CLI runs cannot drift from programmatic ones.  With
+    ``--service`` the returned runner ships its batches to the daemon
+    instead of executing locally.
+    """
+    if getattr(args, "service", None):
+        if getattr(args, "profile", False):
+            raise ValueError(
+                "--profile does not combine with --service: per-phase "
+                "timings cannot cross the daemon socket"
+            )
+        from ..service.client import ServiceRunner
+
+        return ServiceRunner(
+            socket_path=args.service, show_progress=not args.quiet
+        )
+    from ..api import make_runner
+
+    return make_runner(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
@@ -297,6 +330,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runner = runner_from_args(args)
     except OSError as error:
         parser.error(f"cannot use cache directory {args.cache_dir!r}: {error}")
+    except ValueError as error:
+        parser.error(str(error))
     if args.fault_rate is not None and not 0.0 <= args.fault_rate <= 1.0:
         parser.error("--fault-rate must be in [0, 1]")
     if (

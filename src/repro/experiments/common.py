@@ -22,7 +22,7 @@ from ..core.comparison import ArchitectureMetrics
 from ..core.config import Architecture, SystemConfig
 from ..metrics.saturation import SweepSummary
 from ..noc.engine import SimulationConfig
-from .runner import ExperimentRunner
+from ..parallel.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -125,7 +125,7 @@ def sweep_architecture(
     """Load-sweep one architecture and summarise it at sustainable saturation.
 
     Goes through the task runner (serial, uncached by default), so passing a
-    configured :class:`~repro.experiments.runner.ExperimentRunner` gets
+    configured :class:`~repro.parallel.runner.ExperimentRunner` gets
     parallel execution and caching for free.  ``pattern`` selects any
     registered synthetic traffic pattern (default: uniform random traffic).
     """

@@ -14,7 +14,7 @@ from ..core.comparison import ArchitectureMetrics
 from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_table
 from .common import architectures_for_comparison, faults_suffix, get_fidelity
-from .runner import ExperimentRunner, sweep_tasks
+from ..parallel.runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion used for Fig. 2 ("considered to be 20%").
 MEMORY_ACCESS_FRACTION = 0.2

@@ -16,7 +16,7 @@ from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_table
 from ..metrics.saturation import SweepSummary
 from .common import architectures_for_comparison, faults_suffix, get_fidelity
-from .runner import ExperimentRunner, sweep_tasks
+from ..parallel.runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion used for Fig. 3 (same as Fig. 2).
 MEMORY_ACCESS_FRACTION = 0.2

@@ -18,7 +18,7 @@ from ..core.comparison import ArchitectureMetrics, GainReport, compare
 from ..core.config import Architecture, SystemConfig, paper_1c4m, paper_4c4m, paper_8c4m
 from ..metrics.report import format_heading, format_percentage, format_table
 from .common import faults_suffix, get_fidelity
-from .runner import ExperimentRunner, sweep_tasks
+from ..parallel.runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportion of the disintegration study.
 MEMORY_ACCESS_FRACTION = 0.2

@@ -16,7 +16,7 @@ from ..core.comparison import ArchitectureMetrics, GainReport, compare
 from ..core.config import Architecture, SystemConfig
 from ..metrics.report import format_heading, format_percentage, format_table
 from .common import get_fidelity
-from .runner import ExperimentRunner, sweep_tasks
+from ..parallel.runner import ExperimentRunner, sweep_tasks
 
 #: Memory-access proportions swept by the paper.
 MEMORY_FRACTIONS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)

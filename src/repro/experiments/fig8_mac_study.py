@@ -34,7 +34,7 @@ from ..metrics.report import format_heading, format_table
 from ..metrics.saturation import LoadPointSummary
 from ..wireless.mac.registry import available_macs, mac_spec
 from .common import get_fidelity
-from .runner import ExperimentRunner, uniform_task
+from ..parallel.runner import ExperimentRunner, uniform_task
 
 #: Memory-access proportion (same as the fig2/fig3 uniform workload).
 MEMORY_ACCESS_FRACTION = 0.2

@@ -23,10 +23,16 @@ from .config import NetworkConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
+from .checkpoint import (
+    CheckpointEngineMismatchError,
+    CheckpointError,
+    KernelCheckpoint,
+)
 from .kernel import (
     ENGINES,
     METRICS_MODES,
     SCHEDULERS,
+    KernelState,
     SimulationConfig,
     SimulationKernel,
     SimulationStallError,
@@ -38,6 +44,9 @@ __all__ = [
     "ENGINES",
     "METRICS_MODES",
     "SCHEDULERS",
+    "CheckpointEngineMismatchError",
+    "CheckpointError",
+    "KernelCheckpoint",
     "SimulationConfig",
     "SimulationStallError",
     "Simulator",
@@ -72,9 +81,30 @@ class Simulator:
         #: grant-exclusivity probes of the scenario fuzzer and the wireless
         #: plane tests).  ``None`` (the default) leaves the run untouched.
         self.instrument = None
+        #: Optional checkpoint consumer: a callable receiving a
+        #: :class:`~repro.noc.checkpoint.KernelCheckpoint` every
+        #: ``simulation_config.checkpoint_every_cycles`` executed cycles
+        #: (e.g. ``CheckpointStore.sink_for(key)`` to persist to disk).
+        #: ``None`` (the default) disables checkpoint capture even when
+        #: the config knob is set.
+        self.checkpoint_sink = None
 
-    def run(self) -> SimulationResult:
-        """Execute the configured number of cycles and return the results."""
+    def run(self, resume_from: Optional[KernelCheckpoint] = None) -> SimulationResult:
+        """Execute the configured number of cycles and return the results.
+
+        With ``resume_from``, the freshly configured run is discarded in
+        favour of the checkpoint's restored kernel graph: the simulation
+        continues at ``resume_from.cycle + 1`` and the end-of-run
+        accounting settles into the *restored* result, producing output
+        bit-identical to an uninterrupted run (fingerprint-tested in
+        ``tests/test_checkpoint.py``).  The configured topology, traffic
+        and fault plan must of course describe the same run the checkpoint
+        came from; the engine request is validated (a vector checkpoint
+        under a scalar request raises
+        :class:`~repro.noc.checkpoint.CheckpointEngineMismatchError`).
+        """
+        if resume_from is not None:
+            return self._resume(resume_from)
         config = self.simulation_config
         net_config = self.network_config
         self.traffic.reset()
@@ -121,12 +151,46 @@ class Simulator:
             fault_injector=injector,
         )
         try:
-            state = kernel.run()
+            state = kernel.run(checkpoint_hook=self.checkpoint_sink)
         finally:
             if injector is not None:
                 # The topology and router outlive this run; a faulted run
                 # must leave no trace on the next one.
                 injector.restore()
+        return self._settle(state, started)
+
+    def _resume(self, checkpoint: KernelCheckpoint) -> SimulationResult:
+        """Continue a checkpointed run to completion (see :meth:`run`)."""
+        kernel = SimulationKernel.resume(
+            checkpoint, engine=self.simulation_config.engine
+        )
+        injector = kernel.fault_injector
+        started = time.perf_counter()
+        try:
+            state = kernel.run(
+                start_cycle=checkpoint.cycle + 1,
+                checkpoint_hook=self.checkpoint_sink,
+            )
+        finally:
+            if injector is not None:
+                # The restored graph carries its own private topology and
+                # router copies, but restoring them keeps the injector's
+                # lifecycle identical to a fresh run's.
+                injector.restore()
+        return self._settle(state, started)
+
+    @staticmethod
+    def _settle(state: KernelState, started: float) -> SimulationResult:
+        """End-of-run accounting, off the state's own network/accountant.
+
+        Shared by the fresh and the resumed path: on a resume the network,
+        accountant and result objects come out of the checkpoint, not out
+        of this simulator's constructor arguments.
+        """
+        config = state.config
+        result = state.result
+        accountant = state.accountant
+        network = state.network
         result.wall_clock_seconds = time.perf_counter() - started
 
         result.flits_residual_end = state.residual_flits()

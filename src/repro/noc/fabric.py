@@ -12,11 +12,11 @@ channel inline and the MAC protocols never reach into the kernel.
 The hot-path methods (:meth:`grants`, :meth:`notify_sent`) are
 handle-based: they take the globally unique packet id and the head/tail
 booleans the kernel already derived from the packet pool, so no flit or
-packet object exists on the send path.  The legacy object-based spellings
-(:meth:`may_send`, :meth:`on_flit_sent`) remain as thin wrappers for unit
-tests and external callers.  Two class flags let the kernel skip the calls
-entirely where they would be no-ops: ``always_grants`` (no admission
-control right now — true for an unfailed wired fabric) and
+packet object exists on the send path — and they are the *only* public
+spellings; the historical object-based wrappers live in
+:mod:`repro.testing.legacy`.  Two class flags let the kernel skip the
+calls entirely where they would be no-ops: ``always_grants`` (no
+admission control right now — true for an unfailed wired fabric) and
 ``tracks_sends`` (the medium needs the sent notification — only the
 wireless fabric does).
 
@@ -34,12 +34,11 @@ Two implementations exist:
 The wireless fabric doubles as the MAC protocols'
 :class:`~repro.wireless.mac.MacDataPlane`: :meth:`WirelessFabric.scan_pending`
 fills preallocated scratch arrays straight from the packet pool's parallel
-arrays and the per-WI occupied-VC ordinal sets — no
-:class:`~repro.wireless.mac.PendingTransmission` dataclass, tuple or list is
-created per cycle.  The object spelling (:meth:`WirelessFabric.pending`)
-survives as a test-only wrapper, exactly as :meth:`Fabric.may_send` wraps
-:meth:`Fabric.grants`; the wrapper-parity test matrix proves both paths
-produce bit-identical simulations for every registered MAC.
+arrays and the per-WI occupied-VC ordinal sets — no dataclass, tuple or
+list is created per cycle.  Tests that want dataclass rows use
+:func:`repro.testing.legacy.pending_transmissions`; the wrapper-parity
+test matrix proves the object path and the hot path produce bit-identical
+simulations for every registered MAC.
 """
 
 from __future__ import annotations
@@ -52,7 +51,6 @@ from ..wireless.mac import (
     MacBuildContext,
     MacDataPlane,
     MacProtocol,
-    PendingTransmission,
     create_mac,
     mac_spec,
 )
@@ -117,18 +115,6 @@ class Fabric:
         cycle: int,
     ) -> None:
         """Notification that a flit went onto the medium this cycle."""
-
-    # Legacy object-based spellings (unit tests, external callers).
-
-    def may_send(self, src_switch_id: int, packet, dst_switch_id: int, flit) -> bool:
-        """Object-API wrapper around :meth:`grants`."""
-        return self.grants(src_switch_id, packet.packet_id, dst_switch_id, flit.is_head)
-
-    def on_flit_sent(
-        self, src_switch_id: int, packet, dst_switch_id: int, flit, cycle: int
-    ) -> None:
-        """Object-API wrapper around :meth:`notify_sent`."""
-        self.notify_sent(src_switch_id, packet.packet_id, dst_switch_id, flit.is_tail, cycle)
 
     def update(self, cycle: int) -> None:
         """Advance per-cycle medium state (MAC arbitration, power states)."""
@@ -386,23 +372,6 @@ class WirelessFabric(Fabric, MacDataPlane):
         if free is None:
             return 0
         return 2 * free.capacity
-
-    # Legacy object spelling of the pending scan (unit tests, diagnostics).
-
-    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
-        """Test-only wrapper: the hot scan's rows as dataclasses."""
-        count = self.scan_pending(wi_switch_id)
-        return [
-            PendingTransmission(
-                dst_switch=self.pend_dst[row],
-                packet_id=self.pend_pid[row],
-                buffered_flits=self.pend_buffered[row],
-                packet_length_flits=self.pend_length[row],
-                front_is_head=bool(self.pend_head[row]),
-                remaining_flits=self.pend_remaining[row],
-            )
-            for row in range(count)
-        ]
 
     # ------------------------------------------------------------------
     # Fabric interface (used by the kernel).

@@ -60,14 +60,20 @@ anchor, so fast-cycling phases can never mask a genuine deadlock.
 
 from __future__ import annotations
 
+import pickle
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..energy import EnergyAccountant
 from ..routing.base import BaseRouter, RoutingError
 from ..traffic.base import TrafficModel, TrafficRequest
+from .checkpoint import (
+    CheckpointEngineMismatchError,
+    KernelCheckpoint,
+    graph_pickling_limit,
+)
 from .config import NetworkConfig
 from .network import Network
 from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketPool, PacketView
@@ -118,6 +124,13 @@ class SimulationConfig:
     #: (see the experiment CLI's ``--profile``).  Off by default: the timed
     #: loop costs two clock reads per phase per cycle.
     profile_phases: bool = False
+    #: Take a resumable :class:`~repro.noc.checkpoint.KernelCheckpoint`
+    #: every N executed cycles (0, the default, disables checkpointing).
+    #: The knob never changes simulation results — checkpoints are captured
+    #: at cycle boundaries and delivered to the caller's hook (see
+    #: ``Simulator.checkpoint_sink``); it is deliberately not part of the
+    #: task cache key.
+    checkpoint_every_cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:
@@ -137,6 +150,8 @@ class SimulationConfig:
         if self.metrics not in METRICS_MODES:
             known = ", ".join(METRICS_MODES)
             raise ValueError(f"unknown metrics mode {self.metrics!r}; known: {known}")
+        if self.checkpoint_every_cycles < 0:
+            raise ValueError("checkpoint_every_cycles must be >= 0")
 
 
 # ----------------------------------------------------------------------
@@ -288,6 +303,12 @@ class KernelState:
     arrays directly.
     """
 
+    #: Which engine's phases read this state class.  The vector engine's
+    #: :class:`~repro.noc.vector.VectorKernelState` overrides this; the
+    #: checkpoint layer records it so a snapshot can refuse an engine that
+    #: cannot continue it.
+    engine_name = "scalar"
+
     def __init__(
         self,
         network: Network,
@@ -312,6 +333,11 @@ class KernelState:
         self.cycle = 0
         self.stalled = False
         self.last_progress_cycle = 0
+        #: Progress level at the last traffic-phase-change watchdog anchor.
+        #: Lives on the state (not as a run-loop local) so a checkpointed
+        #: run resumes with the same anchoring decisions as an
+        #: uninterrupted one.
+        self.anchored_progress = 0
         self.next_packet_id = 0
         #: Whether this run carries a fault plan (set by the kernel).  Only
         #: then may traffic generation encounter unreachable destinations,
@@ -427,6 +453,19 @@ class KernelState:
             switches[route[i]].output_towards(route[i + 1])
             for i in range(len(route) - 1)
         ]
+
+    def recompile_route_ports(self) -> None:
+        """Rebuild the compiled per-hop output-port tables of every live packet.
+
+        A :meth:`~repro.noc.pool.PacketPool.restore` drops the
+        ``route_ports`` column (it holds object references into one network
+        instance); this pass re-derives it from the restored routes, the
+        same way fault recovery does after splicing a route.
+        """
+        route_ports = self.pool.route_ports
+        for handle in self.pool.live_handles():
+            if route_ports[handle] is None and self.pool.route[handle] is not None:
+                self.compile_route_ports(handle)
 
     # ------------------------------------------------------------------
     # Phase 3: injection.
@@ -787,6 +826,44 @@ class KernelState:
             raise SimulationStallError(message)
         self.stalled = True
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise the complete mutable state graph of this run.
+
+        Everything a cycle mutates is reachable from the state — the pool
+        arrays, VC rings, port arbitration state, scheduler wake sets,
+        traffic RNGs, the accountant and the result — and pickle's memo
+        preserves the aliasing between them (the hot caches stay views of
+        the pool's columns), so :meth:`restore` yields a state that
+        continues bit-identically.  Only valid at a cycle boundary: phase
+        scratch lists must be empty, which the kernel guarantees between
+        cycles.
+        """
+        with graph_pickling_limit(len(self.network.switches)):
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, payload: bytes) -> "KernelState":
+        """Deserialise a :meth:`snapshot` taken by exactly this state class.
+
+        Restoring a vector-engine snapshot through the scalar class (or
+        vice versa) raises
+        :class:`~repro.noc.checkpoint.CheckpointEngineMismatchError`: the
+        two engines maintain different run state, so the other engine's
+        phases could not continue it bit-identically.
+        """
+        state = pickle.loads(payload)
+        if type(state) is not cls:
+            raise CheckpointEngineMismatchError(
+                f"snapshot holds a {type(state).__name__} "
+                f"({getattr(state, 'engine_name', '?')} engine), "
+                f"cannot restore it as {cls.__name__}"
+            )
+        return state
+
 
 # ----------------------------------------------------------------------
 # Phases.
@@ -917,6 +994,10 @@ class SimulationKernel:
                 for fabric in network.fabrics
             )
         )
+        #: The run's fault injector (``None`` on fault-free runs).  Kept as
+        #: an attribute so a restored kernel's caller can reach it for the
+        #: end-of-run topology restore, exactly like a fresh run's.
+        self.fault_injector = fault_injector
         switches = [network.switches[sid] for sid in sorted(network.switches)]
         injecting = [s for s in switches if s.endpoints]
         if self.vector_active:
@@ -963,8 +1044,60 @@ class SimulationKernel:
             self.state.faults_active = True
             self.phases.insert(0, FaultPhase(self.state, fault_injector))
 
-    def run(self) -> KernelState:
-        """Execute the configured number of cycles and return the state."""
+    @property
+    def engine_name(self) -> str:
+        """The engine actually driving this run (after any fallback)."""
+        return "vector" if self.vector_active else "scalar"
+
+    def snapshot(self) -> KernelCheckpoint:
+        """Capture a resumable checkpoint of the whole run at this cycle.
+
+        The payload is the pickled kernel graph (phases, scheduler, state
+        and — through the state — the network, pool, traffic, accountant
+        and result), so nothing outside the checkpoint is needed to
+        continue; see :mod:`repro.noc.checkpoint` for the guarantees.
+        """
+        with graph_pickling_limit(len(self.state.network.switches)):
+            payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        return KernelCheckpoint(
+            engine=self.engine_name,
+            cycle=self.state.cycle,
+            payload=payload,
+        )
+
+    @classmethod
+    def resume(cls, checkpoint: KernelCheckpoint, engine: str = "scalar") -> "SimulationKernel":
+        """Reconstruct a kernel from a checkpoint, validating the engine.
+
+        ``engine`` is the caller's configured engine request.  A scalar
+        checkpoint is acceptable under either request (the vector engine
+        falls back to the scalar phases transparently, bit-identically);
+        a vector checkpoint under an explicit scalar request raises
+        :class:`~repro.noc.checkpoint.CheckpointEngineMismatchError`.
+        Continue with :meth:`run` at ``checkpoint.cycle + 1``.
+        """
+        if checkpoint.engine == "vector" and engine != "vector":
+            raise CheckpointEngineMismatchError(
+                "checkpoint was taken by the vector engine; the scalar "
+                "phases cannot continue it bit-identically (request "
+                'engine="vector" to resume it)'
+            )
+        return pickle.loads(checkpoint.payload)
+
+    def run(
+        self,
+        start_cycle: int = 0,
+        checkpoint_hook: Optional[Callable[[KernelCheckpoint], None]] = None,
+    ) -> KernelState:
+        """Execute cycles ``start_cycle .. cycles-1`` and return the state.
+
+        ``start_cycle`` is 0 for a fresh run and ``checkpoint.cycle + 1``
+        when continuing a restored kernel.  When ``checkpoint_hook`` is
+        given and ``config.checkpoint_every_cycles`` is set, the hook
+        receives a fresh :meth:`snapshot` after every N executed cycles
+        (at the cycle boundary, after the watchdog ran); the final cycle
+        is not checkpointed — the run is already done.
+        """
         state = self.state
         config = state.config
         phases = self.phases
@@ -975,13 +1108,8 @@ class SimulationKernel:
                 phase_seconds.setdefault(phase.name, 0.0)
         phase_runs = [phase.run for phase in phases]
         phase_token = state.traffic.phase_token()
-        # Progress level at the last phase-change anchor.  A phase change
-        # only re-anchors the watchdog when some flit made progress since
-        # the previous anchor: a workload whose phases are shorter than
-        # ``watchdog_cycles`` must not be able to mask a genuine deadlock
-        # by re-anchoring forever while nothing moves.
-        anchored_progress = 0
-        for cycle in range(config.cycles):
+        every = config.checkpoint_every_cycles if checkpoint_hook is not None else 0
+        for cycle in range(start_cycle, config.cycles):
             state.cycle = cycle
             if cycle == config.warmup_cycles:
                 state.anchor_watchdog(cycle)
@@ -996,10 +1124,17 @@ class SimulationKernel:
             token = state.traffic.phase_token()
             if token != phase_token:
                 phase_token = token
-                if state.last_progress_cycle > anchored_progress:
+                # A phase change only re-anchors the watchdog when some
+                # flit made progress since the previous anchor: a workload
+                # whose phases are shorter than ``watchdog_cycles`` must
+                # not be able to mask a genuine deadlock by re-anchoring
+                # forever while nothing moves.
+                if state.last_progress_cycle > state.anchored_progress:
                     state.anchor_watchdog(cycle)
-                    anchored_progress = state.last_progress_cycle
+                    state.anchored_progress = state.last_progress_cycle
             state.check_watchdog(cycle)
             if state.stalled:
                 break
+            if every and (cycle + 1) % every == 0 and cycle + 1 < config.cycles:
+                checkpoint_hook(self.snapshot())
         return state

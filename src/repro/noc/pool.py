@@ -83,6 +83,28 @@ MAX_PACKET_LENGTH_FLITS = 1 << FLIT_INDEX_BITS
 #: Handles are granted in chunks of this many records at a time.
 _GROWTH_CHUNK = 256
 
+#: The non-object parallel arrays captured by :meth:`PacketPool.snapshot`
+#: (``route``/``route_ports``/``traffic_class`` are object-valued and
+#: handled separately — ``route_ports`` holds live OutputPort references
+#: and is deliberately *not* part of a snapshot).
+_SNAPSHOT_FIELDS = (
+    "pid",
+    "src_endpoint",
+    "dst_endpoint",
+    "src_switch",
+    "dst_switch",
+    "length_flits",
+    "generation_cycle",
+    "injection_cycle",
+    "ejection_cycle",
+    "head_hop",
+    "energy_pj",
+    "flits_ejected",
+    "is_memory_access",
+    "is_reply",
+    "measured",
+)
+
 
 def _empty_int64() -> "numpy.ndarray":
     return numpy.empty(0, dtype=numpy.int64)
@@ -368,6 +390,67 @@ class PacketPool:
         """All currently allocated handles (test/diagnostic use only)."""
         free = set(self.free_list)
         return (h for h in range(self.capacity) if h not in free)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture every pooled record as plain, owned data.
+
+        The parallel arrays serialise trivially — the snapshot is deep
+        copies of the scalar arrays plus copies of the ``route`` and
+        ``traffic_class`` object columns and the free-list/counter state.
+        ``route_ports`` is deliberately excluded: it holds references to
+        live :class:`~repro.noc.port.OutputPort` objects of one network
+        instance, so a restored pool carries ``None`` there and the owner
+        must recompile the tables for live handles (the kernel does this
+        via :meth:`repro.noc.kernel.KernelState.recompile_route_ports`).
+        """
+        if self.backend == "numpy":
+            scalars = {name: getattr(self, name).copy() for name in _SNAPSHOT_FIELDS}
+        else:
+            scalars = {name: list(getattr(self, name)) for name in _SNAPSHOT_FIELDS}
+        return {
+            "backend": self.backend,
+            "scalars": scalars,
+            "route": [None if r is None else list(r) for r in self.route],
+            "traffic_class": list(self.traffic_class),
+            "free_list": list(self.free_list),
+            "allocated_total": self.allocated_total,
+            "freed_total": self.freed_total,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the pool to a prior :meth:`snapshot`, in place.
+
+        Capacity reverts to the snapshot's (growth between snapshot and
+        restore is rolled back).  On the list backend the restore mutates
+        the existing list objects (``field[:] = ...``), so references the
+        kernel caches into the pool's columns stay valid across a restore;
+        the NumPy backend replaces the arrays wholesale, which is safe
+        because the vector engine re-reads the pool attributes every pass
+        by contract (growth reallocates there anyway).
+        """
+        if snapshot["backend"] != self.backend:
+            raise ValueError(
+                f"cannot restore a {snapshot['backend']!r}-backend snapshot "
+                f"into a {self.backend!r}-backend pool"
+            )
+        capacity = len(snapshot["route"])
+        if self.backend == "numpy":
+            for name in _SNAPSHOT_FIELDS:
+                setattr(self, name, snapshot["scalars"][name].copy())
+        else:
+            for name in _SNAPSHOT_FIELDS:
+                column = getattr(self, name)
+                column[:] = snapshot["scalars"][name]
+        self.route[:] = [None if r is None else list(r) for r in snapshot["route"]]
+        self.route_ports[:] = [None] * capacity
+        self.traffic_class[:] = snapshot["traffic_class"]
+        self.free_list[:] = snapshot["free_list"]
+        self.allocated_total = snapshot["allocated_total"]
+        self.freed_total = snapshot["freed_total"]
 
     def view(self, handle: int) -> "PacketView":
         """A legacy-shaped read view of one pooled packet record."""

@@ -120,6 +120,11 @@ class VectorKernelState(KernelState):
     by ``vc.gid`` / ``port.port_id``.
     """
 
+    #: Checkpoints of this state can only be resumed by the vector phases
+    #: (the scalar engine never sees the arrays below); the checkpoint
+    #: layer enforces it with a typed error.
+    engine_name = "vector"
+
     def __init__(self, **kwargs) -> None:
         super().__init__(pool_backend="numpy", **kwargs)
         network: Network = self.network

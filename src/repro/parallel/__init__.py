@@ -1,7 +1,8 @@
-"""Parallel-execution helpers: content hashing, result caching, worker pools.
+"""Parallel execution: hashing, caching, worker pools, the task runner.
 
-This package contains the generic machinery the experiment orchestration
-layer (``repro.experiments.runner``) is built on:
+This package owns the orchestration machinery every execution surface
+(the figure CLIs, the :mod:`repro.api` facade, the :mod:`repro.service`
+sweep daemon) is built on:
 
 * :mod:`repro.parallel.hashing` — canonical JSON serialisation and stable
   content hashes of task/configuration objects, used as cache keys.
@@ -10,17 +11,26 @@ layer (``repro.experiments.runner``) is built on:
 * :mod:`repro.parallel.executor` — ordered fan-out of independent tasks over
   a :class:`concurrent.futures.ProcessPoolExecutor` (or inline when
   ``jobs=1``), with progress callbacks.
-
-Nothing in here knows about simulations; the modules are reusable for any
-deterministic, independently executable unit of work.
+* :mod:`repro.parallel.runner` — the simulation task model
+  (:class:`~repro.parallel.runner.SimulationTask`) and the
+  :class:`~repro.parallel.runner.ExperimentRunner` tying the three
+  together (moved here from ``repro.experiments.runner``, which remains
+  as a deprecation shim).
+* :mod:`repro.parallel.checkpoints` — on-disk store of resumable kernel
+  checkpoints keyed by task cache key, used by checkpointed executions.
 """
 
 from .cache import ResultCache
+from .checkpoints import CheckpointStore
 from .executor import run_tasks
 from .hashing import canonical_json, stable_hash, to_jsonable
+from .runner import ExperimentRunner, SimulationTask
 
 __all__ = [
+    "CheckpointStore",
+    "ExperimentRunner",
     "ResultCache",
+    "SimulationTask",
     "canonical_json",
     "run_tasks",
     "stable_hash",

@@ -1,0 +1,689 @@
+"""Parallel experiment orchestration: tasks, caching, and the runner.
+
+Every figure experiment decomposes into *independent, deterministically
+seeded simulation tasks* — one cycle-accurate run of one system
+configuration under one traffic setting and one fault scenario
+(architecture × load point, architecture × application, or — for the fig7
+resilience sweep — architecture × fault rate).  This module defines that task unit
+(:class:`SimulationTask`), executes batches of tasks through
+:func:`repro.parallel.executor.run_tasks` (inline or across a process
+pool), and memoises each task's result as JSON in a
+:class:`repro.parallel.cache.ResultCache` keyed by a content hash of the
+full task description.
+
+Guarantees:
+
+* **Determinism** — a task's result depends only on its content (config,
+  run length, traffic parameters, seed), never on scheduling.  Running with
+  ``jobs=8`` therefore produces bit-identical figures to ``jobs=1``.
+* **Incremental re-runs** — the cache key covers everything that affects
+  the result, so re-running a figure (or upgrading fidelity, which changes
+  run lengths and therefore keys) only simulates tasks not yet on disk.
+
+The figure modules (``fig2_uniform`` … ``fig6_applications``) build their
+task lists with :func:`sweep_tasks` / :func:`application_task`, execute
+them in one batch via :class:`ExperimentRunner`, and reassemble sweeps with
+:func:`assemble_sweep`.
+
+This module is the execution layer behind the :mod:`repro.api` facade and
+the sweep service (:mod:`repro.service`).  It historically lived at
+``repro.experiments.runner``; that path remains as a deprecation shim.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, replace
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.config import SystemConfig
+from ..core.framework import MultichipSimulation
+from ..faults.scenarios import create_fault_plan, scenario_spec
+from ..metrics.report import format_simulator_throughput, format_table
+from ..metrics.saturation import LoadPointSummary, SweepSummary
+from ..noc.engine import ENGINES, SimulationConfig
+from ..traffic.rng import derive_seed
+from ..wireless.mac.registry import mac_spec
+from .cache import ResultCache
+from .checkpoints import CheckpointStore
+from .executor import run_tasks
+from .hashing import stable_hash
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExperimentRunner",
+    "SimulationTask",
+    "TASK_SCHEMA_VERSION",
+    "application_task",
+    "assemble_sweep",
+    "execute_task",
+    "replicated_tasks",
+    "sweep_tasks",
+    "task_simulator",
+    "uniform_task",
+]
+
+#: Bump when the payload schema or simulation semantics change, so stale
+#: cache entries from older code versions are never reused.
+#: v3: fault-injection fields (``faults``, ``fault_rate``) joined the task
+#: and the cached payload gained the resilience counters.
+#: v4: the wireless MAC protocol override (``mac``) joined the task — the
+#: experiment CLI's ``--mac`` flag and the fig8 MAC study sweep it — so a
+#: task's cache key now pins the arbitration protocol explicitly.
+#: v5: the declarative scenario layer (:mod:`repro.scenario`) compiles
+#: specs into these same tasks; the bump fences off pre-scenario cache
+#: entries so a spec run and its CLI-flag equivalent provably share
+#: entries written under one schema.
+#: v6: the execution engine (``--engine scalar|vector``) joined the runner.
+#: The engine is deliberately *not* part of the task content or the cache
+#: key: both engines are bit-identical by construction (pinned by the
+#: golden-fingerprint parity matrix and the fuzz battery), so an entry
+#: written by either engine serves both.  The bump only fences off entries
+#: written before the engine axis existed, so every v6 entry is known to
+#: be engine-agnostic.
+TASK_SCHEMA_VERSION = 6
+
+#: Default on-disk location of the per-task result cache (relative to the
+#: working directory; see EXPERIMENTS.md).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One independent, deterministically seeded simulation.
+
+    ``kind`` selects the traffic model: ``"synthetic"`` runs one registered
+    traffic pattern (``pattern``, see :mod:`repro.traffic.registry`; the
+    default is uniform random traffic) at offered load ``load`` with the
+    given memory-access fraction; ``"application"`` runs one PARSEC/SPLASH-2
+    profile (``application``) scaled by ``rate_scale``.  The legacy kind
+    name ``"uniform"`` is accepted as an alias of ``"synthetic"``.
+
+    ``faults`` names a registered fault scenario
+    (:mod:`repro.faults.scenarios`) applied to the run at severity
+    ``fault_rate``; the fault plan's seed is derived from the task seed, so
+    the injected faults are part of the task's deterministic content.  The
+    default ``"none"`` runs the pristine fabric and is bit-identical to a
+    pre-fault-subsystem task.
+
+    ``mac`` overrides the wireless MAC protocol of the task's system
+    configuration with any name from the MAC registry
+    (:mod:`repro.wireless.mac.registry`); the empty default keeps the
+    configuration's own protocol.  On wired architectures the override is
+    inert (there is no wireless fabric to arbitrate) but still part of the
+    cache key.  Instances are frozen (usable as dict keys) and picklable
+    (shippable to worker processes).
+    """
+
+    kind: str
+    config: SystemConfig
+    cycles: int
+    warmup_cycles: int
+    seed: int
+    memory_access_fraction: float = 0.2
+    load: float = 0.0
+    application: str = ""
+    rate_scale: float = 1.0
+    pattern: str = "uniform"
+    faults: str = "none"
+    fault_rate: float = 0.0
+    mac: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind == "uniform":
+            # Legacy alias from the schema-v1 task format.
+            object.__setattr__(self, "kind", "synthetic")
+        if self.kind not in ("synthetic", "application"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if self.kind == "synthetic":
+            if self.load < 0:
+                raise ValueError("synthetic tasks need a non-negative offered load")
+            if not self.pattern:
+                raise ValueError("synthetic tasks need a traffic pattern name")
+        if self.kind == "application" and not self.application:
+            raise ValueError("application tasks need an application name")
+        scenario_spec(self.faults)  # raises UnknownScenarioError early
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if self.mac:
+            mac_spec(self.mac)  # raises UnknownMacError early
+
+    @property
+    def label(self) -> str:
+        """Short human-readable description (used in progress output)."""
+        if self.kind == "synthetic":
+            detail = f"load={self.load:g} mem={self.memory_access_fraction:g}"
+            if self.pattern != "uniform":
+                detail = f"pattern={self.pattern} {detail}"
+        else:
+            detail = f"app={self.application}"
+        if self.mac:
+            detail = f"{detail} mac={self.mac}"
+        if self.faults != "none":
+            detail = f"{detail} faults={self.faults}@{self.fault_rate:g}"
+        return f"{self.config.name} {detail}"
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this task's result.
+
+        Covers the schema version, the full system configuration and every
+        traffic/run-length/fault parameter, so any change that could change
+        the simulation output changes the key.
+        """
+        return stable_hash(
+            {
+                "version": TASK_SCHEMA_VERSION,
+                "kind": self.kind,
+                "config": self.config,
+                "cycles": self.cycles,
+                "warmup_cycles": self.warmup_cycles,
+                "seed": self.seed,
+                "memory_access_fraction": self.memory_access_fraction,
+                "load": self.load,
+                "application": self.application,
+                "rate_scale": self.rate_scale,
+                "pattern": self.pattern,
+                "faults": self.faults,
+                "fault_rate": self.fault_rate,
+                "mac": self.mac,
+            }
+        )
+
+    def fault_plan_seed(self) -> int:
+        """Seed of this task's fault plan, derived from the task seed."""
+        return derive_seed(self.seed, "faults", self.faults, self.fault_rate)
+
+    def with_seed(self, seed: int) -> "SimulationTask":
+        """The same task with a different RNG seed."""
+        return replace(self, seed=seed)
+
+    def effective_config(self) -> SystemConfig:
+        """The system configuration with the MAC override applied."""
+        if not self.mac or self.config.network.wireless.mac == self.mac:
+            return self.config
+        return self.config.with_wireless(mac=self.mac)
+
+
+def uniform_task(
+    config: SystemConfig,
+    fidelity,
+    load: float,
+    memory_access_fraction: float = 0.2,
+    seed: Optional[int] = None,
+    pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
+    mac: str = "",
+) -> SimulationTask:
+    """One synthetic-traffic task at one offered load.
+
+    ``fidelity`` is any object with ``cycles``, ``warmup_cycles`` and
+    ``seed`` attributes (normally a :class:`repro.experiments.common.Fidelity`).
+    ``pattern`` selects any registered traffic pattern (default: uniform
+    random traffic, the paper's synthetic workload); ``faults`` /
+    ``fault_rate`` select a registered fault scenario and its severity;
+    ``mac`` overrides the wireless MAC protocol by registered name.
+    """
+    return SimulationTask(
+        kind="synthetic",
+        config=config,
+        cycles=fidelity.cycles,
+        warmup_cycles=fidelity.warmup_cycles,
+        seed=fidelity.seed if seed is None else seed,
+        memory_access_fraction=memory_access_fraction,
+        load=load,
+        pattern=pattern,
+        faults=faults,
+        fault_rate=fault_rate,
+        mac=mac,
+    )
+
+
+def application_task(
+    config: SystemConfig,
+    fidelity,
+    application: str,
+    rate_scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    faults: str = "none",
+    fault_rate: float = 0.0,
+) -> SimulationTask:
+    """One application-traffic (SynFull-substitute) task."""
+    if rate_scale is None:
+        rate_scale = getattr(fidelity, "application_rate_scale", 1.0)
+    return SimulationTask(
+        kind="application",
+        config=config,
+        cycles=fidelity.cycles,
+        warmup_cycles=fidelity.warmup_cycles,
+        seed=fidelity.seed if seed is None else seed,
+        application=application,
+        rate_scale=rate_scale,
+        faults=faults,
+        fault_rate=fault_rate,
+    )
+
+
+def sweep_tasks(
+    config: SystemConfig,
+    fidelity,
+    memory_access_fraction: float = 0.2,
+    loads: Optional[Sequence[float]] = None,
+    pattern: str = "uniform",
+    faults: str = "none",
+    fault_rate: float = 0.0,
+    mac: str = "",
+) -> List[SimulationTask]:
+    """The per-load-point tasks of one synthetic load sweep.
+
+    Each load point is an independent task (the serial sweep also seeds
+    every point identically), so a sweep parallelises with no barrier.
+    """
+    selected = list(loads) if loads is not None else list(fidelity.load_points)
+    return [
+        uniform_task(
+            config,
+            fidelity,
+            load=load,
+            memory_access_fraction=memory_access_fraction,
+            pattern=pattern,
+            faults=faults,
+            fault_rate=fault_rate,
+            mac=mac,
+        )
+        for load in selected
+    ]
+
+
+def replicated_tasks(task: SimulationTask, replicas: int) -> List[SimulationTask]:
+    """Seed-decorrelated copies of one task (for confidence intervals).
+
+    Replica ``0`` is the task itself; replica ``i > 0`` derives its seed
+    from the task's seed and the replica index via
+    :func:`repro.traffic.rng.derive_seed`, so the set is deterministic and
+    order-independent.
+    """
+    if replicas <= 0:
+        raise ValueError("replicas must be positive")
+    return [task] + [
+        task.with_seed(derive_seed(task.seed, "replica", index))
+        for index in range(1, replicas)
+    ]
+
+
+def task_simulator(
+    task: SimulationTask, profile: bool = False, engine: str = "scalar"
+):
+    """Build (but do not run) the fully wired simulator of one task.
+
+    The single construction path behind :func:`execute_task`: the system
+    is built from the task's effective configuration, the fault plan (if
+    any) is derived from the task seed, and the traffic model is resolved
+    through the traffic registry — exactly as a figure run would.  Exposed
+    so the scenario fuzzer battery can attach instrumentation (the MAC
+    grant-exclusivity probe) via ``Simulator.instrument`` and still run
+    bit-identically to the production path.  ``engine`` selects the kernel
+    execution path (``"scalar"`` or ``"vector"``); results are identical
+    either way, which is why it is not part of the task itself.
+    """
+    simulation = MultichipSimulation.from_config(
+        task.effective_config(),
+        SimulationConfig(
+            cycles=task.cycles,
+            warmup_cycles=task.warmup_cycles,
+            profile_phases=profile,
+            engine=engine,
+        ),
+    )
+    fault_plan = None
+    if task.faults != "none":
+        fault_plan = create_fault_plan(
+            task.faults,
+            simulation.system.topology,
+            fault_rate=task.fault_rate,
+            seed=task.fault_plan_seed(),
+            cycles=task.cycles,
+        )
+    if task.kind == "synthetic":
+        traffic = simulation.pattern_traffic(
+            task.pattern,
+            injection_rate=task.load,
+            memory_access_fraction=task.memory_access_fraction,
+            seed=task.seed,
+        )
+    else:
+        traffic = simulation.application_traffic(
+            task.application, rate_scale=task.rate_scale, seed=task.seed
+        )
+    return simulation.simulator_for(traffic, fault_plan=fault_plan)
+
+
+def execute_task(
+    task: SimulationTask,
+    profile: bool = False,
+    engine: str = "scalar",
+    checkpoint_every: int = 0,
+    checkpoint_dir: str = "",
+) -> Dict[str, object]:
+    """Run one task and return its JSON-serialisable result payload.
+
+    This is the function shipped to worker processes; it rebuilds the
+    system from the task's configuration, runs the cycle-accurate
+    simulator, and summarises the run as a
+    :class:`repro.metrics.saturation.LoadPointSummary` dict.  With
+    ``profile`` set the kernel times each phase and the payload carries a
+    ``phase_seconds`` entry (the CLI's ``--profile`` table; profiled runs
+    bypass the result cache, so the timings always come from real work).
+
+    With both ``checkpoint_every`` and ``checkpoint_dir`` set, the run
+    writes a resumable kernel checkpoint to
+    ``<checkpoint_dir>/<cache_key>.ckpt`` every N cycles, resumes from an
+    existing checkpoint if one is found (a preempted or crashed earlier
+    attempt), and deletes the file on completion.  Resumed results are
+    bit-identical to uninterrupted ones (``tests/test_checkpoint.py``);
+    the knobs are execution-level and never part of the cache key.
+    """
+    simulator = task_simulator(task, profile=profile, engine=engine)
+    store: Optional[CheckpointStore] = None
+    checkpoint = None
+    key = ""
+    if checkpoint_dir and checkpoint_every > 0:
+        store = CheckpointStore(checkpoint_dir)
+        key = task.cache_key()
+        simulator.simulation_config = replace(
+            simulator.simulation_config, checkpoint_every_cycles=checkpoint_every
+        )
+        simulator.checkpoint_sink = store.sink_for(key)
+        checkpoint = store.load(key)
+    result = simulator.run(resume_from=checkpoint)
+    if store is not None:
+        store.discard(key)
+    if task.kind == "synthetic":
+        offered = task.load
+    else:
+        offered = result.offered_load_packets_per_core_per_cycle
+    payload = LoadPointSummary.from_result(offered, result).as_dict()
+    if profile:
+        # Extra key; LoadPointSummary.from_dict ignores unknown fields.
+        payload["phase_seconds"] = dict(result.phase_seconds)
+    return payload
+
+
+def _execute_task_profiled(task: SimulationTask) -> Dict[str, object]:
+    """Module-level (picklable) profiling variant of :func:`execute_task`."""
+    return execute_task(task, profile=True)
+
+
+def _task_executor(
+    profile: bool, engine: str, checkpoint_every: int = 0, checkpoint_dir: str = ""
+):
+    """A picklable ``task -> payload`` callable for the worker pool.
+
+    ``functools.partial`` over the module-level :func:`execute_task` stays
+    picklable (the partial ships the function by reference plus plain
+    keyword values), which is what lets the runner's ``engine`` and
+    checkpoint knobs reach worker processes without joining the task
+    objects themselves.
+    """
+    return partial(
+        execute_task,
+        profile=profile,
+        engine=engine,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+def assemble_sweep(
+    results: Mapping[SimulationTask, LoadPointSummary],
+    tasks: Sequence[SimulationTask],
+) -> SweepSummary:
+    """Reassemble one sweep from the runner's per-task results."""
+    return SweepSummary(points=[results[task] for task in tasks])
+
+
+class ExperimentRunner:
+    """Executes batches of simulation tasks with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes; ``1`` (the default) runs everything
+        inline.  Results are bit-identical at any value.
+    cache_dir:
+        Directory of the per-task JSON result cache; ``None`` disables
+        caching entirely.
+    use_cache:
+        Master switch for the cache (the CLI's ``--no-cache``); when
+        ``False`` the cache is neither read nor written.
+    show_progress:
+        When ``True``, prints a one-line progress update to stderr after
+        each task completes.
+
+    The counters ``cache_hits``, ``cache_misses`` and ``tasks_executed``
+    accumulate across :meth:`run` calls and back the CLI's summary line,
+    as do ``wall_clock_seconds`` and ``simulated_cycles`` (the simulator
+    self-throughput report; orchestration-side, so cached and parallel
+    results stay bit-identical to serial ones).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        show_progress: bool = False,
+        profile: bool = False,
+        engine: str = "scalar",
+        checkpoint_every_cycles: int = 0,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+            )
+        #: Kernel execution path for every task this runner simulates (the
+        #: CLI's ``--engine``).  Results are bit-identical across engines,
+        #: so the cache is shared: a vector run reads and writes the same
+        #: entries a scalar run would.
+        self.engine = engine
+        #: Per-phase kernel profiling (the CLI's ``--profile``): every task
+        #: runs with phase timing enabled and the per-task timings are
+        #: accumulated into :attr:`phase_seconds`.  Profiling bypasses the
+        #: result cache in both directions — cached payloads carry no
+        #: timings, and timed payloads must come from real simulation work.
+        self.profile = profile
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if (cache_dir and use_cache and not profile) else None
+        )
+        #: Checkpoint/restore knobs, forwarded to every
+        #: :func:`execute_task` call (the sweep service's preemption and
+        #: crash-recovery path; see :mod:`repro.parallel.checkpoints`).
+        #: Both must be set for checkpointing to engage.
+        self.checkpoint_every_cycles = max(0, int(checkpoint_every_cycles))
+        self.checkpoint_dir = checkpoint_dir or ""
+        self.show_progress = show_progress
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.tasks_executed = 0
+        self.wall_clock_seconds = 0.0
+        self.simulated_cycles = 0
+        self.phase_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(
+        self, tasks: Sequence[SimulationTask]
+    ) -> Dict[SimulationTask, LoadPointSummary]:
+        """Execute every distinct task and return task → result summary.
+
+        Cached tasks are served from disk; the rest are executed (in
+        parallel when ``jobs > 1``) and written back to the cache.
+        Duplicate tasks in ``tasks`` are executed once.
+        """
+        unique: List[SimulationTask] = []
+        seen = set()
+        for task in tasks:
+            if task not in seen:
+                seen.add(task)
+                unique.append(task)
+
+        results: Dict[SimulationTask, LoadPointSummary] = {}
+        pending: List[SimulationTask] = []
+        for task in unique:
+            summary = self._cached_summary(task)
+            if summary is not None:
+                results[task] = summary
+                self.cache_hits += 1
+            else:
+                pending.append(task)
+        self.cache_misses += len(pending)
+
+        if self.show_progress and unique:
+            self._progress_line(
+                0, len(pending), f"{len(unique)} tasks, {len(unique) - len(pending)} cached"
+            )
+
+        started = time.perf_counter()
+        payloads = run_tasks(
+            _task_executor(
+                self.profile,
+                self.engine,
+                checkpoint_every=self.checkpoint_every_cycles,
+                checkpoint_dir=self.checkpoint_dir,
+            ),
+            pending,
+            jobs=self.jobs,
+            progress=self._on_task_done if self.show_progress else None,
+        )
+        if pending:
+            self.wall_clock_seconds += time.perf_counter() - started
+            self.simulated_cycles += sum(task.cycles for task in pending)
+        for task, payload in zip(pending, payloads):
+            for name, seconds in payload.get("phase_seconds", {}).items():
+                self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+            if self.cache is not None:
+                self.cache.put(
+                    task.cache_key(),
+                    {
+                        "version": TASK_SCHEMA_VERSION,
+                        "label": task.label,
+                        "result": payload,
+                    },
+                )
+            results[task] = LoadPointSummary.from_dict(payload)
+        self.tasks_executed += len(pending)
+        return results
+
+    def _cached_summary(self, task: SimulationTask) -> Optional[LoadPointSummary]:
+        """The cached result of ``task``, or ``None`` on any kind of miss.
+
+        A wrong-shaped entry (hand-edited file, schema drift) is a miss —
+        the task is simply recomputed and the entry overwritten — never an
+        error that aborts the experiment.
+        """
+        if self.cache is None:
+            return None
+        payload = self.cache.get(task.cache_key())
+        if not payload or not isinstance(payload.get("result"), dict):
+            return None
+        try:
+            return LoadPointSummary.from_dict(payload["result"])
+        except (TypeError, ValueError):
+            return None
+
+    def run_sweep(
+        self,
+        config: SystemConfig,
+        fidelity,
+        memory_access_fraction: float = 0.2,
+        loads: Optional[Sequence[float]] = None,
+        pattern: str = "uniform",
+    ) -> SweepSummary:
+        """Convenience: run one architecture's synthetic load sweep."""
+        tasks = sweep_tasks(
+            config,
+            fidelity,
+            memory_access_fraction=memory_access_fraction,
+            loads=loads,
+            pattern=pattern,
+        )
+        return assemble_sweep(self.run(tasks), tasks)
+
+    def run_sweep_groups(
+        self, groups: Mapping[object, Sequence[SimulationTask]]
+    ) -> Dict[object, SweepSummary]:
+        """Run several task groups as one batch and reassemble each sweep.
+
+        ``groups`` maps an arbitrary key (architecture, disintegration
+        label, memory fraction, …) to that group's sweep tasks.  All groups
+        execute as a single flat batch — so parallelism spans the whole
+        figure, not one sweep at a time — and each key gets its own
+        :class:`SweepSummary` back.
+        """
+        results = self.run([task for tasks in groups.values() for task in tasks])
+        return {
+            key: assemble_sweep(results, tasks) for key, tasks in groups.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def summary_line(self) -> str:
+        """One-line execution summary for CLI output."""
+        line = (
+            f"{self.tasks_executed} task(s) simulated, "
+            f"{self.cache_hits} served from cache "
+            f"(jobs={self.jobs}, cache={'on' if self.cache is not None else 'off'})"
+        )
+        throughput = self.throughput_line()
+        if throughput:
+            line = f"{line}\n[runner] {throughput}"
+        return line
+
+    def phase_report(self) -> str:
+        """Aggregated per-phase wall-clock table of the profiled tasks.
+
+        Seconds are summed over every executed task (across worker
+        processes when ``jobs > 1``), so the share column attributes the
+        simulation cost to kernel phases regardless of parallelism.
+        """
+        if not self.phase_seconds:
+            return "no phase timings recorded (run with profiling enabled)"
+        total = sum(self.phase_seconds.values())
+        rows = []
+        for name, seconds in sorted(self.phase_seconds.items(), key=lambda item: -item[1]):
+            share = seconds / total if total > 0 else 0.0
+            rows.append([name, f"{seconds:.3f}", f"{share:.1%}"])
+        rows.append(["total", f"{total:.3f}", "100.0%"])
+        return format_table(["Kernel phase", "seconds", "share"], rows)
+
+    def throughput_line(self) -> Optional[str]:
+        """Simulator self-throughput over the executed (uncached) tasks.
+
+        Cycles are summed across all tasks while the wall clock is the
+        batch interval, so with ``jobs > 1`` this is *aggregate* (all
+        workers combined) throughput — the line says so, to keep it from
+        reading as a per-kernel speedup.
+        """
+        if self.wall_clock_seconds <= 0 or not self.simulated_cycles:
+            return None
+        line = format_simulator_throughput(
+            self.simulated_cycles, self.wall_clock_seconds, tasks=self.tasks_executed
+        )
+        if self.jobs > 1:
+            line += f" [aggregate across {self.jobs} workers]"
+        return line
+
+    def _on_task_done(self, done: int, total: int, task: SimulationTask, _result) -> None:
+        self._progress_line(done, total, task.label)
+
+    @staticmethod
+    def _progress_line(done: int, total: int, detail: str) -> None:
+        print(f"[runner] {done}/{total} {detail}", file=sys.stderr, flush=True)

@@ -3,7 +3,7 @@
 One YAML/JSON document describes a whole experiment — systems, traffic,
 MAC protocols, channel plan, fault plan and fidelity — purely in terms of
 registered names, and compiles into the same
-:class:`~repro.experiments.runner.SimulationTask` objects the figure
+:class:`~repro.parallel.runner.SimulationTask` objects the figure
 experiments build from CLI flags (so spec runs share the result cache
 bit for bit).  This package is the fifth consumer of the four runtime
 registries, alongside the experiments CLI:

@@ -5,7 +5,7 @@ runner: every name in the spec is resolved through the matching registry
 (traffic patterns, architectures/presets, MAC protocols, fault scenarios),
 the fidelity sentinels are expanded against the requested level, and the
 cross product is emitted as plain
-:class:`~repro.experiments.runner.SimulationTask` instances — the same
+:class:`~repro.parallel.runner.SimulationTask` instances — the same
 frozen dataclass the figure experiments build from CLI flags.  Because the
 tasks are identical objects, a compiled scenario shares cache keys (task
 schema v5) and fingerprints with its CLI-flag equivalent bit for bit; the
@@ -33,7 +33,7 @@ from ..core.config import (
     paper_8c4m,
 )
 from ..experiments.common import Fidelity, get_fidelity
-from ..experiments.runner import (
+from ..parallel.runner import (
     ExperimentRunner,
     SimulationTask,
     application_task,
@@ -197,14 +197,15 @@ def compile_scenario(spec: ScenarioSpec) -> List[SimulationTask]:
 def run_scenario(
     spec: ScenarioSpec, runner: Optional[ExperimentRunner] = None
 ) -> List[Tuple[SimulationTask, LoadPointSummary]]:
-    """Compile and execute one scenario through the parallel runner.
+    """Compile and execute one scenario through the :mod:`repro.api` facade.
 
     Returns ``(task, summary)`` pairs in compiled (document) order, with
     duplicate tasks collapsed to their first occurrence.
     """
-    active = runner if runner is not None else ExperimentRunner()
+    from ..api import sweep
+
     tasks = compile_scenario(spec)
-    results = active.run(tasks)
+    results = sweep(tasks, runner=runner) if runner is not None else sweep(tasks)
     ordered: List[Tuple[SimulationTask, LoadPointSummary]] = []
     seen: Dict[SimulationTask, bool] = {}
     for task in tasks:

@@ -6,7 +6,7 @@ channel plans and fault plans to apply, and at what fidelity — in terms of
 the names held by the four runtime registries (traffic patterns,
 architectures, MAC protocols, fault scenarios).  The document is validated
 into a :class:`ScenarioSpec` here and resolved into concrete
-:class:`~repro.experiments.runner.SimulationTask` lists by
+:class:`~repro.parallel.runner.SimulationTask` lists by
 :mod:`repro.scenario.compiler`.
 
 Design rules:

@@ -1,0 +1,38 @@
+"""Long-running sweep service: job queue, daemon, client.
+
+The service turns the batch-oriented parallel runner into a resident
+process that many submitters share:
+
+* :mod:`repro.service.jobs` — the asyncio :class:`~repro.service.jobs.SweepService`:
+  accepts jobs (task lists or scenario documents), dedupes every task
+  against the content-hash result cache, coalesces identical in-flight
+  tasks across jobs, runs the rest on the process-pool executor with
+  two-level priority (interactive preempts *queued* bulk tasks), and
+  streams per-task progress and partial results to each job's subscriber.
+* :mod:`repro.service.daemon` — ``python -m repro.service``: the same
+  service behind a newline-delimited-JSON protocol on a local Unix
+  socket.
+* :mod:`repro.service.client` — the asyncio client, the blocking
+  :func:`~repro.service.client.submit_sync` helper behind
+  :func:`repro.api.submit`, and the
+  :class:`~repro.service.client.ServiceRunner` drop-in that routes an
+  ``ExperimentRunner``-shaped workload through a daemon (the CLI's
+  ``--service`` flag).
+* :mod:`repro.service.wire` — the typed task/result codec shared by
+  daemon and client.
+
+Interrupted work is resumable: with the checkpoint knobs set, workers
+persist kernel checkpoints under the service's checkpoint store, and a
+preempted or crashed task's next attempt resumes from the last checkpoint
+bit-identically (``tests/test_checkpoint.py``, ``tests/test_service.py``).
+"""
+
+from .jobs import JobEvent, JobHandle, JobState, ServiceConfig, SweepService
+
+__all__ = [
+    "JobEvent",
+    "JobHandle",
+    "JobState",
+    "ServiceConfig",
+    "SweepService",
+]

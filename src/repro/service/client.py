@@ -1,0 +1,225 @@
+"""Clients of the sweep-service daemon.
+
+Three levels, thinnest first:
+
+* :class:`ServiceClient` — the asyncio protocol client (one connection
+  per operation, events surfaced as they stream in).
+* :func:`submit_sync` — the blocking convenience behind
+  :func:`repro.api.submit`: run a task list on a daemon and get results
+  keyed by task, exactly like a local :func:`repro.api.sweep`.
+* :class:`ServiceRunner` — an :class:`~repro.parallel.runner.ExperimentRunner`
+  drop-in whose :meth:`~ServiceRunner.run` executes on the daemon, so
+  the figure experiments (and the CLI via ``--service``) work unchanged
+  against a shared resident service, including its cross-client cache
+  and coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..parallel.runner import ExperimentRunner, SimulationTask
+from .wire import WireError, decode_line, encode_line, task_to_wire
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceRunner", "submit_sync"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon reported a protocol or execution error."""
+
+
+class ServiceClient:
+    """Asyncio client of one daemon socket (see module docstring)."""
+
+    def __init__(self, socket_path: str) -> None:
+        self.socket_path = socket_path
+
+    async def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        reader, writer = await asyncio.open_unix_connection(self.socket_path)
+        try:
+            writer.write(encode_line(message))
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ServiceError("daemon closed the connection without replying")
+            reply = decode_line(line)
+            if reply is None or not reply.get("ok", False):
+                raise ServiceError(str((reply or {}).get("error", "empty reply")))
+            return reply
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def ping(self) -> bool:
+        """True iff a daemon answers on the socket."""
+        reply = await self._roundtrip({"op": "ping"})
+        return bool(reply.get("pong"))
+
+    async def status(self) -> Dict[str, Any]:
+        """The daemon's queue occupancy and lifetime counters."""
+        return await self._roundtrip({"op": "status"})
+
+    async def shutdown(self) -> None:
+        """Ask the daemon to stop (running tasks finish first)."""
+        await self._roundtrip({"op": "shutdown"})
+
+    async def submit(
+        self,
+        tasks: Sequence[SimulationTask],
+        priority: str = "bulk",
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Run ``tasks`` on the daemon; blocks until the job finishes.
+
+        Returns the terminal event (its ``executed`` / ``cached`` /
+        ``coalesced`` counters included) with the accumulated results
+        under ``"results"``, keyed by task cache key.  ``on_event`` sees
+        every streamed event as it arrives (progress reporting).  Raises
+        :class:`ServiceError` if the daemon rejects the job or any task
+        fails.
+        """
+        reader, writer = await asyncio.open_unix_connection(self.socket_path)
+        results: Dict[str, Dict[str, Any]] = {}
+        failures: List[str] = []
+        try:
+            writer.write(
+                encode_line(
+                    {
+                        "op": "submit",
+                        "tasks": [task_to_wire(task) for task in tasks],
+                        "priority": priority,
+                    }
+                )
+            )
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise ServiceError("daemon closed the stream before the job finished")
+                event = decode_line(line)
+                if event is None:
+                    continue
+                if not event.get("ok", False):
+                    raise ServiceError(str(event.get("error", "daemon error")))
+                if on_event is not None:
+                    on_event(event)
+                kind = event.get("event")
+                if kind == "task":
+                    results[event["key"]] = event["result"]
+                elif kind == "task_failed":
+                    failures.append(f"{event.get('label')}: {event.get('error')}")
+                elif kind in ("done", "failed"):
+                    if failures:
+                        raise ServiceError(
+                            f"{len(failures)} task(s) failed: " + "; ".join(failures)
+                        )
+                    event["results"] = results
+                    return event
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+def submit_sync(
+    tasks: Sequence[SimulationTask],
+    socket_path: str,
+    priority: str = "bulk",
+    timeout: Optional[float] = None,
+) -> Dict[SimulationTask, Any]:
+    """Blocking submit: results keyed by the submitted task objects.
+
+    The synchronous twin of :meth:`ServiceClient.submit` (and the
+    implementation of :func:`repro.api.submit`); must be called from
+    outside any running event loop.
+    """
+    from ..metrics.saturation import LoadPointSummary
+
+    async def _go() -> Dict[str, Any]:
+        client = ServiceClient(socket_path)
+        call = client.submit(tasks, priority=priority)
+        if timeout is not None:
+            return await asyncio.wait_for(call, timeout)
+        return await call
+
+    terminal = asyncio.run(_go())
+    payloads = terminal["results"]
+    out: Dict[SimulationTask, Any] = {}
+    for task in tasks:
+        if task in out:
+            continue
+        payload = payloads.get(task.cache_key())
+        if payload is None:
+            raise ServiceError(f"daemon returned no result for task {task.label!r}")
+        out[task] = LoadPointSummary.from_dict(payload)
+    return out
+
+
+class ServiceRunner(ExperimentRunner):
+    """An experiment runner that executes on a sweep-service daemon.
+
+    Drop-in for the places that accept an
+    :class:`~repro.parallel.runner.ExperimentRunner` (figure modules,
+    ``run_scenario``, the CLI): :meth:`run` ships the task batch to the
+    daemon and maps the streamed results back.  The local result cache
+    is bypassed — the *daemon's* cache is the shared one — and the hit /
+    executed counters mirror the daemon's terminal event so
+    ``summary_line()`` stays meaningful.  Per-phase profiling cannot
+    cross the socket, so ``profile`` is rejected.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        priority: str = "bulk",
+        show_progress: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(jobs=1, cache_dir=None, show_progress=show_progress)
+        self.socket_path = socket_path
+        self.priority = priority
+        self.timeout = timeout
+
+    def run(
+        self, tasks: Sequence[SimulationTask]
+    ) -> Dict[SimulationTask, Any]:
+        from ..metrics.saturation import LoadPointSummary
+
+        task_list = list(tasks)
+
+        def on_event(event: Dict[str, Any]) -> None:
+            if self.show_progress and event.get("event") == "task":
+                import sys
+
+                print(
+                    f"[service] {event.get('completed')}/{event.get('total')} "
+                    f"{event.get('label')} ({event.get('source')})",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        async def _go() -> Dict[str, Any]:
+            client = ServiceClient(self.socket_path)
+            call = client.submit(task_list, priority=self.priority, on_event=on_event)
+            if self.timeout is not None:
+                return await asyncio.wait_for(call, self.timeout)
+            return await call
+
+        terminal = asyncio.run(_go())
+        self.tasks_executed += int(terminal.get("executed", 0))
+        self.cache_hits += int(terminal.get("cached", 0)) + int(
+            terminal.get("coalesced", 0)
+        )
+        self.cache_misses += int(terminal.get("executed", 0))
+        payloads = terminal["results"]
+        out: Dict[SimulationTask, Any] = {}
+        for task in task_list:
+            if task not in out:
+                out[task] = LoadPointSummary.from_dict(payloads[task.cache_key()])
+        return out

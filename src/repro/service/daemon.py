@@ -1,0 +1,158 @@
+"""The sweep-service daemon: NDJSON over a local Unix socket.
+
+``python -m repro.service --socket PATH`` runs one
+:class:`~repro.service.jobs.SweepService` behind a line-oriented protocol.
+Every request is one JSON object on one line; every response line is one
+JSON object with an ``"ok"`` or ``"event"`` field.
+
+Operations:
+
+``{"op": "submit", "tasks": [...], "priority": "bulk"}``
+    Run explicit tasks (wire form, see :mod:`repro.service.wire`).  The
+    daemon streams the job's events — ``accepted``, one ``task`` per
+    distinct task (carrying the result summary and its ``source``:
+    ``cache`` / ``run`` / ``coalesced``), and a terminal ``done`` /
+    ``failed`` — then closes the connection.
+
+``{"op": "submit", "scenario": {...} | "builtin": "fig2", "fidelity": "fast"}``
+    Same, but the daemon compiles the task list from a scenario document
+    (or a built-in scenario name) via :func:`repro.api.compile_scenario`.
+
+``{"op": "status"}`` / ``{"op": "ping"}``
+    One response line with queue occupancy / liveness.
+
+``{"op": "shutdown"}``
+    Acknowledge and stop the daemon (running tasks finish first; with
+    checkpointing enabled, killed tasks resume on the next daemon).
+
+A malformed request gets ``{"ok": false, "error": ...}`` and the
+connection is closed; the daemon itself never dies from client input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..parallel.runner import SimulationTask
+from .jobs import ServiceConfig, SweepService
+from .wire import WireError, decode_line, encode_line, task_from_wire
+
+__all__ = ["ServiceDaemon"]
+
+
+class ServiceDaemon:
+    """One service instance listening on one Unix socket."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        config: Optional[ServiceConfig] = None,
+        quiet: bool = True,
+    ) -> None:
+        self.socket_path = socket_path
+        self.service = SweepService(config)
+        self.quiet = quiet
+        self._shutdown = asyncio.Event()
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[service] {message}", file=sys.stderr, flush=True)
+
+    async def run(self, ready: Optional[asyncio.Event] = None) -> None:
+        """Serve until a ``shutdown`` request (or task cancellation)."""
+        await self.service.start()
+        # A socket file left by a killed daemon would make bind fail; the
+        # checkpoint/result stores, not the socket, carry all durable state.
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        server = await asyncio.start_unix_server(self._serve, path=self.socket_path)
+        self._log(f"listening on {self.socket_path}")
+        if ready is not None:
+            ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.service.stop()
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+            self._log("stopped")
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                message = decode_line(line)
+                if message is None:
+                    raise WireError("empty request")
+                await self._handle(message, writer)
+            except WireError as error:
+                writer.write(encode_line({"ok": False, "error": str(error)}))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-stream; the job keeps running
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
+        op = message.get("op")
+        if op == "ping":
+            writer.write(encode_line({"ok": True, "pong": True}))
+            await writer.drain()
+        elif op == "status":
+            status = await self.service.status()
+            writer.write(encode_line({"ok": True, **status}))
+            await writer.drain()
+        elif op == "shutdown":
+            writer.write(encode_line({"ok": True, "stopping": True}))
+            await writer.drain()
+            self._log("shutdown requested")
+            self._shutdown.set()
+        elif op == "submit":
+            await self._submit(message, writer)
+        else:
+            raise WireError(f"unknown op {op!r}")
+
+    async def _submit(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
+        tasks = self._resolve_tasks(message)
+        priority = message.get("priority", "bulk")
+        if priority not in ("interactive", "bulk"):
+            raise WireError(f"unknown priority {priority!r}")
+        job = await self.service.submit(tasks, priority=priority)
+        self._log(f"job {job.job_id}: {len(tasks)} task(s), priority={priority}")
+        async for event in job.stream():
+            writer.write(encode_line({"ok": True, **event.as_dict()}))
+            await writer.drain()
+
+    def _resolve_tasks(self, message: Dict[str, Any]) -> List[SimulationTask]:
+        given = [k for k in ("tasks", "scenario", "builtin") if message.get(k) is not None]
+        if len(given) != 1:
+            raise WireError("submit needs exactly one of: tasks, scenario, builtin")
+        if given[0] == "tasks":
+            raw = message["tasks"]
+            if not isinstance(raw, list) or not raw:
+                raise WireError("tasks must be a non-empty list")
+            return [task_from_wire(item) for item in raw]
+        from ..api import compile_scenario
+        from ..scenario import ScenarioError
+
+        source = message[given[0]]
+        fidelity = message.get("fidelity")
+        try:
+            return compile_scenario(source, fidelity=fidelity)
+        except (ScenarioError, OSError, KeyError, TypeError, ValueError) as error:
+            raise WireError(f"invalid scenario: {error}") from None

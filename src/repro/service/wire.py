@@ -1,0 +1,124 @@
+"""Typed wire codec for the sweep-service protocol.
+
+The daemon and its clients exchange newline-delimited JSON.  Tasks cross
+the socket as the same canonical mapping the cache hashes
+(:func:`repro.parallel.hashing.to_jsonable`), so a task round-tripped
+through the wire has, by construction, the same cache key as the original
+— the property the service's dedupe and coalescing correctness rests on
+(asserted in ``tests/test_service.py``).
+
+Decoding is generic over the frozen-dataclass configuration tree
+(``SystemConfig`` → ``NetworkConfig`` → ``WirelessConfig`` /
+``Technology``): field types come from :func:`typing.get_type_hints`, so
+adding a configuration field never needs a codec change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from typing import Any, Dict, Mapping, Optional, Union, get_args, get_origin, get_type_hints
+
+from ..parallel.hashing import to_jsonable
+from ..parallel.runner import SimulationTask
+
+__all__ = [
+    "WireError",
+    "decode_dataclass",
+    "decode_line",
+    "encode_line",
+    "task_from_wire",
+    "task_to_wire",
+]
+
+
+class WireError(ValueError):
+    """A message that does not decode to the expected shape."""
+
+
+def _decode_value(hint: Any, value: Any, path: str) -> Any:
+    """Decode one JSON value against a type hint (see module docstring)."""
+    origin = get_origin(hint)
+    if origin is Union:  # Optional[X] is Union[X, None]
+        args = [a for a in get_args(hint) if a is not type(None)]
+        if value is None:
+            return None
+        if len(args) == 1:
+            return _decode_value(args[0], value, path)
+        return value
+    if isinstance(hint, type) and issubclass(hint, Enum):
+        try:
+            return hint(value)
+        except ValueError as error:
+            raise WireError(f"{path}: {error}") from None
+    if dataclasses.is_dataclass(hint) and isinstance(hint, type):
+        if not isinstance(value, Mapping):
+            raise WireError(f"{path}: expected a mapping, got {type(value).__name__}")
+        return decode_dataclass(hint, value, path)
+    if hint is float and isinstance(value, int):
+        return float(value)
+    if isinstance(hint, type) and not isinstance(value, hint):
+        # bool is an int subclass; everything else must match exactly.
+        if not (hint is int and isinstance(value, bool) is False and isinstance(value, int)):
+            raise WireError(
+                f"{path}: expected {hint.__name__}, got {type(value).__name__}"
+            )
+    return value
+
+
+def decode_dataclass(cls: type, payload: Mapping, path: str = "") -> Any:
+    """Rebuild a (possibly nested) dataclass from its ``to_jsonable`` form.
+
+    Unknown keys are rejected — the wire format is exactly the dataclass's
+    field set, so a typo'd or stale field fails loudly instead of being
+    silently dropped (and silently changing the task's cache key).
+    """
+    prefix = f"{path}." if path else ""
+    hints = get_type_hints(cls)
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise WireError(f"{path or cls.__name__}: unknown field(s) {unknown}")
+    kwargs: Dict[str, Any] = {}
+    for name, field in fields.items():
+        if name not in payload:
+            continue  # absent optional fields keep their defaults
+        kwargs[name] = _decode_value(hints[name], payload[name], f"{prefix}{name}")
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise WireError(f"{path or cls.__name__}: {error}") from None
+
+
+def task_to_wire(task: SimulationTask) -> Dict[str, Any]:
+    """The canonical JSON mapping of one task (cache-key-identical)."""
+    return to_jsonable(task)
+
+
+def task_from_wire(payload: Mapping) -> SimulationTask:
+    """Rebuild a :class:`SimulationTask` from :func:`task_to_wire` output."""
+    return decode_dataclass(SimulationTask, payload, "task")
+
+
+def encode_line(message: Mapping[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(to_jsonable(message), sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """Parse one protocol line; ``None`` for blank lines.
+
+    Raises :class:`WireError` on malformed JSON or a non-mapping payload,
+    so the daemon can answer with a protocol error instead of dying.
+    """
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        return None
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise WireError(f"malformed JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise WireError(f"expected a JSON object, got {type(message).__name__}")
+    return message

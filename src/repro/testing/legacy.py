@@ -1,0 +1,195 @@
+"""Deprecated object-era spellings of the hot data-plane interfaces.
+
+.. deprecated::
+    Everything in this module exists for unit tests and external callers
+    that still speak the pre-handle object API.  Production code uses the
+    hot interfaces only — :meth:`repro.noc.fabric.Fabric.grants` /
+    :meth:`~repro.noc.fabric.Fabric.notify_sent` for fabrics,
+    :meth:`repro.wireless.mac.MacProtocol.grants` /
+    :meth:`~repro.wireless.mac.MacProtocol.notify_sent` for MACs, and the
+    scratch-array pending scan
+    (:meth:`repro.wireless.mac.MacDataPlane.scan_pending`).  New code
+    should call those directly; nothing here is re-exported from the
+    ``repro.wireless`` or ``repro.noc`` packages.
+
+What lives here:
+
+* :class:`PendingTransmission` — one scratch-array row of the hot
+  pending scan as a frozen dataclass.
+* :class:`MacAdapter` — the legacy object view a scripted test hands to
+  a :class:`~repro.wireless.mac.MacProtocol`; the protocol bridges it
+  onto the hot interface automatically.
+* :class:`LegacyAdapterBridge` — that bridge: adapts a ``MacAdapter``
+  (or re-wraps a native :class:`~repro.wireless.mac.MacDataPlane`
+  through the dataclass spelling, which is how the wrapper-parity tests
+  prove the two paths bit-identical).
+* :func:`pending_transmissions` — a hot plane's scan rows as
+  dataclasses (the old ``WirelessFabric.pending``).
+* :func:`fabric_may_send` / :func:`fabric_on_flit_sent` and
+  :func:`mac_may_send` / :func:`mac_on_flit_sent` — the old object /
+  wrapper method spellings as free functions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+from ..wireless.mac.base import MacDataPlane
+
+__all__ = [
+    "LegacyAdapterBridge",
+    "MacAdapter",
+    "PendingTransmission",
+    "fabric_may_send",
+    "fabric_on_flit_sent",
+    "mac_may_send",
+    "mac_on_flit_sent",
+    "pending_transmissions",
+]
+
+
+@dataclass(frozen=True)
+class PendingTransmission:
+    """One VC's worth of traffic waiting at a WI for the wireless channel.
+
+    Legacy object spelling of one scratch-array row of the hot scan;
+    never built on the per-cycle path.
+    """
+
+    dst_switch: int
+    packet_id: int
+    buffered_flits: int
+    packet_length_flits: int
+    front_is_head: bool
+    #: Flits of the packet that still have to cross this wireless hop
+    #: (buffered ones plus those still streaming into the WI switch).  The
+    #: transmitting WI knows this from the packet header, so the control
+    #: packet can announce the full remainder rather than only the flits
+    #: buffered at planning time.
+    remaining_flits: int = 0
+
+
+class MacAdapter(abc.ABC):
+    """Legacy object view of the surrounding system (unit tests only).
+
+    Production code implements
+    :class:`~repro.wireless.mac.MacDataPlane` instead; any ``MacAdapter``
+    handed to a :class:`~repro.wireless.mac.MacProtocol` is wrapped in a
+    :class:`LegacyAdapterBridge` automatically.
+    """
+
+    @abc.abstractmethod
+    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
+        """Traffic currently waiting at a WI for the wireless channel."""
+
+    @abc.abstractmethod
+    def record_control_energy(self, energy_pj: float) -> None:
+        """Charge the energy of a MAC control packet / token broadcast."""
+
+    @abc.abstractmethod
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
+        """How many flits of a packet the destination WI can buffer right now."""
+
+
+def pending_transmissions(
+    plane: MacDataPlane, wi_switch_id: int
+) -> List[PendingTransmission]:
+    """A hot plane's scan rows as dataclasses (the old ``fabric.pending``).
+
+    Runs :meth:`~repro.wireless.mac.MacDataPlane.scan_pending` and
+    materialises the scratch rows; like any scan, it invalidates the
+    previous scan's rows.
+    """
+    count = plane.scan_pending(wi_switch_id)
+    return [
+        PendingTransmission(
+            dst_switch=plane.pend_dst[row],
+            packet_id=plane.pend_pid[row],
+            buffered_flits=plane.pend_buffered[row],
+            packet_length_flits=plane.pend_length[row],
+            front_is_head=bool(plane.pend_head[row]),
+            remaining_flits=plane.pend_remaining[row],
+        )
+        for row in range(count)
+    ]
+
+
+class LegacyAdapterBridge(MacDataPlane):
+    """Adapts a legacy :class:`MacAdapter` onto the hot scan interface.
+
+    Also accepts a native :class:`~repro.wireless.mac.MacDataPlane`, whose
+    scan is then routed through the :class:`PendingTransmission` dataclass
+    spelling and back — the round trip the wrapper-parity test matrix uses
+    to prove the object path bit-identical to the hot path.
+    """
+
+    def __init__(self, adapter) -> None:
+        self.adapter = adapter
+        self.pend_dst: List[int] = []
+        self.pend_pid: List[int] = []
+        self.pend_buffered: List[int] = []
+        self.pend_length: List[int] = []
+        self.pend_remaining: List[int] = []
+        self.pend_head: List[int] = []
+
+    def _pending(self, wi_switch_id: int) -> List[PendingTransmission]:
+        pending = getattr(self.adapter, "pending", None)
+        if pending is not None:
+            return pending(wi_switch_id)
+        return pending_transmissions(self.adapter, wi_switch_id)
+
+    def scan_pending(self, wi_switch_id: int) -> int:
+        entries = self._pending(wi_switch_id)
+        if len(entries) > len(self.pend_dst):
+            grow = len(entries) - len(self.pend_dst)
+            for array in (
+                self.pend_dst,
+                self.pend_pid,
+                self.pend_buffered,
+                self.pend_length,
+                self.pend_remaining,
+                self.pend_head,
+            ):
+                array.extend([0] * grow)
+        for row, entry in enumerate(entries):
+            self.pend_dst[row] = entry.dst_switch
+            self.pend_pid[row] = entry.packet_id
+            self.pend_buffered[row] = entry.buffered_flits
+            self.pend_length[row] = entry.packet_length_flits
+            self.pend_remaining[row] = entry.remaining_flits
+            self.pend_head[row] = 1 if entry.front_is_head else 0
+        return len(entries)
+
+    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
+        return self.adapter.acceptable_flits(dst_switch, packet_id, is_head)
+
+    def record_control_energy(self, energy_pj: float, channel_id: int = -1) -> None:
+        self.adapter.record_control_energy(energy_pj)
+
+
+def fabric_may_send(fabric, src_switch_id: int, packet, dst_switch_id: int, flit) -> bool:
+    """Old ``Fabric.may_send`` object spelling, as a free function."""
+    return fabric.grants(src_switch_id, packet.packet_id, dst_switch_id, flit.is_head)
+
+
+def fabric_on_flit_sent(
+    fabric, src_switch_id: int, packet, dst_switch_id: int, flit, cycle: int
+) -> None:
+    """Old ``Fabric.on_flit_sent`` object spelling, as a free function."""
+    fabric.notify_sent(src_switch_id, packet.packet_id, dst_switch_id, flit.is_tail, cycle)
+
+
+def mac_may_send(
+    mac, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
+) -> bool:
+    """Old ``MacProtocol.may_send`` wrapper, as a free function."""
+    return mac.grants(wi_switch_id, packet_id, dst_switch, is_head)
+
+
+def mac_on_flit_sent(
+    mac, wi_switch_id: int, packet_id: int, dst_switch: int, is_tail: bool, cycle: int
+) -> None:
+    """Old ``MacProtocol.on_flit_sent`` wrapper, as a free function."""
+    mac.notify_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)

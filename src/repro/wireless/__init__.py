@@ -12,10 +12,8 @@ from .channel import ChannelPlan, assign_channels
 from .link_budget import LinkBudget
 from .mac import (
     ControlPacketMac,
-    MacAdapter,
     MacProtocol,
     MacStatistics,
-    PendingTransmission,
     TokenMac,
     TransmissionPlan,
 )
@@ -25,10 +23,8 @@ __all__ = [
     "ChannelPlan",
     "ControlPacketMac",
     "LinkBudget",
-    "MacAdapter",
     "MacProtocol",
     "MacStatistics",
-    "PendingTransmission",
     "SPEED_OF_LIGHT_M_PER_S",
     "TokenMac",
     "Transceiver",

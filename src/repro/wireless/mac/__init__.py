@@ -1,13 +1,6 @@
 """Medium access control protocols for the shared wireless channel."""
 
-from .base import (
-    LegacyAdapterBridge,
-    MacAdapter,
-    MacDataPlane,
-    MacProtocol,
-    MacStatistics,
-    PendingTransmission,
-)
+from .base import MacDataPlane, MacProtocol, MacStatistics
 from .control_packet import ControlPacketMac, TransmissionPlan
 from .fdma import FdmaMac
 from .registry import (
@@ -25,14 +18,11 @@ from .token import TokenMac
 __all__ = [
     "ControlPacketMac",
     "FdmaMac",
-    "LegacyAdapterBridge",
-    "MacAdapter",
     "MacBuildContext",
     "MacDataPlane",
     "MacProtocol",
     "MacSpec",
     "MacStatistics",
-    "PendingTransmission",
     "TdmaMac",
     "TokenMac",
     "TransmissionPlan",

@@ -8,57 +8,29 @@ on the air right now?* (:meth:`MacProtocol.grants`) and *who is transmitting
 observes the traffic waiting at each WI through a *data plane* interface so
 the protocol logic stays independent of the simulator's internals.
 
-Two spellings of that boundary exist, mirroring the fabric layer:
+The boundary is the **hot** handle-based interface, mirroring the fabric
+layer: a scan (:meth:`MacDataPlane.scan_pending`) fills preallocated
+parallel scratch arrays (``pend_dst`` / ``pend_pid`` / ``pend_buffered``
+/ ``pend_length`` / ``pend_remaining`` / ``pend_head``) straight from the
+packet pool and the per-WI occupied-VC ordinal sets, and returns the
+entry count.  No dataclass, tuple or list is created per cycle; MACs
+index the scratch arrays.  :class:`~repro.noc.fabric.WirelessFabric` is
+the production implementation.  Likewise, the per-flit admission methods
+are hot (:meth:`MacProtocol.grants` / :meth:`MacProtocol.notify_sent`,
+plain-int arguments).
 
-* :class:`MacDataPlane` — the **hot** handle-based interface.  A scan
-  (:meth:`MacDataPlane.scan_pending`) fills preallocated parallel scratch
-  arrays (``pend_dst`` / ``pend_pid`` / ``pend_buffered`` / ``pend_length``
-  / ``pend_remaining`` / ``pend_head``) straight from the packet pool and
-  the per-WI occupied-VC ordinal sets, and returns the entry count.  No
-  dataclass, tuple or list is created per cycle; MACs index the scratch
-  arrays.  :class:`~repro.noc.fabric.WirelessFabric` is the production
-  implementation.
-* :class:`MacAdapter` — the **legacy object** interface
-  (:meth:`MacAdapter.pending` returning :class:`PendingTransmission`
-  dataclasses).  It survives for unit tests and external callers; a
-  :class:`LegacyAdapterBridge` adapts any ``MacAdapter`` onto the hot
-  interface, so MAC implementations only ever speak
-  :class:`MacDataPlane`.
-
-Likewise, the per-flit admission methods are hot
-(:meth:`MacProtocol.grants` / :meth:`MacProtocol.notify_sent`, plain-int
-arguments), with the historical object-era spellings
-(:meth:`MacProtocol.may_send` / :meth:`MacProtocol.on_flit_sent`) kept as
-thin wrappers exactly as ``Fabric.may_send`` wraps ``Fabric.grants``.
+The historical object-era spellings — ``PendingTransmission``
+dataclasses, the ``MacAdapter`` protocol and its bridge, the
+``may_send`` / ``on_flit_sent`` wrappers — live in
+:mod:`repro.testing.legacy` (deprecated; unit tests and external callers
+only).  A legacy adapter handed to :class:`MacProtocol` is still bridged
+automatically, so scripted test adapters keep working.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
-
-
-@dataclass(frozen=True)
-class PendingTransmission:
-    """One VC's worth of traffic waiting at a WI for the wireless channel.
-
-    Legacy object spelling of one scratch-array row of the hot scan; built
-    only by the test-facing wrappers (:class:`MacAdapter` implementations,
-    ``WirelessFabric.pending``), never on the per-cycle path.
-    """
-
-    dst_switch: int
-    packet_id: int
-    buffered_flits: int
-    packet_length_flits: int
-    front_is_head: bool
-    #: Flits of the packet that still have to cross this wireless hop
-    #: (buffered ones plus those still streaming into the WI switch).  The
-    #: transmitting WI knows this from the packet header, so the control
-    #: packet can announce the full remainder rather than only the flits
-    #: buffered at planning time.
-    remaining_flits: int = 0
 
 
 class MacDataPlane(abc.ABC):
@@ -107,73 +79,6 @@ class MacDataPlane(abc.ABC):
         """
 
 
-class MacAdapter(abc.ABC):
-    """Legacy object view of the surrounding system (unit tests only).
-
-    Production code implements :class:`MacDataPlane` instead; any
-    ``MacAdapter`` handed to a :class:`MacProtocol` is wrapped in a
-    :class:`LegacyAdapterBridge` automatically.
-    """
-
-    @abc.abstractmethod
-    def pending(self, wi_switch_id: int) -> List[PendingTransmission]:
-        """Traffic currently waiting at a WI for the wireless channel."""
-
-    @abc.abstractmethod
-    def record_control_energy(self, energy_pj: float) -> None:
-        """Charge the energy of a MAC control packet / token broadcast."""
-
-    @abc.abstractmethod
-    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
-        """How many flits of a packet the destination WI can buffer right now."""
-
-
-class LegacyAdapterBridge(MacDataPlane):
-    """Adapts a legacy :class:`MacAdapter` onto the hot scan interface.
-
-    Used by unit tests (scripted adapters) and by the wrapper-parity test
-    matrix, which proves the bridge and the native hot scan produce
-    bit-identical simulations.
-    """
-
-    def __init__(self, adapter: MacAdapter) -> None:
-        self.adapter = adapter
-        self.pend_dst: List[int] = []
-        self.pend_pid: List[int] = []
-        self.pend_buffered: List[int] = []
-        self.pend_length: List[int] = []
-        self.pend_remaining: List[int] = []
-        self.pend_head: List[int] = []
-
-    def scan_pending(self, wi_switch_id: int) -> int:
-        entries = self.adapter.pending(wi_switch_id)
-        if len(entries) > len(self.pend_dst):
-            grow = len(entries) - len(self.pend_dst)
-            for array in (
-                self.pend_dst,
-                self.pend_pid,
-                self.pend_buffered,
-                self.pend_length,
-                self.pend_remaining,
-                self.pend_head,
-            ):
-                array.extend([0] * grow)
-        for row, entry in enumerate(entries):
-            self.pend_dst[row] = entry.dst_switch
-            self.pend_pid[row] = entry.packet_id
-            self.pend_buffered[row] = entry.buffered_flits
-            self.pend_length[row] = entry.packet_length_flits
-            self.pend_remaining[row] = entry.remaining_flits
-            self.pend_head[row] = 1 if entry.front_is_head else 0
-        return len(entries)
-
-    def acceptable_flits(self, dst_switch: int, packet_id: int, is_head: bool) -> int:
-        return self.adapter.acceptable_flits(dst_switch, packet_id, is_head)
-
-    def record_control_energy(self, energy_pj: float, channel_id: int = -1) -> None:
-        self.adapter.record_control_energy(energy_pj)
-
-
 class MacStatistics:
     """Counters every MAC implementation maintains."""
 
@@ -210,7 +115,8 @@ class MacProtocol(abc.ABC):
     adapter:
         View into the simulator (pending traffic, energy accounting): a
         :class:`MacDataPlane` (production, hot) or a legacy
-        :class:`MacAdapter` (tests; bridged automatically).
+        :class:`repro.testing.legacy.MacAdapter` (tests; bridged
+        automatically).
     """
 
     def __init__(
@@ -225,9 +131,12 @@ class MacProtocol(abc.ABC):
         self.wi_switch_ids = list(wi_switch_ids)
         self.adapter = adapter
         #: The hot data plane the protocol logic reads.
-        self.plane: MacDataPlane = (
-            adapter if isinstance(adapter, MacDataPlane) else LegacyAdapterBridge(adapter)
-        )
+        if isinstance(adapter, MacDataPlane):
+            self.plane: MacDataPlane = adapter
+        else:
+            from ...testing.legacy import LegacyAdapterBridge
+
+            self.plane = LegacyAdapterBridge(adapter)
         self.stats = MacStatistics()
 
     # ------------------------------------------------------------------
@@ -278,29 +187,8 @@ class MacProtocol(abc.ABC):
         """
         return True
 
-    # ------------------------------------------------------------------
-    # Legacy object-era spellings (unit tests, external callers).
-    # ------------------------------------------------------------------
-
-    def may_send(
-        self, wi_switch_id: int, packet_id: int, dst_switch: int, is_head: bool
-    ) -> bool:
-        """Legacy wrapper around :meth:`grants`."""
-        return self.grants(wi_switch_id, packet_id, dst_switch, is_head)
-
-    def on_flit_sent(
-        self,
-        wi_switch_id: int,
-        packet_id: int,
-        dst_switch: int,
-        is_tail: bool,
-        cycle: int,
-    ) -> None:
-        """Legacy wrapper around :meth:`notify_sent`."""
-        self.notify_sent(wi_switch_id, packet_id, dst_switch, is_tail, cycle)
-
     def intended_receivers(self) -> Set[int]:
-        """Destination WIs of the current transmission (legacy wrapper).
+        """Destination WIs of the current transmission (diagnostic view).
 
         Materialises :meth:`is_intended_receiver` over the channel members;
         kept for tests and reports — the fabric's per-cycle loop uses the

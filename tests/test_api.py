@@ -1,0 +1,244 @@
+"""The ``repro.api`` facade and the ``experiments.runner`` move.
+
+The PR-8 contracts:
+
+* **Facade parity** — :func:`repro.api.run` / :func:`~repro.api.sweep`
+  produce exactly what a directly constructed
+  :class:`~repro.parallel.runner.ExperimentRunner` produces, and
+  :func:`~repro.api.make_runner`'s defaults match a bare
+  ``ExperimentRunner()`` (no cache unless a directory is given).
+* **Scenario forms** — :func:`~repro.api.resolve_scenario` accepts a
+  parsed spec, a raw mapping, a built-in name and a document path, with
+  a working fidelity override; :func:`~repro.api.compile_scenario` runs
+  nothing and agrees with the scenario layer.
+* **Deprecation shim** — ``repro.experiments.runner`` still imports (one
+  :class:`DeprecationWarning`, warned once) and re-exports the *same*
+  objects now living in ``repro.parallel.runner``.
+* **CLI routing** — ``--service`` swaps in a
+  :class:`~repro.service.client.ServiceRunner` and rejects
+  ``--profile``; without it the CLI builds runners through the facade.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.config import Architecture
+from repro.parallel.runner import ExperimentRunner, execute_task, uniform_task
+from repro.scenario import ScenarioSpec, builtin_scenario_names
+from repro.testing import small_system_config
+
+
+@dataclass(frozen=True)
+class _Fidelity:
+    cycles: int = 200
+    warmup_cycles: int = 50
+    seed: int = 5
+
+
+def _task(load, **kwargs):
+    return uniform_task(
+        small_system_config(Architecture.WIRELESS), _Fidelity(), load=load, **kwargs
+    )
+
+
+_DOC = {
+    "name": "api-doc",
+    "fidelity": "fast",
+    "systems": [{"architecture": "wireless"}],
+    "traffic": {"kind": "synthetic", "loads": [0.01, 0.02]},
+}
+
+
+# ----------------------------------------------------------------------
+# Facade execution parity.
+# ----------------------------------------------------------------------
+
+
+class TestFacadeParity:
+    def test_run_matches_execute_task(self):
+        task = _task(0.02)
+        assert api.run(task).as_dict() == execute_task(task)
+
+    def test_sweep_matches_direct_runner(self):
+        tasks = [_task(load) for load in (0.01, 0.02)]
+        direct = ExperimentRunner().run(tasks)
+        via_api = api.sweep(tasks)
+        assert {t: s.as_dict() for t, s in via_api.items()} == {
+            t: s.as_dict() for t, s in direct.items()
+        }
+
+    def test_sweep_rejects_runner_plus_kwargs(self):
+        with pytest.raises(TypeError, match="not both"):
+            api.sweep([_task(0.01)], runner=ExperimentRunner(), jobs=2)
+
+    def test_sweep_accepts_preconfigured_runner(self, tmp_path):
+        runner = api.make_runner(cache_dir=str(tmp_path))
+        tasks = [_task(0.01)]
+        api.sweep(tasks, runner=runner)
+        api.sweep(tasks, runner=runner)
+        assert runner.tasks_executed == 1
+        assert runner.cache_hits == 1
+
+    def test_make_runner_defaults_match_bare_runner(self, tmp_path):
+        assert api.make_runner().cache is None  # uncached, like ExperimentRunner()
+        assert api.make_runner(cache_dir=str(tmp_path)).cache is not None
+        assert api.make_runner(cache_dir=str(tmp_path), use_cache=False).cache is None
+        assert api.make_runner(cache_dir=str(tmp_path), profile=True).cache is None
+
+    def test_build_simulator_is_not_run(self):
+        simulator = api.build_simulator(_task(0.02))
+        # Fully wired but unexecuted: running it yields the same summary.
+        result = simulator.run()
+        assert result.packets_delivered > 0
+
+    def test_run_with_checkpointing_round_trips(self, tmp_path):
+        task = _task(0.02)
+        baseline = api.run(task)
+        resumed = api.run(
+            task, checkpoint_every=50, checkpoint_dir=str(tmp_path)
+        )
+        assert resumed.as_dict() == baseline.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Scenario forms.
+# ----------------------------------------------------------------------
+
+
+class TestScenarioForms:
+    def test_builtin_name(self):
+        spec = api.resolve_scenario("fig2", fidelity="fast")
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.fidelity_level == "fast"
+        tasks = api.compile_scenario("fig2", fidelity="fast")
+        assert tasks and all(t.cache_key() for t in tasks)
+
+    def test_every_builtin_compiles(self):
+        for name in builtin_scenario_names():
+            assert api.compile_scenario(name, fidelity="fast")
+
+    def test_mapping_and_path_forms_agree(self, tmp_path):
+        from_mapping = api.compile_scenario(_DOC)
+        document = tmp_path / "scenario.json"
+        document.write_text(json.dumps(_DOC))
+        from_path = api.compile_scenario(document)
+        assert from_mapping == from_path
+        assert len(from_mapping) == 2  # one per load point
+
+    def test_spec_pass_through_with_fidelity_override(self):
+        spec = api.resolve_scenario(_DOC)
+        assert api.resolve_scenario(spec) is spec
+        overridden = api.resolve_scenario(spec, fidelity="smoke")
+        assert overridden.fidelity_level == "smoke"
+
+    def test_unknown_source_fails_loudly(self, tmp_path):
+        with pytest.raises(Exception):
+            api.resolve_scenario(str(tmp_path / "absent.json"))
+
+
+# ----------------------------------------------------------------------
+# The deprecation shim.
+# ----------------------------------------------------------------------
+
+
+class TestRunnerShim:
+    def test_shim_reexports_the_same_objects(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.experiments import runner as shim
+        from repro.parallel import runner as home
+
+        assert shim.ExperimentRunner is home.ExperimentRunner
+        assert shim.SimulationTask is home.SimulationTask
+        assert shim.execute_task is home.execute_task
+        assert home.ExperimentRunner.__module__ == "repro.parallel.runner"
+
+    def test_shim_warns_exactly_once(self):
+        """Run in a fresh interpreter: the warning fires on first import only."""
+        script = (
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    import repro.experiments.runner\n"
+            "    import repro.experiments.runner  # cached: no second warning\n"
+            "    from repro.experiments import runner  # lazy attr: still cached\n"
+            "relevant = [w for w in caught\n"
+            "            if issubclass(w.category, DeprecationWarning)\n"
+            "            and 'repro.experiments.runner' in str(w.message)]\n"
+            "print(len(relevant))\n"
+        )
+        src = str(Path(repro.__file__).resolve().parents[1])
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        assert output.stdout.strip() == "1"
+
+    def test_experiments_package_does_not_import_shim_eagerly(self):
+        """``import repro.experiments`` must stay deprecation-silent."""
+        script = (
+            "import warnings\n"
+            "warnings.simplefilter('error', DeprecationWarning)\n"
+            "import repro.experiments\n"
+            "import repro.api\n"
+            "print('clean')\n"
+        )
+        src = str(Path(repro.__file__).resolve().parents[1])
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        assert output.stdout.strip() == "clean"
+
+
+# ----------------------------------------------------------------------
+# CLI routing.
+# ----------------------------------------------------------------------
+
+
+class TestCliRouting:
+    def _args(self, *argv):
+        from repro.experiments.cli import build_parser
+
+        return build_parser().parse_args(["fig2", *argv])
+
+    def test_service_flag_builds_service_runner(self):
+        from repro.experiments.cli import runner_from_args
+        from repro.service.client import ServiceRunner
+
+        runner = runner_from_args(self._args("--service", "/tmp/svc.sock"))
+        assert isinstance(runner, ServiceRunner)
+        assert runner.socket_path == "/tmp/svc.sock"
+
+    def test_service_flag_rejects_profile(self):
+        from repro.experiments.cli import runner_from_args
+
+        with pytest.raises(ValueError, match="--profile"):
+            runner_from_args(
+                self._args("--service", "/tmp/svc.sock", "--profile")
+            )
+
+    def test_default_path_is_an_experiment_runner(self):
+        from repro.experiments.cli import runner_from_args
+        from repro.service.client import ServiceRunner
+
+        runner = runner_from_args(self._args())
+        assert isinstance(runner, ExperimentRunner)
+        assert not isinstance(runner, ServiceRunner)

@@ -26,7 +26,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import Architecture
 from repro.core.framework import MultichipSimulation
-from repro.experiments.runner import (
+from repro.parallel.runner import (
     TASK_SCHEMA_VERSION,
     ExperimentRunner,
     SimulationTask,
@@ -188,14 +188,14 @@ def test_wired_fabric_gate_blocks_heads_only(small_substrate_system):
     head = packet.make_flit(0)
     body = packet.make_flit(1)
     assert head.flit_type is FlitType.HEAD
-    assert fabric.may_send(0, packet, 1, head)
+    assert fabric.grants(0, packet.packet_id, 1, head.is_head)
     fabric.fail_link(0, 1)
-    assert not fabric.may_send(0, packet, 1, head)
-    assert not fabric.may_send(1, packet, 0, head)
+    assert not fabric.grants(0, packet.packet_id, 1, head.is_head)
+    assert not fabric.grants(1, packet.packet_id, 0, head.is_head)
     # Committed packets drain: body flits still cross the failed link.
-    assert fabric.may_send(0, packet, 1, body)
+    assert fabric.grants(0, packet.packet_id, 1, body.is_head)
     # Other hops are unaffected.
-    assert fabric.may_send(0, packet, 2, head)
+    assert fabric.grants(0, packet.packet_id, 2, head.is_head)
 
 
 # ----------------------------------------------------------------------

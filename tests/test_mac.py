@@ -4,14 +4,8 @@ from typing import Dict, List, Tuple
 
 import pytest
 
-from repro.wireless.mac import (
-    ControlPacketMac,
-    FdmaMac,
-    MacAdapter,
-    PendingTransmission,
-    TdmaMac,
-    TokenMac,
-)
+from repro.testing.legacy import MacAdapter, PendingTransmission
+from repro.wireless.mac import ControlPacketMac, FdmaMac, TdmaMac, TokenMac
 
 
 class ScriptedAdapter(MacAdapter):
@@ -58,7 +52,7 @@ class TestControlPacketMac:
         mac = self._mac(adapter)
         mac.update(0)
         assert mac.current_transmitter() is None
-        assert not mac.may_send(10, 1, 20, True)
+        assert not mac.grants(10, 1, 20, True)
 
     def test_grant_follows_pending_traffic(self):
         adapter = ScriptedAdapter()
@@ -67,12 +61,12 @@ class TestControlPacketMac:
         mac.update(0)
         assert mac.current_transmitter() == 20
         # During the control-packet broadcast no data may be sent.
-        assert not mac.may_send(20, 5, 30, True)
+        assert not mac.grants(20, 5, 30, True)
         mac.update(1)
         mac.update(2)
-        assert mac.may_send(20, 5, 30, True)
+        assert mac.grants(20, 5, 30, True)
         # Other WIs are excluded while 20 holds the channel.
-        assert not mac.may_send(10, 5, 30, True)
+        assert not mac.grants(10, 5, 30, True)
 
     def test_control_packet_energy_charged(self):
         adapter = ScriptedAdapter()
@@ -89,9 +83,9 @@ class TestControlPacketMac:
         mac.update(0)
         mac.update(1)
         mac.update(2)
-        assert mac.may_send(10, 1, 20, True)
-        mac.on_flit_sent(10, 1, 20, is_tail=False, cycle=3)
-        mac.on_flit_sent(10, 1, 20, is_tail=True, cycle=4)
+        assert mac.grants(10, 1, 20, True)
+        mac.notify_sent(10, 1, 20, is_tail=False, cycle=3)
+        mac.notify_sent(10, 1, 20, is_tail=True, cycle=4)
         adapter.clear(10)
         adapter.set_pending(30, dst=10, packet_id=2, buffered=1, length=1)
         mac.update(5)
@@ -146,20 +140,20 @@ class TestTokenMac:
         mac = self._mac(adapter)
         mac.update(0)
         # Packet only partially buffered: the token MAC must refuse it.
-        assert not mac.may_send(10, 1, 20, True)
+        assert not mac.grants(10, 1, 20, True)
 
     def test_whole_packet_transmission_and_token_release(self):
         adapter = ScriptedAdapter()
         adapter.set_pending(10, dst=20, packet_id=1, buffered=4, length=4)
         mac = self._mac(adapter)
         mac.update(0)
-        assert mac.may_send(10, 1, 20, True)
-        mac.on_flit_sent(10, 1, 20, is_tail=False, cycle=0)
-        assert mac.may_send(10, 1, 20, False)
-        mac.on_flit_sent(10, 1, 20, is_tail=True, cycle=3)
+        assert mac.grants(10, 1, 20, True)
+        mac.notify_sent(10, 1, 20, is_tail=False, cycle=0)
+        assert mac.grants(10, 1, 20, False)
+        mac.notify_sent(10, 1, 20, is_tail=True, cycle=3)
         # Tail sent: the token moves on.
         assert mac.stats.token_passes >= 1
-        assert not mac.may_send(10, 1, 20, True)
+        assert not mac.grants(10, 1, 20, True)
 
     def test_token_rotates_when_holder_idle(self):
         adapter = ScriptedAdapter()
@@ -174,7 +168,7 @@ class TestTokenMac:
         adapter.set_pending(20, dst=10, packet_id=3, buffered=4, length=4)
         mac = self._mac(adapter)
         mac.update(0)
-        assert not mac.may_send(20, 3, 10, True) or mac.current_transmitter() == 20
+        assert not mac.grants(20, 3, 10, True) or mac.current_transmitter() == 20
 
     def test_receivers_always_awake(self):
         adapter = ScriptedAdapter()
@@ -197,15 +191,15 @@ class TestTdmaMac:
         mac = self._mac(ScriptedAdapter())
         mac.update(1)  # past the guard cycle of WI 10's slot
         assert mac.current_transmitter() == 10
-        assert mac.may_send(10, 1, 20, True)
-        assert not mac.may_send(20, 1, 10, True)
+        assert mac.grants(10, 1, 20, True)
+        assert not mac.grants(20, 1, 10, True)
 
     def test_guard_time_blocks_data(self):
         mac = self._mac(ScriptedAdapter())
         mac.update(0)  # first cycle of the slot is the guard
-        assert not mac.may_send(10, 1, 20, True)
+        assert not mac.grants(10, 1, 20, True)
         mac.update(1)
-        assert mac.may_send(10, 1, 20, True)
+        assert mac.grants(10, 1, 20, True)
 
     def test_schedule_rotates_between_slots(self):
         mac = self._mac(ScriptedAdapter())
@@ -213,7 +207,7 @@ class TestTdmaMac:
         assert mac.current_transmitter() == 10
         mac.update(5)  # second slot (cycles 4-7) belongs to WI 20
         assert mac.current_transmitter() == 20
-        assert mac.may_send(20, 2, 10, True)
+        assert mac.grants(20, 2, 10, True)
         mac.update(9)  # wraps back to WI 10
         assert mac.current_transmitter() == 10
 
@@ -227,7 +221,7 @@ class TestTdmaMac:
         """Flits of the run's final slot still count as a grant."""
         mac = self._mac(ScriptedAdapter())
         mac.update(1)
-        mac.on_flit_sent(10, 3, 20, is_tail=False, cycle=1)
+        mac.notify_sent(10, 3, 20, is_tail=False, cycle=1)
         assert mac.stats.grants == 0  # no rollover observed yet
         mac.finalize_stats()
         assert mac.stats.grants == 1
@@ -245,11 +239,11 @@ class TestTdmaMac:
         """A burst interrupted by the slot boundary stays grantable later."""
         mac = self._mac(ScriptedAdapter())
         mac.update(1)
-        mac.on_flit_sent(10, 7, 20, is_tail=False, cycle=1)
+        mac.notify_sent(10, 7, 20, is_tail=False, cycle=1)
         mac.update(5)  # WI 20's slot: 10 is blocked mid-packet
-        assert not mac.may_send(10, 7, 20, False)
+        assert not mac.grants(10, 7, 20, False)
         mac.update(9)  # 10's next slot: body flits continue
-        assert mac.may_send(10, 7, 20, False)
+        assert mac.grants(10, 7, 20, False)
         assert mac.stats.grants >= 1
 
     def test_everyone_listens(self):
@@ -278,16 +272,16 @@ class TestFdmaMac:
     def test_only_subband_owner_may_send(self):
         mac = self._mac(ScriptedAdapter())
         mac.update(1)
-        assert mac.may_send(20, 1, 30, True)
-        assert not mac.may_send(10, 1, 30, True)
-        assert not mac.may_send(30, 1, 10, True)
+        assert mac.grants(20, 1, 30, True)
+        assert not mac.grants(10, 1, 30, True)
+        assert not mac.grants(30, 1, 10, True)
 
     def test_burst_counting(self):
         mac = self._mac(ScriptedAdapter())
         mac.update(0)
-        mac.on_flit_sent(10, 5, 20, is_tail=False, cycle=0)
+        mac.notify_sent(10, 5, 20, is_tail=False, cycle=0)
         mac.update(3)
-        mac.on_flit_sent(10, 5, 20, is_tail=True, cycle=3)
+        mac.notify_sent(10, 5, 20, is_tail=True, cycle=3)
         assert mac.stats.grants == 1
         assert mac.stats.flits_transmitted == 2
 
@@ -298,7 +292,7 @@ class TestFdmaMac:
             mac.update(cycle)
             owner = mac.current_transmitter()
             packet = 5 if owner == 10 else 8
-            mac.on_flit_sent(owner, packet, 30, is_tail=cycle >= 4, cycle=cycle)
+            mac.notify_sent(owner, packet, 30, is_tail=cycle >= 4, cycle=cycle)
         assert mac.stats.grants == 2
         assert mac.stats.flits_transmitted == 6
 

@@ -15,7 +15,7 @@ from repro.core.config import Architecture
 from repro.core.framework import MultichipSimulation
 from repro.experiments.common import Fidelity
 from repro.experiments.cli import build_parser, runner_from_args
-from repro.experiments.runner import (
+from repro.parallel.runner import (
     ExperimentRunner,
     SimulationTask,
     application_task,

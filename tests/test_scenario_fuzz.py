@@ -128,7 +128,9 @@ def test_doctored_conservation_violation_is_caught(monkeypatch):
     raw = random_scenario(derive_seed(DEFAULT_BATTERY_SEED, "battery", 0))
     tasks = compile_scenario(parse_scenario(raw))
 
-    import repro.experiments.runner as runner_module
+    # The fuzzer builds its simulators through repro.api, which resolves
+    # task_simulator from its home module at call time — patch it there.
+    import repro.parallel.runner as runner_module
 
     real_task_simulator = runner_module.task_simulator
 
@@ -146,7 +148,7 @@ def test_doctored_conservation_violation_is_caught(monkeypatch):
     monkeypatch.setattr(
         runner_module,
         "task_simulator",
-        lambda task, engine="scalar": DoctoredSimulator(task),
+        lambda task, profile=False, engine="scalar": DoctoredSimulator(task),
     )
     with pytest.raises(InvariantViolation) as excinfo:
         fuzz_module.check_task(tasks[0], scenario=raw)

@@ -22,7 +22,7 @@ from repro.experiments import (
     fig7_resilience,
     fig8_mac_study,
 )
-from repro.experiments.runner import ExperimentRunner
+from repro.parallel.runner import ExperimentRunner
 from repro.scenario import builtin_scenario, builtin_scenario_names, compile_scenario
 
 FIDELITY = "fast"

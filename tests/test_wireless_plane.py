@@ -6,11 +6,11 @@ The PR-5 contracts:
   names fail loudly at configuration time, and the registry metadata
   (whole-packet buffering) drives the WI buffer sizing.
 * **Wrapper parity** — for every registered MAC, a simulation whose
-  protocol instances read pending traffic through the legacy object
-  wrappers (``WirelessFabric.pending`` → :class:`PendingTransmission`
-  dataclasses → :class:`LegacyAdapterBridge`) is bit-identical to the
-  handle-based hot path (``scan_pending`` on pool arrays), across channel
-  counts.
+  protocol instances read pending traffic through the deprecated object
+  spellings (``repro.testing.legacy``: the hot scan materialised into
+  ``PendingTransmission`` dataclasses and bridged back by
+  ``LegacyAdapterBridge``) is bit-identical to the handle-based hot path
+  (``scan_pending`` on pool arrays), across channel counts.
 * **Grant exclusivity** — property-tested: per wireless channel, at most
   one WI transmits in any cycle, for every MAC, seed and load.
 * **Per-channel energy** — the per-channel attribution sums exactly to the
@@ -30,8 +30,8 @@ from repro.noc.config import NetworkConfig, WirelessConfig
 from repro.noc.engine import SimulationConfig, Simulator
 from repro.testing import small_system_config
 from repro.traffic.registry import create_pattern
+from repro.testing.legacy import LegacyAdapterBridge
 from repro.wireless.mac import (
-    LegacyAdapterBridge,
     MacDataPlane,
     available_macs,
     mac_spec,
@@ -195,8 +195,8 @@ class TestWrapperParity:
     def test_legacy_bridge_matches_hot_path(self, mac, channels):
         hot = _build_simulator(mac, channels).run()
         # Re-run with every MAC instance reading pending traffic through
-        # the legacy object spelling: WirelessFabric.pending() builds
-        # PendingTransmission dataclasses which the bridge converts back
+        # the deprecated object spelling: the bridge materialises the hot
+        # scan into PendingTransmission dataclasses and converts them back
         # into scratch-array rows.  Outcomes must be bit-identical.
         bridged = _run_instrumented(
             _build_simulator(mac, channels), _bridge_all_macs
