@@ -4,10 +4,12 @@ The CI ``bench-trend`` job regenerates ``BENCH_kernel.json`` with
 ``benchmarks/bench_kernel.py`` and runs this script against the committed
 snapshot.  Two hard gates, applied per architecture and per result section
 (scheduler sections ``results``/``results_saturation``/the wireless points,
-and the vector-engine sections ``results_vector``/
-``results_vector_saturation`` whose quotient is vector-vs-scalar instead of
-active-vs-dense; engine bit-parity itself is asserted inside the benchmark
-before any entry is written):
+the vector-engine sections ``results_vector``/``results_vector_saturation``
+whose quotient is vector-vs-scalar instead of active-vs-dense, and the
+lane-batching sections ``results_vector_batched``/``results_large_mesh``
+whose quotient is batched-sweep-vs-solo-scalar-sweep and whose throughput
+is cross-task ``task-cycles/s``; engine and lane bit-parity itself is
+asserted inside the benchmark before any entry is written):
 
 * **speedup ratio** — the per-architecture active-vs-dense quotient is a
   same-machine, same-run ratio, so it transfers across hosts (unlike
@@ -70,6 +72,18 @@ RESULT_SECTIONS = (
         "vector engine near saturation",
         "vector_speedup",
         "vector_cycles_per_second",
+    ),
+    (
+        "results_vector_batched",
+        "lane-batched vector mid load",
+        "batched_speedup",
+        "batched_task_cycles_per_second",
+    ),
+    (
+        "results_large_mesh",
+        "large mesh (1024 cores) lane-batched",
+        "batched_speedup",
+        "batched_task_cycles_per_second",
     ),
 )
 

@@ -61,6 +61,7 @@ def make_runner(
     engine: str = "scalar",
     checkpoint_every_cycles: int = 0,
     checkpoint_dir: Optional[str] = None,
+    batch_lanes: int = 1,
 ) -> "ExperimentRunner":
     """A configured :class:`~repro.parallel.runner.ExperimentRunner`.
 
@@ -82,6 +83,7 @@ def make_runner(
         engine=engine,
         checkpoint_every_cycles=checkpoint_every_cycles,
         checkpoint_dir=checkpoint_dir,
+        batch_lanes=batch_lanes,
     )
 
 

@@ -5,7 +5,8 @@ Usage::
     python -m repro.experiments fig2 [--fidelity fast|default|paper]
                                      [--jobs N] [--cache-dir DIR] [--no-cache]
                                      [--faults SCENARIO] [--fault-rate R]
-                                     [--engine scalar|vector] [--profile]
+                                     [--engine scalar|vector] [--batch-lanes N]
+                                     [--profile]
     python -m repro.experiments fig7 [--faults random-links] [--jobs N]
     python -m repro.experiments fig8 [--mac token] [--jobs N]
     python -m repro.experiments all  [--fidelity fast|default|paper] [--jobs N]
@@ -203,6 +204,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--batch-lanes",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "with --engine vector, fuse up to N compatible uncached tasks "
+            "(same architecture, wired, no faults) into one lane-batched "
+            "co-simulation per worker; results and cache keys are identical "
+            "to solo runs (default: 1, no batching)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -263,6 +276,7 @@ def runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         show_progress=not args.quiet,
         profile=getattr(args, "profile", False),
         engine=getattr(args, "engine", "scalar"),
+        batch_lanes=getattr(args, "batch_lanes", 1),
     )
 
 

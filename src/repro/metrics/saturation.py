@@ -177,6 +177,11 @@ class LoadPointSummary:
     mac_control_energy_pj: float = 0.0
     transceiver_static_energy_pj: float = 0.0
     channel_energy_pj: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Which engine actually executed the run ("scalar", "vector",
+    # "vector-batched"); provenance, not simulated behaviour, so excluded
+    # from equality — cached points from different engines stay equal.
+    # Empty on cache entries written before the field existed.
+    engine_used: str = field(default="", compare=False)
 
     @classmethod
     def from_result(
@@ -208,6 +213,7 @@ class LoadPointSummary:
                 str(channel_id): dict(components)
                 for channel_id, components in result.channel_energy_pj.items()
             },
+            engine_used=result.engine_used,
         )
 
     def acceptance_ratio(self) -> float:

@@ -203,6 +203,7 @@ class Simulator:
 
         result.energy = accountant.breakdown
         result.stalled = state.stalled
+        result.engine_used = state.engine_name
         if result.num_cores and config.cycles:
             result.offered_load_packets_per_core_per_cycle = result.packets_offered / (
                 result.num_cores * config.cycles

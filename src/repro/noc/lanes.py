@@ -1,0 +1,606 @@
+"""Multi-lane batched co-simulation: N sweep points in one vector cycle loop.
+
+The vector engine (:mod:`repro.noc.vector`) is bit-identical to the scalar
+reference but loses to it at sweep loads: ~30 NumPy dispatches per cycle
+over ~50 allocation candidates cannot amortise the per-dispatch overhead.
+The lever is batch size (ROADMAP), and every real sweep submits many tasks
+that differ only in seed and injection rate over the same topology — so
+this module fuses K such runs ("lanes") into ONE SoA state whose arrays
+carry a leading lane axis, flattened: fused VC row ``lane * rows + gid``,
+fused input port ``lane * in_ports + port``, fused output port
+``lane * outs + out``.  One ``flatnonzero`` / gather / grouped-argmin
+dispatch per cycle then serves every lane at once.
+
+Exactness (each lane bit-identical to its solo run, hence to solo scalar):
+
+* lanes never share an output port, so allocation groups are per-lane and
+  the fused ``process_order`` (ascending first-candidate position over the
+  lane-major candidate array) visits lane 0's groups in solo order, then
+  lane 1's, and so on — per-lane group order, rank arithmetic and float
+  accumulation order are exactly the solo ones;
+* ``switch_of_l`` stays lane-local (route entries and ``dst_switch`` are
+  lane-local switch ids), while every array index is fused — the only
+  override the allocation core needs is :meth:`_assign_output_vec`;
+* per-lane mutable run objects (result, traffic, source queues, energy
+  breakdown, config, watchdog progress) are context-swapped into the base
+  class's attribute slots around the inherited per-send/per-eject helpers,
+  so the ~260-line allocation core of :class:`VectorKernelState` is
+  inherited verbatim;
+* packet pids are per-lane (they collide across lanes) but every keyed
+  structure (``owner``, ``rev``) keys on fused port/VC ids, which are
+  lane-disjoint; pool handles are shared and opaque.
+
+Lanes terminate independently (ragged cycle counts, per-lane stall): a
+finished lane is settled (static energy, residual flits, offered load) and
+zeroed in place so the shared loop keeps serving the rest.  Pool handles
+still buffered by a retired lane are intentionally left allocated until
+the batch ends — the pool dies with the batch.
+
+The entry point is :func:`run_batched`, fed by the batch planner in
+:mod:`repro.parallel.runner`; ineligible batches raise
+:class:`BatchIneligibleError` and the caller falls back to solo runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+import numpy
+
+from ..energy import EnergyAccountant
+from ..traffic.base import TrafficRequest
+from .kernel import SimulationStallError
+from .network import Network
+from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK
+from .stats import SimulationResult
+from .vector import InjectionTracker, VectorKernelState, _SwitchTables
+
+__all__ = ["BatchIneligibleError", "LaneBatchedState", "run_batched"]
+
+
+class BatchIneligibleError(ValueError):
+    """Raised when a task batch cannot be lane-fused (caller runs solo)."""
+
+
+class _Lane:
+    """Per-lane mutable run state (everything one solo run would own)."""
+
+    __slots__ = (
+        "index",
+        "traffic",
+        "accountant",
+        "result",
+        "config",
+        "source_queues",
+        "breakdown",
+        "next_packet_id",
+        "last_progress_cycle",
+        "anchored_progress",
+        "phase_token",
+        "stalled",
+        "retired",
+        "end_cycle",
+    )
+
+
+class LaneBatchedState(VectorKernelState):
+    """A :class:`VectorKernelState` fused over K independent lanes.
+
+    Construction first builds the single-lane tables through the parent
+    constructor (against the shared network, with lane 0's run objects),
+    then tiles every static table and dynamic array K times.  The
+    single-run attribute slots (``result``, ``traffic``, ``source_queues``,
+    ``breakdown``, ``config``, ``last_progress_cycle``) become *context
+    registers*: thin wrappers load the acting lane's objects into them
+    before delegating to the inherited phase bodies.
+    """
+
+    engine_name = "vector-batched"
+
+    def __init__(
+        self,
+        lanes: Sequence[_Lane],
+        network: Network,
+        router,
+        net_config,
+        scheduler: InjectionTracker,
+    ) -> None:
+        lane0 = lanes[0]
+        super().__init__(
+            network=network,
+            router=router,
+            traffic=lane0.traffic,
+            accountant=lane0.accountant,
+            result=lane0.result,
+            config=lane0.config,
+            net_config=net_config,
+            scheduler=scheduler,
+        )
+        n = len(lanes)
+        rows = len(self.cap_l)
+        in_ports = len(network.input_port_table)
+        outs = len(self.out_is_ej)
+        self.lanes: List[_Lane] = list(lanes)
+        self.rows_per_lane = rows
+        self.in_ports_per_lane = in_ports
+        self.outs_per_lane = outs
+        self.num_switches_per_lane = len(network.switches)
+        # ---- tile the static per-VC tables (lane-major) ----------------
+        port0 = self.port_of_l
+        base0 = self.in_vc_base
+        self.cap_l = self.cap_l * n
+        self.ordinal_l = self.ordinal_l * n
+        #: Deliberately lane-LOCAL: compared against route entries and
+        #: ``dst_switch``, which are lane-local switch ids.
+        self.switch_of_l = self.switch_of_l * n
+        self.port_of_l = [
+            lane * in_ports + port for lane in range(n) for port in port0
+        ]
+        self.in_vc_base = [
+            lane * rows + base for lane in range(n) for base in base0
+        ]
+        self.vc_cap = numpy.asarray(self.cap_l, dtype=numpy.int64)
+        self.ordinal_np = numpy.asarray(self.ordinal_l, dtype=numpy.int64)
+        # ---- tile the static per-output tables -------------------------
+        down0 = self.out_down_port
+        self.out_is_ej = self.out_is_ej * n
+        self.out_down_port = [
+            -1 if down < 0 else lane * in_ports + down
+            for lane in range(n)
+            for down in down0
+        ]
+        self.out_latency = self.out_latency * n
+        self.out_cpf = self.out_cpf * n
+        self.out_energy = self.out_energy * n
+        self.out_width = self.out_width * n
+        self.out_rr_mod = self.out_rr_mod * n
+        self.out_rr_mod_np = numpy.asarray(self.out_rr_mod, dtype=numpy.int64)
+        self.busy_until = [0] * (outs * n)
+        self.rr_ptr_np = numpy.zeros(outs * n, dtype=numpy.int64)
+        # ---- tile the per-switch injection tables ----------------------
+        fused_sw: Dict[int, _SwitchTables] = {}
+        for lane in range(n):
+            gid_base = lane * rows
+            out_base = lane * outs
+            sid_base = lane * self.num_switches_per_lane
+            for sid, tables in self.sw.items():
+                fused = _SwitchTables.__new__(_SwitchTables)
+                fused.ej_port_id = out_base + tables.ej_port_id
+                fused.local_gids = [gid_base + gid for gid in tables.local_gids]
+                fused.endpoints = tables.endpoints  # lane-local ids, shareable
+                fused.injection_width = tables.injection_width
+                fused_sw[sid_base + sid] = fused
+        self.sw = fused_sw
+        # ---- re-size the dynamic SoA state -----------------------------
+        total = rows * n
+        maxcap = self.buf2d.shape[1] if rows else 1
+        self.vc_count = numpy.zeros(total, dtype=numpy.int64)
+        self.vc_head = numpy.zeros(total, dtype=numpy.int64)
+        self.vc_in_flight = numpy.zeros(total, dtype=numpy.int64)
+        self.alloc_l = [-1] * total
+        self.occ_delta = [0] * total
+        self.vc_out = numpy.full(total, -1, dtype=numpy.int64)
+        self.vc_tgt = numpy.full(total, -1, dtype=numpy.int64)
+        self.buf2d = numpy.zeros((total, maxcap), dtype=numpy.int64)
+        self.source_handle = [None] * total
+        self.source_emitted = [0] * total
+        #: Single-lane all-free mask template, used to reset a retired
+        #: lane's port masks in place.
+        self._lane_free_mask = list(self.free_mask)
+        self.free_mask = self.free_mask * n
+        self.owner = {}
+        self.rev = {}
+        # Poison the single-run context registers: every phase body must
+        # run behind a lane swap, so a read outside one fails loudly.
+        self.result = None
+        self.traffic = None
+        self.source_queues = None
+        self.breakdown = None
+        self.config = None
+        self._active_lane: Optional[_Lane] = None
+        #: Lane whose breakdown is currently bound to ``self.breakdown``.
+        #: Sends process in lane-major group order, so caching the bound
+        #: lane skips the per-send context swap for same-lane runs.
+        self._breakdown_lane = -1
+
+    # ------------------------------------------------------------------
+    # Fused index helpers and real overrides.
+    # ------------------------------------------------------------------
+
+    def _assign_output_vec(self, gid: int) -> None:
+        """Route the head flit of fused row ``gid`` (lane-offset ports)."""
+        pool = self.pool
+        flit = int(self.buf2d[gid, int(self.vc_head[gid])])
+        handle = flit >> FLIT_INDEX_BITS
+        if flit & FLIT_INDEX_MASK:
+            raise RuntimeError(
+                f"VC gid {gid} has no routing state but its front flit is not a head"
+            )
+        lane = gid // self.rows_per_lane
+        switch_id = self.switch_of_l[gid]  # lane-local
+        if switch_id == int(pool.dst_switch[handle]):
+            fused_sid = lane * self.num_switches_per_lane + switch_id
+            self.vc_out[gid] = self.sw[fused_sid].ej_port_id
+            return
+        hop = int(pool.head_hop[handle])
+        route = pool.route[handle]
+        if route[hop] != switch_id:
+            raise RuntimeError(
+                f"packet {int(pool.pid[handle])} head expected at switch "
+                f"{route[hop]} but found at {switch_id}"
+            )
+        self.vc_out[gid] = (
+            lane * self.outs_per_lane + pool.route_ports[handle][hop].port_id
+        )
+
+    def process_arrivals(self, cycle: int) -> None:
+        due = self.arrivals.get(cycle)
+        if not due:
+            self.arrivals.pop(cycle, None)
+            return
+        rows = self.rows_per_lane
+        touched = {target // rows for target, _ in due}
+        super().process_arrivals(cycle)
+        lanes = self.lanes
+        for index in touched:
+            lanes[index].last_progress_cycle = cycle
+
+    def _note_pops(self, pop_gids: List[int], cycle: int) -> None:
+        rows = self.rows_per_lane
+        lanes = self.lanes
+        for index in {gid // rows for gid in pop_gids}:
+            lanes[index].last_progress_cycle = cycle
+
+    def _note_hops(self, new_inflight: List[int]) -> None:
+        rows = self.rows_per_lane
+        lanes = self.lanes
+        for target in new_inflight:
+            lanes[target // rows].result.flit_hops += 1
+
+    def check_watchdog(self, cycle: int) -> None:
+        rows = self.rows_per_lane
+        vc_count = self.vc_count
+        for lane in self.lanes:
+            if lane.retired:
+                continue
+            config = lane.config
+            if cycle - lane.last_progress_cycle < config.watchdog_cycles:
+                continue
+            base = lane.index * rows
+            end = base + rows
+            in_flight = bool(vc_count[base:end].any()) or any(
+                lane.source_queues.values()
+            )
+            if not in_flight:
+                for entries in self.arrivals.values():
+                    if any(base <= target < end for target, _ in entries):
+                        in_flight = True
+                        break
+            if not in_flight:
+                lane.last_progress_cycle = cycle
+                continue
+            message = (
+                f"no flit progress for {config.watchdog_cycles} cycles at cycle "
+                f"{cycle} with traffic still in flight (possible deadlock) "
+                f"[lane {lane.index}]"
+            )
+            if config.raise_on_stall:
+                raise SimulationStallError(message)
+            lane.stalled = True
+
+    # ------------------------------------------------------------------
+    # Context-swap wrappers around the inherited phase bodies.
+    # ------------------------------------------------------------------
+
+    def inject_vec(self, switch_id: int, cycle: int) -> None:
+        lane = self.lanes[switch_id // self.num_switches_per_lane]
+        self.result = lane.result
+        self.source_queues = lane.source_queues
+        self.last_progress_cycle = lane.last_progress_cycle
+        super().inject_vec(switch_id, cycle)
+        lane.last_progress_cycle = self.last_progress_cycle
+
+    def has_injection_work_vec(self, switch_id: int) -> bool:
+        lane = self.lanes[switch_id // self.num_switches_per_lane]
+        self.source_queues = lane.source_queues
+        return super().has_injection_work_vec(switch_id)
+
+    def _send(self, gid, *args) -> None:
+        index = gid // self.rows_per_lane
+        if index != self._breakdown_lane:
+            self._breakdown_lane = index
+            self.breakdown = self.lanes[index].breakdown
+        super()._send(gid, *args)
+
+    def _eject_vec(self, gid, handle, pid, is_tail, cycle, *args) -> None:
+        lane = self.lanes[gid // self.rows_per_lane]
+        self.result = lane.result
+        self.breakdown = lane.breakdown
+        self._breakdown_lane = lane.index
+        self.config = lane.config
+        self.traffic = lane.traffic
+        self.last_progress_cycle = lane.last_progress_cycle
+        self._active_lane = lane
+        super()._eject_vec(gid, handle, pid, is_tail, cycle, *args)
+        lane.last_progress_cycle = self.last_progress_cycle
+
+    def enqueue_request(self, request: TrafficRequest, cycle: int) -> None:
+        # Delivery-callback replies re-enter through here; route them to
+        # the lane whose ejection triggered the callback.
+        self.enqueue_lane(self._active_lane, request, cycle)
+
+    # ------------------------------------------------------------------
+    # Per-lane traffic generation (the lane spelling of enqueue_request).
+    # ------------------------------------------------------------------
+
+    def enqueue_lane(self, lane: _Lane, request: TrafficRequest, cycle: int) -> None:
+        """Turn a lane's traffic request into a routed, pooled packet."""
+        lane.result.packets_offered += 1
+        queue = lane.source_queues.get(request.src_endpoint)
+        if queue is None:
+            raise ValueError(f"unknown source endpoint {request.src_endpoint}")
+        if len(queue) >= lane.config.max_source_queue_packets:
+            return  # finite source queue: the request is dropped at the source
+        network = self.network
+        src_switch = network.switch_for_endpoint(request.src_endpoint)
+        dst_switch = network.switch_for_endpoint(request.dst_endpoint)
+        if src_switch.switch_id == dst_switch.switch_id:
+            route = [src_switch.switch_id]
+        else:
+            # Lane batches are fault-free by construction, so a routing
+            # failure is a real bug and propagates (scalar parity).
+            route = self.router.route(src_switch.switch_id, dst_switch.switch_id)
+        length = request.length_flits or self.net_config.packet_length_flits
+        handle = self.pool.alloc(
+            pid=lane.next_packet_id,
+            src_endpoint=request.src_endpoint,
+            dst_endpoint=request.dst_endpoint,
+            src_switch=src_switch.switch_id,
+            dst_switch=dst_switch.switch_id,
+            length_flits=length,
+            generation_cycle=cycle,
+            route=route,
+            is_memory_access=request.is_memory_access,
+            is_reply=request.is_reply,
+            measured=cycle >= lane.config.warmup_cycles,
+            traffic_class=request.traffic_class,
+        )
+        lane.next_packet_id += 1
+        self.compile_route_ports(handle)
+        queue.append(handle)
+        lane.result.packets_generated += 1
+        self.scheduler.active.add(
+            lane.index * self.num_switches_per_lane + src_switch.switch_id
+        )
+
+
+# ----------------------------------------------------------------------
+# The batched driver loop.
+# ----------------------------------------------------------------------
+
+
+def _settle_lane(state: LaneBatchedState, lane: _Lane, cycle: int, started: float) -> None:
+    """End-of-run accounting for one lane, then make its rows inert.
+
+    Mirrors ``Simulator._settle`` field for field; afterwards the lane's
+    slice of every array is zeroed so the shared loop never touches it
+    again.  Pool handles the lane still held leak until the batch ends.
+    """
+    rows = state.rows_per_lane
+    base = lane.index * rows
+    end = base + rows
+    result = lane.result
+    result.wall_clock_seconds = time.perf_counter() - started
+
+    residual = int(state.vc_count[base:end].sum())
+    empty_cycles = []
+    for arrival_cycle, entries in state.arrivals.items():
+        kept = [(t, f) for (t, f) in entries if not base <= t < end]
+        if len(kept) != len(entries):
+            residual += len(entries) - len(kept)
+            if kept:
+                state.arrivals[arrival_cycle] = kept
+            else:
+                empty_cycles.append(arrival_cycle)
+    for arrival_cycle in empty_cycles:
+        del state.arrivals[arrival_cycle]
+    result.flits_residual_end = residual
+
+    network = state.network
+    lane.accountant.record_static(
+        cycles=cycle + 1,
+        total_switch_static_mw=network.total_switch_static_power_mw,
+    )
+    for fabric in network.fabrics:
+        fabric.finalize(result, lane.accountant)
+    result.energy = lane.breakdown
+    result.stalled = lane.stalled
+    if result.num_cores and lane.config.cycles:
+        result.offered_load_packets_per_core_per_cycle = result.packets_offered / (
+            result.num_cores * lane.config.cycles
+        )
+
+    # Lane goes inert: zero its array slices, clear its queues, drop its
+    # tracker switches and purge its keyed entries.
+    state.vc_count[base:end] = 0
+    state.vc_head[base:end] = 0
+    state.vc_in_flight[base:end] = 0
+    state.vc_out[base:end] = -1
+    state.vc_tgt[base:end] = -1
+    state.buf2d[base:end] = 0
+    for gid in range(base, end):
+        state.alloc_l[gid] = -1
+        state.occ_delta[gid] = 0
+        state.source_handle[gid] = None
+        state.source_emitted[gid] = 0
+    port_base = lane.index * state.in_ports_per_lane
+    for offset, mask in enumerate(state._lane_free_mask):
+        state.free_mask[port_base + offset] = mask
+    for queue in lane.source_queues.values():
+        queue.clear()
+    sid_base = lane.index * state.num_switches_per_lane
+    tracker_active = state.scheduler.active
+    for sid in range(sid_base, sid_base + state.num_switches_per_lane):
+        tracker_active.discard(sid)
+    port_end = port_base + state.in_ports_per_lane
+    for key in [k for k in state.owner if port_base <= k[0] < port_end]:
+        del state.owner[key]
+    for gid in [g for g in state.rev if base <= g < end]:
+        del state.rev[gid]
+    lane.retired = True
+    lane.end_cycle = cycle
+
+
+def run_batched(simulators: Sequence) -> List[SimulationResult]:
+    """Co-simulate N configured :class:`~repro.noc.engine.Simulator`\\ s.
+
+    Every simulator must describe a wired, fault-free, un-instrumented run
+    over the same network configuration and topology shape; anything else
+    raises :class:`BatchIneligibleError` (callers fall back to solo runs).
+    Returns one :class:`SimulationResult` per simulator, in order — each
+    bit-identical to ``simulators[i].run()`` (and therefore to the scalar
+    engine), with ``engine_used`` stamped ``"vector-batched"``.
+    """
+    if not simulators:
+        raise BatchIneligibleError("empty batch")
+    base = simulators[0]
+    net_config = base.network_config
+    for sim in simulators:
+        if sim.fault_plan is not None and not sim.fault_plan.is_empty:
+            raise BatchIneligibleError("faulted runs cannot be lane-batched")
+        if sim.instrument is not None:
+            raise BatchIneligibleError("instrumented runs cannot be lane-batched")
+        if sim.checkpoint_sink is not None:
+            raise BatchIneligibleError("checkpointed runs cannot be lane-batched")
+        if sim.simulation_config.profile_phases:
+            raise BatchIneligibleError("profiled runs cannot be lane-batched")
+        if sim.network_config != net_config:
+            raise BatchIneligibleError("lanes must share one network configuration")
+        shape = (
+            len(sim.topology.cores),
+            len(sim.topology.switches),
+            len(sim.topology.links),
+            len(sim.topology.endpoints),
+            type(sim.router),
+        )
+        base_shape = (
+            len(base.topology.cores),
+            len(base.topology.switches),
+            len(base.topology.links),
+            len(base.topology.endpoints),
+            type(base.router),
+        )
+        if shape != base_shape:
+            raise BatchIneligibleError("lanes must share one topology shape")
+
+    started = time.perf_counter()
+    for sim in simulators:
+        sim.traffic.reset()
+    network = Network(base.topology, net_config)
+    for fabric in network.fabrics:
+        if fabric.is_wireless or not fabric.always_grants:
+            raise BatchIneligibleError(
+                "lane batching covers wired, always-granting fabrics"
+            )
+
+    lanes: List[_Lane] = []
+    for index, sim in enumerate(simulators):
+        config = sim.simulation_config
+        accountant = EnergyAccountant(
+            technology=net_config.technology,
+            include_static=net_config.include_static_energy,
+        )
+        result = SimulationResult(
+            cycles=config.cycles,
+            warmup_cycles=config.warmup_cycles,
+            num_cores=len(sim.topology.cores),
+            flit_width_bits=net_config.technology.flit_width_bits,
+            clock_frequency_hz=net_config.technology.clock_frequency_hz,
+            nominal_packet_length_flits=net_config.packet_length_flits,
+            include_static_energy=net_config.include_static_energy,
+            metrics_mode=config.metrics,
+        )
+        result.engine_used = "vector-batched"
+        lane = _Lane()
+        lane.index = index
+        lane.traffic = sim.traffic
+        lane.accountant = accountant
+        lane.result = result
+        lane.config = config
+        lane.source_queues = {eid: deque() for eid in network.endpoint_switch}
+        lane.breakdown = accountant.breakdown
+        lane.next_packet_id = 0
+        lane.last_progress_cycle = 0
+        lane.anchored_progress = 0
+        lane.phase_token = sim.traffic.phase_token()
+        lane.stalled = False
+        lane.retired = False
+        lane.end_cycle = -1
+        lanes.append(lane)
+
+    tracker = InjectionTracker()
+    state = LaneBatchedState(
+        lanes=lanes,
+        network=network,
+        router=base.router,
+        net_config=net_config,
+        scheduler=tracker,
+    )
+    for fabric in network.fabrics:
+        fabric.bind_pool(state.pool)
+    # N lanes carry ~N solo runs' worth of live packets; pre-sizing skips
+    # several whole-pool NumPy reallocation steps during the ramp-up.
+    state.pool.reserve(256 * len(lanes))
+
+    live = len(lanes)
+    total_cycles = max(lane.config.cycles for lane in lanes)
+    for cycle in range(total_cycles):
+        state.cycle = cycle
+        # Phase 1: arrivals (one fused scatter, per-lane progress credit).
+        state.process_arrivals(cycle)
+        # Phase 2: per-lane traffic generation (+ warm-up watchdog anchor,
+        # equivalent to the kernel's pre-phase anchor: both orders leave
+        # last_progress_cycle == cycle when either fires).
+        for lane in lanes:
+            if lane.retired:
+                continue
+            if (
+                cycle == lane.config.warmup_cycles
+                and cycle > lane.last_progress_cycle
+            ):
+                lane.last_progress_cycle = cycle
+            for request in lane.traffic.generate(cycle):
+                state.enqueue_lane(lane, request, cycle)
+        # Phase 3: injection over the fused switches with source work.
+        for switch_id in sorted(tracker.active):
+            state.inject_vec(switch_id, cycle)
+            if not state.has_injection_work_vec(switch_id):
+                tracker.active.discard(switch_id)
+        # Phase 4 (fabric) is structurally empty on wired configurations.
+        # Phase 5: one fused allocation pass over every lane's candidates.
+        state.allocate_all(cycle)
+        # Per-lane traffic-phase watchdog anchoring (kernel.run parity).
+        for lane in lanes:
+            if lane.retired:
+                continue
+            token = lane.traffic.phase_token()
+            if token != lane.phase_token:
+                lane.phase_token = token
+                if lane.last_progress_cycle > lane.anchored_progress:
+                    if cycle > lane.last_progress_cycle:
+                        lane.last_progress_cycle = cycle
+                    lane.anchored_progress = lane.last_progress_cycle
+        state.check_watchdog(cycle)
+        # Ragged termination: settle lanes that stalled or ran their last
+        # configured cycle; survivors keep the shared loop.
+        for lane in lanes:
+            if lane.retired:
+                continue
+            if lane.stalled or cycle + 1 >= lane.config.cycles:
+                _settle_lane(state, lane, cycle, started)
+                live -= 1
+        if not live:
+            break
+    return [lane.result for lane in lanes]

@@ -323,6 +323,18 @@ class PacketPool:
         # allocation hands them out ascending (LIFO pop from the end).
         self.free_list.extend(range(start + chunk - 1, start - 1, -1))
 
+    def reserve(self, capacity: int) -> None:
+        """Pre-size the backing arrays to at least ``capacity`` records.
+
+        Lane-batched runs (:mod:`repro.noc.lanes`) push roughly N solo
+        runs' worth of live packets through one pool; reserving up front
+        collapses several growth steps — each of which, on the NumPy
+        backend, reallocates and copies every field array — into a few.
+        A no-op when the pool is already large enough.
+        """
+        while self.capacity < capacity:
+            self._grow()
+
     # ------------------------------------------------------------------
     # Handle lifecycle.
     # ------------------------------------------------------------------

@@ -638,13 +638,26 @@ class VectorKernelState(KernelState):
             vc_count[popped] -= 1
             for gid in pop_gids:
                 occ_delta[gid] = 0
-            self.last_progress_cycle = cycle
+            self._note_pops(pop_gids, cycle)
         if new_inflight:
             grown = numpy.fromiter(new_inflight, numpy.int64, len(new_inflight))
             vc_in_flight[grown] += 1
             for target in new_inflight:
                 occ_delta[target] = 0
-            self.result.flit_hops += len(new_inflight)
+            self._note_hops(new_inflight)
+
+    def _note_pops(self, pop_gids: List[int], cycle: int) -> None:
+        """Progress accounting for this phase's ring pops.
+
+        A hook (rather than inline) so the lane-batched state
+        (:mod:`repro.noc.lanes`) can attribute progress per lane while
+        inheriting :meth:`allocate_all` verbatim.
+        """
+        self.last_progress_cycle = cycle
+
+    def _note_hops(self, new_inflight: List[int]) -> None:
+        """Hop accounting for this phase's sends (lane-batched hook)."""
+        self.result.flit_hops += len(new_inflight)
 
     def _send(
         self,

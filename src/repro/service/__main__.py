@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel execution path for every task (default: scalar)",
     )
     parser.add_argument(
+        "--batch-lanes", type=int, default=1, metavar="N",
+        help=(
+            "with --engine vector, fuse up to N compatible queued tasks "
+            "into one lane-batched co-simulation per pool slot "
+            "(default: 1, no batching)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="CYCLES",
         help=(
             "write a resumable kernel checkpoint every N executed cycles "
@@ -87,6 +95,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engine=args.engine,
         checkpoint_every_cycles=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
+        batch_lanes=max(1, args.batch_lanes),
     )
     daemon = ServiceDaemon(args.socket, config, quiet=not args.verbose)
 

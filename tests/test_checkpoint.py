@@ -169,9 +169,15 @@ class TestEnginePolicy:
         task = _task(Architecture.SUBSTRATE)
         baseline = _payload(task, task_simulator(task).run())
         checkpoints, checkpointed = _checkpointed_run(task, every=150, engine="vector")
+        # The engine_used stamp records which path actually ran; every
+        # simulated quantity must still match the scalar baseline exactly.
+        assert checkpointed.pop("engine_used") == "vector"
+        assert baseline.pop("engine_used") == "scalar"
         assert checkpointed == baseline
         assert checkpoints[0].engine == "vector"
-        assert _resume(task, checkpoints[0], engine="vector") == baseline
+        resumed = _resume(task, checkpoints[0], engine="vector")
+        assert resumed.pop("engine_used") == "vector"
+        assert resumed == baseline
 
     def test_vector_checkpoint_rejected_by_scalar_request(self):
         task = _task(Architecture.SUBSTRATE)

@@ -1,0 +1,272 @@
+"""Parity and plumbing tests for multi-lane batched co-simulation.
+
+The contract of :mod:`repro.noc.lanes`: fusing N compatible simulations
+into one vectorised cycle loop changes *throughput only* — every lane's
+result is bit-identical to the same task run solo through the scalar
+engine, and the layers above (runner batch planner, sweep service) keep
+cache keys, dedupe and coalescing exactly as they were.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.architectures import build_system
+from repro.core.config import Architecture, SystemConfig
+from repro.noc.engine import SimulationConfig, Simulator
+from repro.noc.lanes import BatchIneligibleError, run_batched
+from repro.parallel.runner import (
+    ExperimentRunner,
+    SimulationTask,
+    _task_batchable,
+    execute_task_batch,
+    plan_batches,
+    task_simulator,
+)
+from repro.service.jobs import ServiceConfig, SweepService
+from repro.traffic.rng import derive_seed, lane_seeds
+
+from test_kernel import (
+    ARCHITECTURES,
+    result_fingerprint,
+    synfull_factory,
+    uniform_factory,
+)
+
+CYCLES = 360
+
+#: Wired architectures only — the wireless fabric arbitrates a shared
+#: medium and is excluded from lane batching by design.
+WIRED = [name for name in sorted(ARCHITECTURES) if name != "wireless"]
+
+
+def build_lane(config, traffic_factory, cycles=CYCLES, engine="vector"):
+    system = build_system(config)
+    return Simulator(
+        topology=system.topology,
+        router=system.router,
+        traffic=traffic_factory(system),
+        network_config=config.network,
+        simulation_config=SimulationConfig(
+            cycles=cycles, warmup_cycles=cycles // 4, engine=engine
+        ),
+    )
+
+
+def solo_scalar(config, traffic_factory, cycles=CYCLES):
+    return build_lane(config, traffic_factory, cycles, engine="scalar").run()
+
+
+class TestLaneParity:
+    @pytest.mark.parametrize("arch", WIRED)
+    def test_uniform_lanes_bit_identical_to_solo_scalar(self, arch):
+        """Multi-seed, multi-load lanes each match their solo scalar twin."""
+        config = ARCHITECTURES[arch]()
+        variants = [uniform_factory(rate=r, seed=s) for r, s in
+                    [(0.02, 3), (0.035, 11), (0.05, 42)]]
+        batched = run_batched([build_lane(config, f) for f in variants])
+        for factory, result in zip(variants, batched):
+            assert result.engine_used == "vector-batched"
+            want = result_fingerprint(solo_scalar(config, factory))
+            assert result_fingerprint(result) == want
+
+    def test_synfull_lanes_bit_identical_to_solo_scalar(self):
+        """Application traffic (memory replies re-enter via the lane's
+        enqueue path) survives fusion bit for bit."""
+        config = ARCHITECTURES["substrate"]()
+        variants = [synfull_factory("fft", seed=5), synfull_factory("lu", seed=9)]
+        batched = run_batched([build_lane(config, f) for f in variants])
+        for factory, result in zip(variants, batched):
+            assert result_fingerprint(result) == result_fingerprint(
+                solo_scalar(config, factory)
+            )
+
+    def test_ragged_termination(self):
+        """Lanes with different horizons retire independently; survivors
+        keep producing bit-identical results after neighbours go inert."""
+        config = ARCHITECTURES["interposer"]()
+        spans = [(300, 7), (480, 7), (360, 23), (300, 7)]
+        sims = [build_lane(config, uniform_factory(seed=s), cycles=c)
+                for c, s in spans]
+        batched = run_batched(sims)
+        for (cycles, seed), result in zip(spans, batched):
+            want = solo_scalar(config, uniform_factory(seed=seed), cycles=cycles)
+            assert result_fingerprint(result) == result_fingerprint(want)
+
+    def test_single_lane_batch(self):
+        config = ARCHITECTURES["mesh"]()
+        [result] = run_batched([build_lane(config, uniform_factory())])
+        assert result_fingerprint(result) == result_fingerprint(
+            solo_scalar(config, uniform_factory())
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        arch=st.sampled_from(WIRED),
+        base_seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.005, max_value=0.06),
+        lanes=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_random_batches_match_solo_scalar(
+        self, arch, base_seed, rate, lanes
+    ):
+        config = ARCHITECTURES[arch]()
+        seeds = lane_seeds(base_seed, lanes)
+        factories = [uniform_factory(rate=rate, seed=s) for s in seeds]
+        batched = run_batched(
+            [build_lane(config, f, cycles=240) for f in factories]
+        )
+        for factory, result in zip(factories, batched):
+            want = solo_scalar(config, factory, cycles=240)
+            assert result_fingerprint(result) == result_fingerprint(want)
+
+
+class TestEligibility:
+    def test_wireless_batch_rejected(self):
+        config = ARCHITECTURES["wireless"]()
+        sims = [build_lane(config, uniform_factory(seed=s)) for s in (1, 2)]
+        with pytest.raises(BatchIneligibleError, match="wired"):
+            run_batched(sims)
+
+    def test_mixed_network_configs_rejected(self):
+        sims = [
+            build_lane(ARCHITECTURES["substrate"](), uniform_factory()),
+            build_lane(ARCHITECTURES["mesh"](), uniform_factory()),
+        ]
+        with pytest.raises(BatchIneligibleError):
+            run_batched(sims)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(BatchIneligibleError, match="empty"):
+            run_batched([])
+
+    def test_lane_seeds_contract(self):
+        assert lane_seeds(99, 1) == [99]
+        assert lane_seeds(99, 3) == [
+            99, derive_seed(99, "lane", 1), derive_seed(99, "lane", 2)
+        ]
+        with pytest.raises(ValueError):
+            lane_seeds(99, 0)
+
+
+def _task(config, seed, load, cycles=300, **kwargs):
+    return SimulationTask(
+        kind="synthetic", config=config, cycles=cycles,
+        warmup_cycles=cycles // 4, seed=seed, load=load, **kwargs
+    )
+
+
+_SUBSTRATE = SystemConfig(architecture=Architecture.SUBSTRATE)
+_INTERPOSER = SystemConfig(architecture=Architecture.INTERPOSER)
+_WIRELESS = SystemConfig(architecture=Architecture.WIRELESS)
+
+
+class TestBatchPlanner:
+    def test_groups_by_effective_config_and_flushes_at_lane_count(self):
+        a = [_task(_SUBSTRATE, s, 0.003) for s in range(5)]
+        b = [_task(_INTERPOSER, s, 0.003) for s in range(2)]
+        batches = plan_batches(a + b, lanes=4)
+        shapes = sorted(
+            (len(batch), batch[0].effective_config().architecture.value)
+            for batch in batches
+        )
+        assert shapes == [(1, "substrate"), (2, "interposer"), (4, "substrate")]
+
+    def test_lanes_of_one_is_structural_noop(self):
+        tasks = [_task(_SUBSTRATE, s, 0.003) for s in range(3)]
+        assert plan_batches(tasks, lanes=1) == [[t] for t in tasks]
+
+    def test_unbatchable_tasks_stay_solo(self):
+        wireless = _task(_WIRELESS, 1, 0.003)
+        faulted = _task(_SUBSTRATE, 2, 0.003, faults="random-links", fault_rate=0.05)
+        wired = [_task(_SUBSTRATE, s, 0.003) for s in (3, 4)]
+        assert not _task_batchable(wireless) and not _task_batchable(faulted)
+        batches = plan_batches([wireless, faulted] + wired, lanes=4)
+        assert sorted(len(b) for b in batches) == [1, 1, 2]
+
+    def test_execute_task_batch_falls_back_solo_for_scalar_engine(self):
+        tasks = [_task(_SUBSTRATE, s, 0.003) for s in (0, 1)]
+        scalar = execute_task_batch(tasks, engine="scalar")
+        batched = execute_task_batch(tasks, engine="vector")
+        for solo, fused in zip(scalar, batched):
+            assert solo["engine_used"] == "scalar"
+            assert fused["engine_used"] == "vector-batched"
+            identical = {k: v for k, v in solo.items() if k != "engine_used"}
+            assert identical == {k: v for k, v in fused.items() if k != "engine_used"}
+
+
+class TestRunnerBatching:
+    TASKS = [_task(_SUBSTRATE, s, 0.002 + 0.001 * s) for s in range(4)]
+
+    def test_batch_spanning_cache_hits_and_misses(self, tmp_path):
+        ref = ExperimentRunner().run(self.TASKS)
+        cache = os.fspath(tmp_path / "cache")
+        warm = ExperimentRunner(cache_dir=cache, engine="vector", batch_lanes=4)
+        warm.run(self.TASKS[:2])
+        mixed = ExperimentRunner(cache_dir=cache, engine="vector", batch_lanes=4)
+        got = mixed.run(self.TASKS)
+        assert mixed.cache_hits == 2 and mixed.cache_misses == 2
+        assert got == ref
+
+    def test_cache_keys_unchanged_by_batching(self, tmp_path):
+        """A scalar runner is fully served by a batched runner's cache."""
+        cache = os.fspath(tmp_path / "cache")
+        batched = ExperimentRunner(cache_dir=cache, engine="vector", batch_lanes=4)
+        want = batched.run(self.TASKS)
+        scalar = ExperimentRunner(cache_dir=cache)
+        got = scalar.run(self.TASKS)
+        assert scalar.tasks_executed == 0 and scalar.cache_hits == len(self.TASKS)
+        assert got == want
+
+    def test_vector_fallback_is_surfaced(self):
+        tasks = [_task(_WIRELESS, 1, 0.002), _task(_SUBSTRATE, 2, 0.002)]
+        runner = ExperimentRunner(engine="vector", batch_lanes=2)
+        results = runner.run(tasks)
+        assert results[tasks[0]].engine_used == "scalar"
+        assert runner.vector_fallbacks == 1
+        assert "1 task(s) requested the vector engine" in runner.summary_line()
+        scalar_runner = ExperimentRunner()
+        scalar_runner.run(tasks)
+        assert scalar_runner.vector_fallbacks == 0
+        assert "requested the vector engine" not in scalar_runner.summary_line()
+
+    def test_engine_used_stamps(self):
+        task = self.TASKS[0]
+        assert task_simulator(task, engine="scalar").run().engine_used == "scalar"
+        assert task_simulator(task, engine="vector").run().engine_used == "vector"
+
+
+class TestServiceBatching:
+    def test_submission_with_lanes_that_dedupe_away(self, tmp_path):
+        """Duplicate submissions dedupe before batching: only unique
+        tasks occupy lanes, and every result matches the scalar engine."""
+        tasks = [_task(_SUBSTRATE, s, 0.003) for s in range(3)]
+        submitted = tasks + [_task(_SUBSTRATE, 0, 0.003)]  # dup of tasks[0]
+        ref = ExperimentRunner().run(tasks)
+
+        async def scenario():
+            config = ServiceConfig(
+                jobs=1, cache_dir=os.fspath(tmp_path / "cache"),
+                engine="vector", batch_lanes=4, use_processes=False,
+            )
+            service = SweepService(config)
+            await service.start()
+            try:
+                job = await service.submit(submitted)
+                await job.wait()
+                return job
+            finally:
+                await service.stop()
+
+        job = asyncio.run(scenario())
+        assert job.state.value == "done", job.errors
+        assert job.executed == len(tasks)  # the duplicate never ran
+        summaries = job.summaries()
+        for task in tasks:
+            assert summaries[task] == ref[task]
+            assert summaries[task].engine_used == "vector-batched"
