@@ -85,6 +85,12 @@ RESULT_SECTIONS = (
         "batched_speedup",
         "batched_task_cycles_per_second",
     ),
+    (
+        "results_tail_cost",
+        "per-event allocation tail cost",
+        "tail_ratio",
+        "batched_events_per_second",
+    ),
 )
 
 

@@ -49,8 +49,10 @@ __all__ = [
 
 #: Bumped whenever the pickled kernel graph changes shape incompatibly.
 #: A version mismatch is a :class:`CheckpointError` at load time, never a
-#: silent misresume.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: silent misresume.  v2: the vector state's owner/rev dicts became flat
+#: claim-index lists and the arrivals dict became a calendar-wheel of
+#: preallocated arrays (PR 10) — v1 vector checkpoints cannot resume.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 
 class CheckpointError(RuntimeError):

@@ -204,6 +204,13 @@ class Simulator:
         result.energy = accountant.breakdown
         result.stalled = state.stalled
         result.engine_used = state.engine_name
+        if config.profile_phases and getattr(state, "profile_alloc", False):
+            # Vector-engine runs split the allocation row so per-event
+            # tail costs are visible from the CLI: array dispatch
+            # (snapshot/grouping/eligibility) vs the per-event section
+            # (group loop, bulk epilogue, delivery replay).
+            result.phase_seconds["allocation/dispatch"] = state.alloc_dispatch_seconds
+            result.phase_seconds["allocation/events"] = state.alloc_event_seconds
         if result.num_cores and config.cycles:
             result.offered_load_packets_per_core_per_cycle = result.packets_offered / (
                 result.num_cores * config.cycles

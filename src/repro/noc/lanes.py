@@ -23,11 +23,14 @@ Exactness (each lane bit-identical to its solo run, hence to solo scalar):
   override the allocation core needs is :meth:`_assign_output_vec`;
 * per-lane mutable run objects (result, traffic, source queues, energy
   breakdown, config, watchdog progress) are context-swapped into the base
-  class's attribute slots around the inherited per-send/per-eject helpers,
-  so the ~260-line allocation core of :class:`VectorKernelState` is
-  inherited verbatim;
-* packet pids are per-lane (they collide across lanes) but every keyed
-  structure (``owner``, ``rev``) keys on fused port/VC ids, which are
+  class's attribute slots around the inherited injection bodies, while the
+  per-cycle epilogue's order-sensitive replays (energy breakdown, tail
+  delivery) are overridden to segment the lane-contiguous event stream per
+  lane — so the allocation core of :class:`VectorKernelState`, including
+  its bulk array epilogue, is inherited verbatim;
+* packet pids are per-lane (they collide across lanes) but every indexed
+  structure (``alloc_l`` ownership, the ``rev_vc_l``/``rev_out_l`` claim
+  index, the arrival wheel) is keyed on fused port/VC ids, which are
   lane-disjoint; pool handles are shared and opaque.
 
 Lanes terminate independently (ragged cycle counts, per-lane stall): a
@@ -53,7 +56,7 @@ from ..energy import EnergyAccountant
 from ..traffic.base import TrafficRequest
 from .kernel import SimulationStallError
 from .network import Network
-from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK
+from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketView
 from .stats import SimulationResult
 from .vector import InjectionTracker, VectorKernelState, _SwitchTables
 
@@ -141,6 +144,7 @@ class LaneBatchedState(VectorKernelState):
         self.in_vc_base = [
             lane * rows + base for lane in range(n) for base in base0
         ]
+        self.port_nvcs = self.port_nvcs * n
         self.vc_cap = numpy.asarray(self.cap_l, dtype=numpy.int64)
         self.ordinal_np = numpy.asarray(self.ordinal_l, dtype=numpy.int64)
         # ---- tile the static per-output tables -------------------------
@@ -151,13 +155,13 @@ class LaneBatchedState(VectorKernelState):
             for lane in range(n)
             for down in down0
         ]
-        self.out_latency = self.out_latency * n
-        self.out_cpf = self.out_cpf * n
-        self.out_energy = self.out_energy * n
+        self.out_latency = numpy.tile(self.out_latency, n)
+        self.out_cpf = numpy.tile(self.out_cpf, n)
+        self.out_energy = numpy.tile(self.out_energy, n)
         self.out_width = self.out_width * n
         self.out_rr_mod = self.out_rr_mod * n
         self.out_rr_mod_np = numpy.asarray(self.out_rr_mod, dtype=numpy.int64)
-        self.busy_until = [0] * (outs * n)
+        self.busy_until = numpy.zeros(outs * n, dtype=numpy.int64)
         self.rr_ptr_np = numpy.zeros(outs * n, dtype=numpy.int64)
         # ---- tile the per-switch injection tables ----------------------
         fused_sw: Dict[int, _SwitchTables] = {}
@@ -190,8 +194,16 @@ class LaneBatchedState(VectorKernelState):
         #: lane's port masks in place.
         self._lane_free_mask = list(self.free_mask)
         self.free_mask = self.free_mask * n
-        self.owner = {}
-        self.rev = {}
+        self.rev_vc_l = [-1] * total
+        self.rev_out_l = [-1] * total
+        # The arrival wheel built by the parent constructor carries over
+        # unchanged: the slot count depends only on the (shared) link
+        # latencies, the slot arrays grow on demand, and entries are fused
+        # gids either way.
+        #: Aggregate allocation-split profiling is opt-in per batch (the
+        #: ``profile_allocation`` flag of :func:`run_batched`); eligible
+        #: lane configs never set ``profile_phases``.
+        self.profile_alloc = False
         # Poison the single-run context registers: every phase body must
         # run behind a lane swap, so a read outside one fails loudly.
         self.result = None
@@ -200,10 +212,6 @@ class LaneBatchedState(VectorKernelState):
         self.breakdown = None
         self.config = None
         self._active_lane: Optional[_Lane] = None
-        #: Lane whose breakdown is currently bound to ``self.breakdown``.
-        #: Sends process in lane-major group order, so caching the bound
-        #: lane skips the per-send context swap for same-lane runs.
-        self._breakdown_lane = -1
 
     # ------------------------------------------------------------------
     # Fused index helpers and real overrides.
@@ -236,12 +244,12 @@ class LaneBatchedState(VectorKernelState):
         )
 
     def process_arrivals(self, cycle: int) -> None:
-        due = self.arrivals.get(cycle)
-        if not due:
-            self.arrivals.pop(cycle, None)
+        slot = cycle % self.wheel_size
+        count = self.wheel_count[slot]
+        if not count:
             return
         rows = self.rows_per_lane
-        touched = {target // rows for target, _ in due}
+        touched = numpy.unique(self.wheel_targets[slot][:count] // rows).tolist()
         super().process_arrivals(cycle)
         lanes = self.lanes
         for index in touched:
@@ -273,9 +281,13 @@ class LaneBatchedState(VectorKernelState):
             in_flight = bool(vc_count[base:end].any()) or any(
                 lane.source_queues.values()
             )
-            if not in_flight:
-                for entries in self.arrivals.values():
-                    if any(base <= target < end for target, _ in entries):
+            if not in_flight and self.wheel_pending:
+                for slot in range(self.wheel_size):
+                    count = self.wheel_count[slot]
+                    if not count:
+                        continue
+                    targets = self.wheel_targets[slot][:count]
+                    if bool(((targets >= base) & (targets < end)).any()):
                         in_flight = True
                         break
             if not in_flight:
@@ -307,24 +319,66 @@ class LaneBatchedState(VectorKernelState):
         self.source_queues = lane.source_queues
         return super().has_injection_work_vec(switch_id)
 
-    def _send(self, gid, *args) -> None:
-        index = gid // self.rows_per_lane
-        if index != self._breakdown_lane:
-            self._breakdown_lane = index
-            self.breakdown = self.lanes[index].breakdown
-        super()._send(gid, *args)
-
-    def _eject_vec(self, gid, handle, pid, is_tail, cycle, *args) -> None:
+    def _note_ejects(self, gid: int, count: int, cycle: int) -> None:
         lane = self.lanes[gid // self.rows_per_lane]
-        self.result = lane.result
-        self.breakdown = lane.breakdown
-        self._breakdown_lane = lane.index
-        self.config = lane.config
-        self.traffic = lane.traffic
-        self.last_progress_cycle = lane.last_progress_cycle
-        self._active_lane = lane
-        super()._eject_vec(gid, handle, pid, is_tail, cycle, *args)
-        lane.last_progress_cycle = self.last_progress_cycle
+        result = lane.result
+        result.flits_ejected_total += count
+        if cycle >= lane.config.warmup_cycles:
+            result.flits_ejected_measured += count
+        lane.last_progress_cycle = cycle
+
+    def _replay_breakdown(self, ev_gid, ev_out, link_values) -> None:
+        # The fused event stream is lane-contiguous (groups are per-lane
+        # and process in lane-major order), so segmenting it by lane and
+        # replaying each segment onto that lane's accumulators reproduces
+        # every lane's solo accumulation order exactly.  The segmentation
+        # below does not *assume* contiguity (accumulators are written
+        # back before the lane changes), it just runs fastest with it.
+        rows = self.rows_per_lane
+        lanes = self.lanes
+        switch_energy = self.switch_energy_pj
+        n = len(ev_gid)
+        i = 0
+        k = 0
+        while i < n:
+            index = ev_gid[i] // rows
+            breakdown = lanes[index].breakdown
+            switch_acc = breakdown.switch_dynamic_pj
+            link_acc = breakdown.link_pj
+            while i < n and ev_gid[i] // rows == index:
+                switch_acc += switch_energy
+                if ev_out[i] >= 0:
+                    link_acc += link_values[k]
+                    k += 1
+                i += 1
+            breakdown.switch_dynamic_pj = switch_acc
+            breakdown.link_pj = link_acc
+
+    def _replay_tails(self, tail_gids, tail_handles, cycle: int) -> None:
+        pool = self.pool
+        rows = self.rows_per_lane
+        lanes = self.lanes
+        for gid, handle in zip(tail_gids, tail_handles):
+            lane = lanes[gid // rows]
+            self._active_lane = lane
+            result = lane.result
+            pool.ejection_cycle[handle] = cycle
+            result.packets_delivered += 1
+            if bool(pool.measured[handle]):
+                result.packets_delivered_measured += 1
+                injection = int(pool.injection_cycle[handle])
+                result.record_delivery(
+                    cycle - int(pool.generation_cycle[handle]),
+                    cycle - injection if injection >= 0 else None,
+                    float(pool.energy_pj[handle]),
+                    len(pool.route[handle]) - 1,
+                )
+            for reply in lane.traffic.on_packet_delivered(
+                PacketView(pool, handle), cycle
+            ):
+                self.enqueue_lane(lane, reply, cycle)
+            pool.free(handle)
+            lane.last_progress_cycle = cycle
 
     def enqueue_request(self, request: TrafficRequest, cycle: int) -> None:
         # Delivery-callback replies re-enter through here; route them to
@@ -395,17 +449,23 @@ def _settle_lane(state: LaneBatchedState, lane: _Lane, cycle: int, started: floa
     result.wall_clock_seconds = time.perf_counter() - started
 
     residual = int(state.vc_count[base:end].sum())
-    empty_cycles = []
-    for arrival_cycle, entries in state.arrivals.items():
-        kept = [(t, f) for (t, f) in entries if not base <= t < end]
-        if len(kept) != len(entries):
-            residual += len(entries) - len(kept)
-            if kept:
-                state.arrivals[arrival_cycle] = kept
-            else:
-                empty_cycles.append(arrival_cycle)
-    for arrival_cycle in empty_cycles:
-        del state.arrivals[arrival_cycle]
+    for slot in range(state.wheel_size):
+        count = state.wheel_count[slot]
+        if not count:
+            continue
+        targets = state.wheel_targets[slot][:count]
+        keep = (targets < base) | (targets >= end)
+        kept = int(keep.sum())
+        if kept != count:
+            # Compact in place; the fancy-indexed gathers materialise new
+            # arrays before the buffers are overwritten.
+            kept_targets = targets[keep]
+            kept_flits = state.wheel_flits[slot][:count][keep]
+            state.wheel_targets[slot][:kept] = kept_targets
+            state.wheel_flits[slot][:kept] = kept_flits
+            state.wheel_count[slot] = kept
+            state.wheel_pending -= count - kept
+            residual += count - kept
     result.flits_residual_end = residual
 
     network = state.network
@@ -435,6 +495,10 @@ def _settle_lane(state: LaneBatchedState, lane: _Lane, cycle: int, started: floa
         state.occ_delta[gid] = 0
         state.source_handle[gid] = None
         state.source_emitted[gid] = 0
+        # Claims are lane-internal (ports are lane-disjoint), so clearing
+        # the lane's own rows empties its reverse claim index.
+        state.rev_vc_l[gid] = -1
+        state.rev_out_l[gid] = -1
     port_base = lane.index * state.in_ports_per_lane
     for offset, mask in enumerate(state._lane_free_mask):
         state.free_mask[port_base + offset] = mask
@@ -444,16 +508,13 @@ def _settle_lane(state: LaneBatchedState, lane: _Lane, cycle: int, started: floa
     tracker_active = state.scheduler.active
     for sid in range(sid_base, sid_base + state.num_switches_per_lane):
         tracker_active.discard(sid)
-    port_end = port_base + state.in_ports_per_lane
-    for key in [k for k in state.owner if port_base <= k[0] < port_end]:
-        del state.owner[key]
-    for gid in [g for g in state.rev if base <= g < end]:
-        del state.rev[gid]
     lane.retired = True
     lane.end_cycle = cycle
 
 
-def run_batched(simulators: Sequence) -> List[SimulationResult]:
+def run_batched(
+    simulators: Sequence, *, profile_allocation: bool = False
+) -> List[SimulationResult]:
     """Co-simulate N configured :class:`~repro.noc.engine.Simulator`\\ s.
 
     Every simulator must describe a wired, fault-free, un-instrumented run
@@ -462,6 +523,14 @@ def run_batched(simulators: Sequence) -> List[SimulationResult]:
     Returns one :class:`SimulationResult` per simulator, in order — each
     bit-identical to ``simulators[i].run()`` (and therefore to the scalar
     engine), with ``engine_used`` stamped ``"vector-batched"``.
+
+    ``profile_allocation`` times the fused allocation phase's array
+    dispatch and per-event epilogue separately and publishes the batch
+    aggregates as ``allocation/dispatch`` / ``allocation/events`` rows of
+    every lane result's ``phase_seconds`` (a comparison-exempt field, so
+    parity is unaffected).  It is the batch spelling of the solo engines'
+    ``profile_phases`` split — full per-phase profiling stays ineligible
+    for batching because its timing wraps each lane's whole cycle loop.
     """
     if not simulators:
         raise BatchIneligibleError("empty batch")
@@ -548,6 +617,7 @@ def run_batched(simulators: Sequence) -> List[SimulationResult]:
         net_config=net_config,
         scheduler=tracker,
     )
+    state.profile_alloc = bool(profile_allocation)
     for fabric in network.fabrics:
         fabric.bind_pool(state.pool)
     # N lanes carry ~N solo runs' worth of live packets; pre-sizing skips
@@ -603,4 +673,12 @@ def run_batched(simulators: Sequence) -> List[SimulationResult]:
                 live -= 1
         if not live:
             break
+    if profile_allocation:
+        for lane in lanes:
+            lane.result.phase_seconds["allocation/dispatch"] = (
+                state.alloc_dispatch_seconds
+            )
+            lane.result.phase_seconds["allocation/events"] = (
+                state.alloc_event_seconds
+            )
     return [lane.result for lane in lanes]

@@ -16,7 +16,16 @@ structure-of-arrays mirror of the network's VC state:
   ``flatnonzero``, batch-computes eligibility with masked gathers, groups
   requests per output port with a stable argsort + ``reduceat``, and only
   then drops to Python for the per-output round-robin resolution and the
-  sends themselves.
+  sends themselves;
+* the per-send/per-eject bookkeeping that used to run as Python dict and
+  NumPy scalar operations inside that loop (link arrivals, output busy
+  windows, per-packet energy, ejection counters, delivery recording) is
+  merely *recorded* into flat per-cycle event lists during arbitration
+  and *applied* once per cycle as a bulk array epilogue
+  (:meth:`VectorKernelState._apply_epilogue`): one ``np.add.at`` scatter
+  for energy, one fancy write for busy windows, one calendar-wheel push
+  for arrivals, and a short replay loop for the order-sensitive float
+  accumulators and delivery callbacks.
 
 Exactness (the reason results are bit-identical to the scalar engine):
 
@@ -29,10 +38,13 @@ Exactness (the reason results are bit-identical to the scalar engine):
   upstream of a claimed VC is that VC itself), so snapshot-eligible stays
   eligible; snapshot-ineligible VCs can flip only when their target pops,
   which is caught live: every pop looks up the popped VC's upstream
-  (``rev``) and forces that upstream's output group to re-evaluate
-  eligibility when visited;
+  (``rev_vc_l``/``rev_out_l``) and forces that upstream's output group to
+  re-evaluate eligibility when visited;
 * every float is accumulated in the same order as the scalar loop (switch
-  energy, then link energy, per send, in group order).
+  energy, then link energy, per send, in group order): the epilogue's
+  energy scatter interleaves two rounded additions per send and one per
+  eject into a single event-ordered ``np.add.at`` stream, and the
+  breakdown accumulators are replayed value by value in event order.
 
 Scope: the fast path covers **wired, fault-free** configurations — the
 mesh and interposer near-saturation points the benchmarks gate on.  Runs
@@ -44,7 +56,8 @@ request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Set
 
 import numpy
 
@@ -60,7 +73,7 @@ from .network import Network
 from .pool import FLIT_INDEX_BITS, FLIT_INDEX_MASK, PacketView
 from .switch import Switch
 
-#: Below this many arrival events the Python loop beats array building.
+#: Below this many arrival events the Python loop beats array indexing.
 _ARRIVAL_BATCH_MIN = 8
 
 #: Sentinel key for candidates excluded from the vectorised round-robin
@@ -68,6 +81,10 @@ _ARRIVAL_BATCH_MIN = 8
 #: live).  Far above any real ``rank * size + position`` key, far below
 #: int64 overflow.
 _NO_KEY = 1 << 62
+
+#: Initial per-slot capacity of the calendar-wheel arrival arrays; slots
+#: grow geometrically and never shrink, so steady state allocates nothing.
+_WHEEL_SLOT_CAPACITY = 16
 
 
 class InjectionTracker(Scheduler):
@@ -134,8 +151,10 @@ class VectorKernelState(KernelState):
         port_of_l: List[int] = []
         switch_of_l: List[int] = []
         in_vc_base: List[int] = []
+        port_nvcs: List[int] = []
         for port in network.input_port_table:
             in_vc_base.append(len(cap_l))
+            port_nvcs.append(len(port.vcs))
             for vc in port.vcs:
                 vc.gid = len(cap_l)
                 cap_l.append(vc.capacity)
@@ -148,6 +167,7 @@ class VectorKernelState(KernelState):
         self.port_of_l = port_of_l
         self.switch_of_l = switch_of_l
         self.in_vc_base = in_vc_base
+        self.port_nvcs = port_nvcs
         self.vc_cap = numpy.asarray(cap_l, dtype=numpy.int64)
         self.ordinal_np = numpy.asarray(ordinal_l, dtype=numpy.int64)
         # ---- static per-output-port tables -----------------------------
@@ -179,13 +199,20 @@ class VectorKernelState(KernelState):
             out_energy.append(port.link.energy_pj_per_flit)
         self.out_is_ej = out_is_ej
         self.out_down_port = out_down_port
-        self.out_latency = out_latency
-        self.out_cpf = out_cpf
-        self.out_energy = out_energy
         self.out_width = out_width
         self.out_rr_mod = out_rr_mod
+        #: Per-output link tables as NumPy arrays: the epilogue applies
+        #: busy windows, wheel pushes and link-energy gathers with one
+        #: fancy read per cycle instead of a list read per send.
+        self.out_latency = numpy.asarray(out_latency, dtype=numpy.int64)
+        self.out_cpf = numpy.asarray(out_cpf, dtype=numpy.int64)
+        self.out_energy = numpy.asarray(out_energy, dtype=numpy.float64)
         self.out_rr_mod_np = numpy.asarray(out_rr_mod, dtype=numpy.int64)
-        self.busy_until = [0] * len(out_is_ej)
+        #: Per-output transmission-busy horizon.  Written once per cycle
+        #: by the epilogue (every sending output, one fancy write); read
+        #: once per cycle as a vectorised per-group mask — never on the
+        #: per-send path.
+        self.busy_until = numpy.zeros(len(out_is_ej), dtype=numpy.int64)
         #: Per-output round-robin pointers.  NumPy so the allocation phase
         #: can compute every candidate's arbitration rank in one gather.
         self.rr_ptr_np = numpy.zeros(len(out_is_ej), dtype=numpy.int64)
@@ -200,7 +227,11 @@ class VectorKernelState(KernelState):
         #: Owning packet id, or -1 while the VC is unallocated.  A plain
         #: list: the allocation scan never reads it vectorised (ownership
         #: checks are per-winner), and list indexing is several times
-        #: cheaper than NumPy scalar indexing on the per-send path.
+        #: cheaper than NumPy scalar indexing on the per-send path.  It is
+        #: also the owner index: head-front target resolution scans the
+        #: downstream port's slice of this list for the packet id —
+        #: exactly the scalar engine's owner scan — which is what made the
+        #: old ``(port, pid) -> gid`` owner dict redundant.
         self.alloc_l: List[int] = [-1] * total
         #: Pending mid-phase occupancy changes (deferred ring pops and
         #: in-flight increments); always all-zero between phases.
@@ -221,16 +252,46 @@ class VectorKernelState(KernelState):
         self.source_emitted = [0] * total
         #: Per-input-port bitmask of free VCs (bit i == VC index i free).
         self.free_mask = [(1 << len(port.vcs)) - 1 for port in network.input_port_table]
-        #: ``(downstream input port_id, packet id) -> claimed gid`` — the
-        #: vectorised spelling of the scalar owner scan over a port's VCs.
-        self.owner: Dict[Tuple[int, int], int] = {}
-        #: ``claimed gid -> (upstream gid, upstream output port_id)`` while
-        #: the upstream still holds body flits for it; pops consult this to
-        #: force the upstream's output group to re-evaluate eligibility
-        #: (space just appeared).  The upstream's assigned output is frozen
-        #: for the lifetime of the claim, so caching it here saves an array
-        #: read per pop.
-        self.rev: Dict[int, Tuple[int, int]] = {}
+        #: Reverse claim index, flat per-gid lists (the array spelling of
+        #: the old ``claimed gid -> (upstream gid, upstream out)`` dict):
+        #: while an upstream VC still holds body flits for claimed row
+        #: ``g``, ``rev_vc_l[g]`` is that upstream's gid and
+        #: ``rev_out_l[g]`` its frozen output port; -1 otherwise.  Pops
+        #: consult these to force the upstream's output group to
+        #: re-evaluate eligibility (space just appeared).
+        self.rev_vc_l: List[int] = [-1] * total
+        self.rev_out_l: List[int] = [-1] * total
+        # ---- calendar-wheel arrival queue ------------------------------
+        #: Link latencies are bounded and known at build time, so pending
+        #: arrivals live in a calendar ring of ``max latency + 1`` slots
+        #: (slot = cycle mod size) of preallocated target/flit arrays —
+        #: the epilogue appends one latency group per slice assignment and
+        #: the arrival phase consumes a slot without building any array.
+        wired_latencies = [
+            latency for latency, ej in zip(out_latency, out_is_ej) if not ej
+        ]
+        self.wheel_size = (max(wired_latencies) if wired_latencies else 0) + 1
+        self.wheel_targets: List[numpy.ndarray] = [
+            numpy.empty(_WHEEL_SLOT_CAPACITY, dtype=numpy.int64)
+            for _ in range(self.wheel_size)
+        ]
+        self.wheel_flits: List[numpy.ndarray] = [
+            numpy.empty(_WHEEL_SLOT_CAPACITY, dtype=numpy.int64)
+            for _ in range(self.wheel_size)
+        ]
+        self.wheel_count: List[int] = [0] * self.wheel_size
+        #: Total entries across all slots (cheap residual/watchdog count).
+        self.wheel_pending = 0
+        # ---- allocation-phase profiling (``--profile`` split) ----------
+        #: When on, the allocation phase is timed in two parts: the array
+        #: "dispatch" (snapshot, grouping, eligibility) and the per-event
+        #: section (group loop + bulk epilogue + delivery replay); the
+        #: engine publishes them as ``allocation/dispatch`` and
+        #: ``allocation/events`` rows of ``SimulationResult.phase_seconds``.
+        self.profile_alloc = bool(self.config.profile_phases)
+        self.alloc_dispatch_seconds = 0.0
+        self.alloc_event_seconds = 0.0
+        self.alloc_event_count = 0
 
     # ------------------------------------------------------------------
     # Free-VC bookkeeping.
@@ -245,21 +306,44 @@ class VectorKernelState(KernelState):
         self.free_mask[port_id] |= 1 << (gid - self.in_vc_base[port_id])
 
     # ------------------------------------------------------------------
+    # Calendar-wheel arrival queue.
+    # ------------------------------------------------------------------
+
+    def _wheel_push(self, slot: int, targets: numpy.ndarray, flits: numpy.ndarray) -> None:
+        """Append one latency group's sends to slot ``slot`` (grows 2x)."""
+        count = self.wheel_count[slot]
+        new_count = count + targets.size
+        buffer = self.wheel_targets[slot]
+        if new_count > buffer.size:
+            capacity = max(new_count, 2 * buffer.size)
+            grown = numpy.empty(capacity, dtype=numpy.int64)
+            grown[:count] = buffer[:count]
+            self.wheel_targets[slot] = grown
+            grown = numpy.empty(capacity, dtype=numpy.int64)
+            grown[:count] = self.wheel_flits[slot][:count]
+            self.wheel_flits[slot] = grown
+        self.wheel_targets[slot][count:new_count] = targets
+        self.wheel_flits[slot][count:new_count] = flits
+        self.wheel_count[slot] = new_count
+        self.wheel_pending += int(targets.size)
+
+    # ------------------------------------------------------------------
     # Phase 1: arrivals (vectorised scatter).
     # ------------------------------------------------------------------
 
     def process_arrivals(self, cycle: int) -> None:
-        due = self.arrivals.pop(cycle, None)
-        if not due:
+        slot = cycle % self.wheel_size
+        count = self.wheel_count[slot]
+        if not count:
             return
-        count = len(due)
+        targets = self.wheel_targets[slot][:count]
+        flits = self.wheel_flits[slot][:count]
         if count >= _ARRIVAL_BATCH_MIN:
             # All gids in one cycle's batch are distinct: a claimed VC has
             # a unique upstream, links have cycles_per_flit >= 1 (one send
             # per output per cycle) and a fixed latency, so two arrivals
-            # at the same VC always come from different send cycles.
-            targets = numpy.fromiter((d[0] for d in due), dtype=numpy.int64, count=count)
-            flits = numpy.fromiter((d[1] for d in due), dtype=numpy.int64, count=count)
+            # at the same VC always come from different send cycles.  The
+            # within-slot order is therefore irrelevant.
             if (self.vc_in_flight[targets] <= 0).any():
                 raise RuntimeError("deliver() without a matching reserve()")
             self.vc_in_flight[targets] -= 1
@@ -272,13 +356,15 @@ class VectorKernelState(KernelState):
             vc_in_flight = self.vc_in_flight
             buf2d = self.buf2d
             cap_l = self.cap_l
-            for gid, flit in due:
+            for gid, flit in zip(targets.tolist(), flits.tolist()):
                 if int(vc_in_flight[gid]) <= 0:
                     raise RuntimeError("deliver() without a matching reserve()")
                 vc_in_flight[gid] -= 1
                 occupancy = int(vc_count[gid])
                 buf2d[gid, (int(vc_head[gid]) + occupancy) % cap_l[gid]] = flit
                 vc_count[gid] = occupancy + 1
+        self.wheel_count[slot] = 0
+        self.wheel_pending -= count
         self.last_progress_cycle = cycle
 
     # ------------------------------------------------------------------
@@ -389,9 +475,14 @@ class VectorKernelState(KernelState):
         self.vc_out[gid] = pool.route_ports[handle][hop].port_id
 
     def allocate_all(self, cycle: int) -> None:
+        profiling = self.profile_alloc
+        if profiling:
+            tick = perf_counter()
         vc_count = self.vc_count
         candidates = numpy.flatnonzero(vc_count)
         if not candidates.size:
+            if profiling:
+                self.alloc_dispatch_seconds += perf_counter() - tick
             return
         vc_out = self.vc_out
         out_arr = vc_out[candidates]
@@ -455,6 +546,11 @@ class VectorKernelState(KernelState):
         group_best = numpy.minimum.reduceat(key[order], starts).tolist()
         first_position = numpy.minimum.reduceat(order, starts)
         process_order = numpy.argsort(first_position, kind="stable").tolist()
+        # Transmission-busy outputs, as one phase-start gather: an output's
+        # horizon only moves through its own send, and every write is
+        # deferred to the epilogue, so the phase-start values are exactly
+        # what the scalar arbitration reads at each output's single visit.
+        group_busy = (self.busy_until[group_out] > cycle).tolist()
         # Bulk Python conversion: one tolist per array per phase (cheap,
         # amortised) instead of NumPy scalar reads on the per-send path
         # (expensive, per element).
@@ -482,6 +578,10 @@ class VectorKernelState(KernelState):
                     hf_buckets[grp] = [pos]
                 else:
                     bucket.append(pos)
+        if profiling:
+            now = perf_counter()
+            self.alloc_dispatch_seconds += now - tick
+            tick = now
         # Snapshot-ineligible members whose full target popped at an
         # earlier group this phase, keyed by their output's group.  A
         # popped VC refills only through its unique upstream, so each such
@@ -495,17 +595,28 @@ class VectorKernelState(KernelState):
         # ``count + in_flight`` values mid-phase.
         pop_gids: List[int] = []
         new_inflight: List[int] = []
+        # Per-cycle event recording (applied in ``_apply_epilogue``): one
+        # entry per send/eject in scalar event order.  ``ev_out`` is the
+        # sending output port, or -1 for ejections.
+        ev_gid: List[int] = []
+        ev_handle: List[int] = []
+        ev_out: List[int] = []
+        send_target: List[int] = []
+        send_flit: List[int] = []
+        head_handles: List[int] = []
+        tail_gids: List[int] = []
+        tail_handles: List[int] = []
         occ_delta = self.occ_delta
         cap_l = self.cap_l
         ordinal_l = self.ordinal_l
         out_is_ej = self.out_is_ej
         out_down_port = self.out_down_port
         out_rr_mod = self.out_rr_mod
-        busy_until = self.busy_until
         rr_ptr_np = self.rr_ptr_np
         in_vc_base = self.in_vc_base
+        port_nvcs = self.port_nvcs
         free_mask = self.free_mask
-        owner = self.owner
+        alloc_l = self.alloc_l
         send = self._send
         for group in process_order:
             out_id = group_out_l[group]
@@ -518,12 +629,16 @@ class VectorKernelState(KernelState):
                     order[begin:end].tolist(),
                     cand_l,
                     fronts_l,
-                    pids_l,
                     tails_l,
                     cycle,
                     unlocked,
                     out_to_group,
                     pop_gids,
+                    ev_gid,
+                    ev_handle,
+                    ev_out,
+                    tail_gids,
+                    tail_handles,
                 )
                 continue
             best = group_best[group]
@@ -531,7 +646,7 @@ class VectorKernelState(KernelState):
             un = unlocked.get(group)
             if best == _NO_KEY and hf_bucket is None and un is None:
                 continue
-            if busy_until[out_id] > cycle:
+            if group_busy[group]:
                 continue
             down_port = out_down_port[out_id]
             down_base = in_vc_base[down_port]
@@ -547,13 +662,19 @@ class VectorKernelState(KernelState):
             else:
                 best_rank = modulus
             if hf_bucket is not None:
+                down_limit = down_base + port_nvcs[down_port]
                 for pos in hf_bucket:
                     # Live head resolution, mirroring the scalar owner
-                    # scan then first-free scan over the downstream
-                    # port (lowest set bit == first VC in index order).
+                    # scan over the downstream port's VCs (in index
+                    # order) and then its first-free scan (lowest set
+                    # bit == first VC in index order).
                     pid = pids_l[pos]
-                    target = owner.get((down_port, pid))
-                    if target is None:
+                    target = -1
+                    for tvc in range(down_base, down_limit):
+                        if alloc_l[tvc] == pid:
+                            target = tvc
+                            break
+                    if target < 0:
                         mask = free_mask[down_port]
                         if not mask:
                             continue
@@ -593,18 +714,23 @@ class VectorKernelState(KernelState):
                     win_gid,
                     int(self.vc_tgt[win_gid]),
                     flit,
-                    self.alloc_l[win_gid],
-                    flit & FLIT_INDEX_MASK
+                    alloc_l[win_gid],
+                    (flit & FLIT_INDEX_MASK)
                     == int(fresh_pool.length_flits[flit >> FLIT_INDEX_BITS]) - 1,
                     False,
                     out_id,
                     down_port,
-                    cycle,
                     unlocked,
                     out_to_group,
                     pop_gids,
                     new_inflight,
                     occ_delta,
+                    ev_gid,
+                    ev_handle,
+                    ev_out,
+                    send_target,
+                    send_flit,
+                    head_handles,
                 )
                 continue
             if win_pos < 0:
@@ -621,12 +747,17 @@ class VectorKernelState(KernelState):
                 not flit & FLIT_INDEX_MASK,
                 out_id,
                 down_port,
-                cycle,
                 unlocked,
                 out_to_group,
                 pop_gids,
                 new_inflight,
                 occ_delta,
+                ev_gid,
+                ev_handle,
+                ev_out,
+                send_target,
+                send_flit,
+                head_handles,
             )
         # Apply the deferred ring pops and in-flight increments in bulk.
         # Popped gids are unique (a VC moves at most one flit per cycle)
@@ -645,6 +776,21 @@ class VectorKernelState(KernelState):
             for target in new_inflight:
                 occ_delta[target] = 0
             self._note_hops(new_inflight)
+        if ev_handle:
+            self._apply_epilogue(
+                cycle,
+                ev_gid,
+                ev_handle,
+                ev_out,
+                send_target,
+                send_flit,
+                head_handles,
+                tail_gids,
+                tail_handles,
+            )
+        if profiling:
+            self.alloc_event_seconds += perf_counter() - tick
+            self.alloc_event_count += len(ev_handle)
 
     def _note_pops(self, pop_gids: List[int], cycle: int) -> None:
         """Progress accounting for this phase's ring pops.
@@ -669,28 +815,34 @@ class VectorKernelState(KernelState):
         is_head: bool,
         out_id: int,
         down_port: int,
-        cycle: int,
         unlocked: Dict[int, List[int]],
         out_to_group,
         pop_gids: List[int],
         new_inflight: List[int],
         occ_delta: List[int],
+        ev_gid: List[int],
+        ev_handle: List[int],
+        ev_out: List[int],
+        send_target: List[int],
+        send_flit: List[int],
+        head_handles: List[int],
     ) -> None:
         # Ring pop of the front flit (deferred; see ``allocate_all``).
         pop_gids.append(gid)
         occ_delta[gid] -= 1
-        rev = self.rev
+        rev_vc_l = self.rev_vc_l
+        rev_out_l = self.rev_out_l
         # This pop freed space for the upstream still streaming into gid:
         # enrol it in its output's arbitration if that group is still due.
-        upstream = rev.get(gid)
-        if upstream is not None:
-            group = out_to_group.get(upstream[1])
+        upstream = rev_vc_l[gid]
+        if upstream >= 0:
+            group = out_to_group.get(rev_out_l[gid])
             if group is not None:
                 entries = unlocked.get(group)
                 if entries is None:
-                    unlocked[group] = [upstream[0]]
+                    unlocked[group] = [upstream]
                 else:
-                    entries.append(upstream[0])
+                    entries.append(upstream)
         alloc_l = self.alloc_l
         handle = flit >> FLIT_INDEX_BITS
         if is_tail:
@@ -698,9 +850,12 @@ class VectorKernelState(KernelState):
             self.vc_out[gid] = -1
             old_target = int(self.vc_tgt[gid])
             if old_target >= 0:
-                rev.pop(old_target, None)
+                # Cleared live (not in the epilogue): the released claim's
+                # row may pop later this same cycle, and a stale reverse
+                # entry would enrol this tail-finished row as "unlocked".
+                rev_vc_l[old_target] = -1
+                rev_out_l[old_target] = -1
                 self.vc_tgt[gid] = -1
-            self.owner.pop((self.port_of_l[gid], pid), None)
             self._free_vc(gid)
         # Downstream claim / reservation (inline VirtualChannel.reserve).
         target_owner = alloc_l[target]
@@ -711,38 +866,27 @@ class VectorKernelState(KernelState):
                     f"accept head of packet {pid}"
                 )
             alloc_l[target] = pid
-            self.owner[(down_port, pid)] = target
             self._claim_vc(target)
             if not is_tail:
                 self.vc_tgt[gid] = target
-                rev[target] = (gid, out_id)
+                rev_vc_l[target] = gid
+                rev_out_l[target] = out_id
         elif target_owner != pid:
             raise RuntimeError(
                 f"body flit of packet {pid} sent to VC owned by {target_owner}"
             )
         new_inflight.append(target)
         occ_delta[target] += 1
-        arrival_cycle = cycle + self.out_latency[out_id]
-        arrivals = self.arrivals
-        entry = arrivals.get(arrival_cycle)
-        if entry is None:
-            arrivals[arrival_cycle] = [(target, flit)]
-        else:
-            entry.append((target, flit))
-        self.busy_until[out_id] = cycle + self.out_cpf[out_id]
-        pool = self.pool
-        energy = pool.energy_pj
-        switch_energy = self.switch_energy_pj
-        link_energy = self.out_energy[out_id]
-        breakdown = self.breakdown
-        breakdown.switch_dynamic_pj += switch_energy
-        breakdown.link_pj += link_energy
-        # Two separate rounded additions, exactly as the scalar path (and
-        # the NumPy scalar RMWs) produce them — but with one array read
-        # and one write.
-        energy[handle] = float(energy[handle]) + switch_energy + link_energy
+        # Everything else this send owes the world — link arrival, busy
+        # window, energy, head-hop advance — is recorded here and applied
+        # in bulk by ``_apply_epilogue``.
+        ev_gid.append(gid)
+        ev_handle.append(handle)
+        ev_out.append(out_id)
+        send_target.append(target)
+        send_flit.append(flit)
         if is_head:
-            pool.head_hop[handle] += 1
+            head_handles.append(handle)
 
     def _serve_ejection_group(
         self,
@@ -750,18 +894,24 @@ class VectorKernelState(KernelState):
         members: List[int],
         cand_l: List[int],
         fronts_l: List[int],
-        pids_l: List[int],
         tails_l: List[bool],
         cycle: int,
         unlocked: Dict[int, List[int]],
         out_to_group,
         pop_gids: List[int],
+        ev_gid: List[int],
+        ev_handle: List[int],
+        ev_out: List[int],
+        tail_gids: List[int],
+        tail_handles: List[int],
     ) -> None:
         budget = self.out_width[out_id]
+        sample_gid = cand_l[members[0]]
         remaining = members
         modulus = self.out_rr_mod[out_id]
         ordinal_l = self.ordinal_l
         rr_ptr_np = self.rr_ptr_np
+        served = 0
         while budget > 0 and remaining:
             if len(remaining) == 1:
                 pick = remaining.pop()
@@ -780,94 +930,239 @@ class VectorKernelState(KernelState):
             self._eject_vec(
                 gid,
                 fronts_l[pick] >> FLIT_INDEX_BITS,
-                pids_l[pick],
                 tails_l[pick],
-                cycle,
                 unlocked,
                 out_to_group,
                 pop_gids,
+                ev_gid,
+                ev_handle,
+                ev_out,
+                tail_gids,
+                tail_handles,
             )
+            served += 1
             budget -= 1
+        if served:
+            self._note_ejects(sample_gid, served, cycle)
+
+    def _note_ejects(self, gid: int, count: int, cycle: int) -> None:
+        """Ejection counters for one served group (lane-batched hook).
+
+        Integer counters are order-insensitive, so one group-level update
+        equals the scalar loop's per-flit increments exactly.
+        """
+        result = self.result
+        result.flits_ejected_total += count
+        if cycle >= self.config.warmup_cycles:
+            result.flits_ejected_measured += count
+        self.last_progress_cycle = cycle
 
     def _eject_vec(
         self,
         gid: int,
         handle: int,
-        pid: int,
         is_tail: bool,
-        cycle: int,
         unlocked: Dict[int, List[int]],
         out_to_group,
         pop_gids: List[int],
+        ev_gid: List[int],
+        ev_handle: List[int],
+        ev_out: List[int],
+        tail_gids: List[int],
+        tail_handles: List[int],
     ) -> None:
-        pool = self.pool
         # Ring pop deferred to the bulk application in ``allocate_all``;
         # the ejecting VC's occupancy drop is visible to later groups via
         # ``occ_delta`` (updated by the caller).
         pop_gids.append(gid)
         self.occ_delta[gid] -= 1
-        upstream = self.rev.get(gid)
-        if upstream is not None:
-            group = out_to_group.get(upstream[1])
+        rev_vc_l = self.rev_vc_l
+        upstream = rev_vc_l[gid]
+        if upstream >= 0:
+            group = out_to_group.get(self.rev_out_l[gid])
             if group is not None:
                 entries = unlocked.get(group)
                 if entries is None:
-                    unlocked[group] = [upstream[0]]
+                    unlocked[group] = [upstream]
                 else:
-                    entries.append(upstream[0])
+                    entries.append(upstream)
         if is_tail:
             self.alloc_l[gid] = -1
             self.vc_out[gid] = -1
             old_target = int(self.vc_tgt[gid])
             if old_target >= 0:  # pragma: no cover - ejection rows never claim
-                self.rev.pop(old_target, None)
+                rev_vc_l[old_target] = -1
+                self.rev_out_l[old_target] = -1
                 self.vc_tgt[gid] = -1
-            self.owner.pop((self.port_of_l[gid], pid), None)
             self._free_vc(gid)
+            tail_gids.append(gid)
+            tail_handles.append(handle)
+        # Energy and the per-packet ejected-flit count are recorded into
+        # the event stream (``ev_out`` -1 marks an ejection) and applied
+        # by ``_apply_epilogue``; tail delivery is replayed there too.
+        ev_gid.append(gid)
+        ev_handle.append(handle)
+        ev_out.append(-1)
+
+    # ------------------------------------------------------------------
+    # The bulk per-cycle epilogue.
+    # ------------------------------------------------------------------
+
+    def _apply_epilogue(
+        self,
+        cycle: int,
+        ev_gid: List[int],
+        ev_handle: List[int],
+        ev_out: List[int],
+        send_target: List[int],
+        send_flit: List[int],
+        head_handles: List[int],
+        tail_gids: List[int],
+        tail_handles: List[int],
+    ) -> None:
+        """Apply everything this cycle's sends/ejects recorded, in bulk.
+
+        Replaces the per-event Python tail of the old ``_send``/
+        ``_eject_vec`` (arrivals-dict insert, busy-until write, two NumPy
+        scalar energy RMWs, per-flit counters) with one pass of array
+        operations, bit-identically:
+
+        * the per-packet energy scatter is a single event-ordered
+          ``np.add.at`` whose value stream interleaves two rounded
+          additions per send (switch, then link) and one per eject —
+          ``np.add.at`` applies duplicate indices sequentially, so a
+          handle touched by several events this cycle accumulates in
+          exactly the scalar order;
+        * the energy-breakdown accumulators are replayed value by value
+          (they are order-sensitive float sums), but as tight local loops
+          instead of per-event attribute round trips;
+        * delivered tails are replayed last — after the energy scatter,
+          so ``record_delivery`` reads each packet's final energy, and in
+          event order, so reply pid assignment and pool handle recycling
+          match the scalar engine exactly.
+        """
+        pool = self.pool
+        n_events = len(ev_handle)
+        n_sends = len(send_target)
+        out_arr = numpy.fromiter(ev_out, numpy.int64, n_events)
+        handle_arr = numpy.fromiter(ev_handle, numpy.int64, n_events)
+        send_mask = out_arr >= 0
+        link_values: List[float] = []
+        if n_sends:
+            sent_outs = out_arr[send_mask]
+            # Each output sends at most once per cycle: no duplicates.
+            self.busy_until[sent_outs] = cycle + self.out_cpf[sent_outs]
+            targets = numpy.fromiter(send_target, numpy.int64, n_sends)
+            flits = numpy.fromiter(send_flit, numpy.int64, n_sends)
+            latencies = self.out_latency[sent_outs]
+            wheel_size = self.wheel_size
+            distinct = numpy.unique(latencies)
+            if distinct.size == 1:
+                self._wheel_push(
+                    (cycle + int(distinct[0])) % wheel_size, targets, flits
+                )
+            else:
+                for latency in distinct.tolist():
+                    chosen = latencies == latency
+                    self._wheel_push(
+                        (cycle + latency) % wheel_size,
+                        targets[chosen],
+                        flits[chosen],
+                    )
+            link_gather = self.out_energy[sent_outs]
+            link_values = link_gather.tolist()
+        # Interleaved per-event energy stream (see docstring).
+        counts = numpy.where(send_mask, 2, 1)
+        offsets = numpy.cumsum(counts) - counts
+        slots = numpy.empty(n_events + n_sends, dtype=numpy.int64)
+        values = numpy.empty(n_events + n_sends, dtype=numpy.float64)
+        slots[offsets] = handle_arr
+        values[offsets] = self.switch_energy_pj
+        if n_sends:
+            send_offsets = offsets[send_mask] + 1
+            slots[send_offsets] = handle_arr[send_mask]
+            values[send_offsets] = link_gather
+        numpy.add.at(pool.energy_pj, slots, values)
+        if n_sends != n_events:
+            numpy.add.at(pool.flits_ejected, handle_arr[~send_mask], 1)
+        if head_handles:
+            # One head send per handle per cycle: indices are unique.
+            pool.head_hop[
+                numpy.fromiter(head_handles, numpy.int64, len(head_handles))
+            ] += 1
+        self._replay_breakdown(ev_gid, ev_out, link_values)
+        if tail_handles:
+            self._replay_tails(tail_gids, tail_handles, cycle)
+
+    def _replay_breakdown(
+        self, ev_gid: List[int], ev_out: List[int], link_values: List[float]
+    ) -> None:
+        """Sequential-rounding replay of the order-sensitive breakdown sums.
+
+        ``switch_dynamic_pj`` receives one rounded addition of the same
+        constant per event and ``link_pj`` one per send (the gathered
+        float64 link energies round-trip exactly through ``tolist``), so
+        replaying them in event order onto locals reproduces the scalar
+        accumulation bit for bit.  Lane-batched runs override this to
+        segment the replay per lane.
+        """
+        breakdown = self.breakdown
         switch_energy = self.switch_energy_pj
-        self.breakdown.switch_dynamic_pj += switch_energy
-        pool.energy_pj[handle] += switch_energy
-        pool.flits_ejected[handle] += 1
+        accumulator = breakdown.switch_dynamic_pj
+        for _ in range(len(ev_out)):
+            accumulator += switch_energy
+        breakdown.switch_dynamic_pj = accumulator
+        accumulator = breakdown.link_pj
+        for value in link_values:
+            accumulator += value
+        breakdown.link_pj = accumulator
+
+    def _replay_tails(
+        self, tail_gids: List[int], tail_handles: List[int], cycle: int
+    ) -> None:
+        """Delivery accounting for this cycle's tail ejections, in order.
+
+        The per-event escape hatch of the batched ejection path: delivery
+        recording and traffic callbacks (which may enqueue replies and
+        grow the pool) stay per-packet Python, but they run once per
+        *packet*, not once per flit.  Lane-batched runs override this to
+        swap the acting lane per tail.
+        """
+        pool = self.pool
         result = self.result
-        result.flits_ejected_total += 1
-        if cycle >= self.config.warmup_cycles:
-            result.flits_ejected_measured += 1
-        self.last_progress_cycle = cycle
-        if not is_tail:
-            return
-        pool.ejection_cycle[handle] = cycle
-        result.packets_delivered += 1
-        if bool(pool.measured[handle]):
-            result.packets_delivered_measured += 1
-            injection = int(pool.injection_cycle[handle])
-            result.record_delivery(
-                cycle - int(pool.generation_cycle[handle]),
-                cycle - injection if injection >= 0 else None,
-                float(pool.energy_pj[handle]),
-                len(pool.route[handle]) - 1,
-            )
-        # Delivery callbacks may enqueue replies, which can grow the pool
-        # and reallocate its arrays — hence no pool-array locals survive
-        # across this call anywhere in the vector engine.
-        for reply in self.traffic.on_packet_delivered(PacketView(pool, handle), cycle):
-            self.enqueue_request(reply, cycle)
-        pool.free(handle)
+        traffic = self.traffic
+        for handle in tail_handles:
+            pool.ejection_cycle[handle] = cycle
+            result.packets_delivered += 1
+            if bool(pool.measured[handle]):
+                result.packets_delivered_measured += 1
+                injection = int(pool.injection_cycle[handle])
+                result.record_delivery(
+                    cycle - int(pool.generation_cycle[handle]),
+                    cycle - injection if injection >= 0 else None,
+                    float(pool.energy_pj[handle]),
+                    len(pool.route[handle]) - 1,
+                )
+            # Delivery callbacks may enqueue replies, which can grow the
+            # pool and reallocate its arrays — hence no pool-array locals
+            # survive across this call anywhere in the vector engine.
+            for reply in traffic.on_packet_delivered(PacketView(pool, handle), cycle):
+                self.enqueue_request(reply, cycle)
+            pool.free(handle)
 
     # ------------------------------------------------------------------
     # Watchdog / accounting overrides (array-backed state).
     # ------------------------------------------------------------------
 
     def residual_flits(self) -> int:
-        return int(self.vc_count.sum()) + sum(
-            len(entries) for entries in self.arrivals.values()
-        )
+        return int(self.vc_count.sum()) + self.wheel_pending
 
     def check_watchdog(self, cycle: int) -> None:
         if cycle - self.last_progress_cycle < self.config.watchdog_cycles:
             return
         in_flight = (
             bool(self.vc_count.any())
-            or any(self.arrivals.values())
+            or self.wheel_pending > 0
             or any(self.source_queues.values())
         )
         if not in_flight:

@@ -1,0 +1,215 @@
+"""Differential tests for the array-backed send/eject epilogue state.
+
+PR 10 replaced the vector engine's per-event bookkeeping structures —
+the ``(port, pid) -> gid`` owner dict, the ``gid -> (upstream, out)``
+reverse-claim dict, and the ``cycle -> [(target, flit)]`` arrivals dict
+— with flat claim-index lists and a calendar-wheel of preallocated
+arrays, applied once per cycle by a bulk epilogue.  The fingerprint
+matrices prove end-to-end parity; the tests here pin the *state machine*
+itself: a shadow subclass re-derives the old dict model transition by
+transition during real runs and asserts the array state stays exactly
+equivalent every cycle, across random architecture x load x seed x
+lane-count draws (hypothesis).  The wheel's mid-flight checkpoint
+round-trip lives in ``tests/test_checkpoint.py`` with the rest of the
+checkpoint matrix.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.noc.lanes as lanes_module
+import repro.noc.vector as vector_module
+from repro.noc.lanes import LaneBatchedState, run_batched
+from repro.noc.vector import VectorKernelState
+from repro.traffic.rng import lane_seeds
+
+from test_kernel import ARCHITECTURES, result_fingerprint, uniform_factory
+from test_lane_batch import WIRED, build_lane, solo_scalar
+
+#: Shadow states constructed since the last :func:`_shadow_patched` entry
+#: (one per solo run, one per batch).
+_CAPTURED = []
+
+
+class _ShadowDictModel:
+    """Mixin that re-derives the pre-PR-10 dict model alongside the arrays.
+
+    Each overridden hook first applies the old engine's transition to
+    shadow dicts — ``shadow_owner``/``shadow_rev``/``shadow_arrivals``,
+    maintained exactly as the dict-backed ``_send``/``_eject_vec`` did —
+    then delegates to the real implementation.  Once per cycle, after the
+    bulk epilogue, :meth:`_shadow_verify` asserts the array-backed state
+    is equivalent to the dict model; arrival deliveries are compared
+    slot-by-slot in :meth:`process_arrivals`.
+    """
+
+    def _shadow_init(self) -> None:
+        self.shadow_owner = {}
+        self.shadow_rev = {}
+        self.shadow_arrivals = {}
+        self.shadow_checked_cycles = 0
+        _CAPTURED.append(self)
+
+    def process_arrivals(self, cycle):
+        slot = cycle % self.wheel_size
+        count = self.wheel_count[slot]
+        actual = sorted(
+            zip(
+                self.wheel_targets[slot][:count].tolist(),
+                self.wheel_flits[slot][:count].tolist(),
+            )
+        )
+        expected = sorted(self.shadow_arrivals.pop(cycle, []))
+        assert actual == expected, f"wheel slot diverged at cycle {cycle}"
+        super().process_arrivals(cycle)
+
+    def _send(self, gid, target, flit, pid, is_tail, is_head, out_id, *rest):
+        if is_tail:
+            old_target = int(self.vc_tgt[gid])
+            if old_target >= 0:
+                self.shadow_rev.pop(old_target, None)
+            self.shadow_owner.pop((self.port_of_l[gid], pid), None)
+        if is_head:
+            down_port = rest[0]
+            self.shadow_owner[(down_port, pid)] = target
+            if not is_tail:
+                self.shadow_rev[target] = (gid, out_id)
+        super()._send(gid, target, flit, pid, is_tail, is_head, out_id, *rest)
+
+    def _eject_vec(self, gid, handle, is_tail, *rest):
+        if is_tail:
+            pid = self.alloc_l[gid]
+            old_target = int(self.vc_tgt[gid])
+            if old_target >= 0:  # pragma: no cover - ejection rows never claim
+                self.shadow_rev.pop(old_target, None)
+            self.shadow_owner.pop((self.port_of_l[gid], pid), None)
+        super()._eject_vec(gid, handle, is_tail, *rest)
+
+    def _apply_epilogue(
+        self, cycle, ev_gid, ev_handle, ev_out, send_target, send_flit, *rest
+    ):
+        position = 0
+        for out in ev_out:
+            if out >= 0:
+                due = cycle + int(self.out_latency[out])
+                self.shadow_arrivals.setdefault(due, []).append(
+                    (send_target[position], send_flit[position])
+                )
+                position += 1
+        super()._apply_epilogue(
+            cycle, ev_gid, ev_handle, ev_out, send_target, send_flit, *rest
+        )
+        self._shadow_verify(cycle)
+
+    def _shadow_verify(self, cycle) -> None:
+        rev_actual = {
+            gid: (self.rev_vc_l[gid], self.rev_out_l[gid])
+            for gid in range(len(self.rev_vc_l))
+            if self.rev_vc_l[gid] >= 0
+        }
+        assert rev_actual == self.shadow_rev, f"rev index diverged at cycle {cycle}"
+        for (port, pid), gid in self.shadow_owner.items():
+            base = self.in_vc_base[port]
+            owners = [
+                vc
+                for vc in range(base, base + self.port_nvcs[port])
+                if self.alloc_l[vc] == pid
+            ]
+            # The live owner scan over the port's VCs (what the array
+            # engine runs instead of a dict lookup) must resolve to
+            # exactly the gid the dict model tracked.
+            assert owners == [gid], f"owner scan diverged at cycle {cycle}"
+        pending = sum(len(entries) for entries in self.shadow_arrivals.values())
+        assert self.wheel_pending == pending, f"wheel count diverged at cycle {cycle}"
+        self.shadow_checked_cycles += 1
+
+
+class _ShadowVectorState(_ShadowDictModel, VectorKernelState):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._shadow_init()
+
+
+class _ShadowLaneState(_ShadowDictModel, LaneBatchedState):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._shadow_init()
+
+
+@contextmanager
+def _shadow_patched():
+    """Swap the shadow classes in for one run; hypothesis-safe (no
+    function-scoped monkeypatch fixture)."""
+    original_vector = vector_module.VectorKernelState
+    original_lanes = lanes_module.LaneBatchedState
+    _CAPTURED.clear()
+    vector_module.VectorKernelState = _ShadowVectorState
+    lanes_module.LaneBatchedState = _ShadowLaneState
+    try:
+        yield
+    finally:
+        vector_module.VectorKernelState = original_vector
+        lanes_module.LaneBatchedState = original_lanes
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    arch=st.sampled_from(WIRED),
+    load=st.floats(min_value=0.005, max_value=0.06),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    cycles=st.integers(min_value=80, max_value=240),
+)
+def test_property_solo_arrays_match_dict_model(arch, load, seed, cycles):
+    """Random solo runs: array state == dict model, and the shadowed run's
+    fingerprint still matches the scalar reference."""
+    config = ARCHITECTURES[arch]()
+    factory = uniform_factory(rate=load, seed=seed)
+    with _shadow_patched():
+        shadowed = build_lane(config, factory, cycles).run()
+        [state] = _CAPTURED
+    assert state.shadow_checked_cycles > 0, "run produced no send/eject events"
+    scalar = solo_scalar(config, factory, cycles)
+    assert result_fingerprint(shadowed) == result_fingerprint(scalar)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    arch=st.sampled_from(WIRED),
+    load=st.floats(min_value=0.005, max_value=0.04),
+    base_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    lanes=st.integers(min_value=1, max_value=4),
+)
+def test_property_batched_arrays_match_dict_model(arch, load, base_seed, lanes):
+    """Random lane batches: the fused (lane-disjoint) state honours the
+    same dict model, and every lane still matches its solo scalar twin."""
+    config = ARCHITECTURES[arch]()
+    factories = [
+        uniform_factory(rate=load, seed=seed)
+        for seed in lane_seeds(base_seed, lanes)
+    ]
+    with _shadow_patched():
+        batched = run_batched(
+            [build_lane(config, factory, cycles=160) for factory in factories]
+        )
+        [state] = _CAPTURED
+    assert state.shadow_checked_cycles > 0, "batch produced no send/eject events"
+    for factory, result in zip(factories, batched):
+        solo = solo_scalar(config, factory, cycles=160)
+        assert result_fingerprint(result) == result_fingerprint(solo)
+
+
+def test_shadow_model_is_exercised():
+    """Guard against vacuous property passes: a mid-load mesh run must
+    drive real wormhole claims (rev entries), multi-VC ownership and
+    multi-slot wheel traffic through the shadow checks."""
+    config = ARCHITECTURES["substrate"]()
+    factory = uniform_factory(rate=0.05, seed=7)
+    with _shadow_patched():
+        result = build_lane(config, factory, cycles=360).run()
+        [state] = _CAPTURED
+    assert state.shadow_checked_cycles > 50
+    assert result.flit_hops > 500
